@@ -1,0 +1,100 @@
+//! Bandwagon Attack \[48\].
+//!
+//! §V-A: popular items are "the set of the top 10 % of items which have
+//! the most interactions"; each malicious client's fillers are 10 % drawn
+//! from the popular set and 90 % from the remaining items. Riding the
+//! bandwagon makes target feature vectors co-occur with popular ones.
+
+use crate::shilling::{filler_budget, profile_from, ShillingAdversary};
+use fedrec_linalg::SeededRng;
+
+/// Build the Bandwagon Attack adversary from item popularity counts
+/// (attacker side information, as the paper grants these baselines).
+pub fn bandwagon(
+    targets: &[u32],
+    item_popularity: &[u32],
+    num_malicious: usize,
+    kappa: usize,
+    k: usize,
+    seed: u64,
+) -> ShillingAdversary {
+    let num_items = item_popularity.len();
+    let mut rng = SeededRng::new(seed);
+    let budget = filler_budget(kappa, targets.len(), num_items);
+    let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
+
+    // Top 10% of items by interaction count (deterministic tie-break).
+    let mut by_pop: Vec<u32> = (0..num_items as u32).collect();
+    by_pop.sort_by_key(|&v| (std::cmp::Reverse(item_popularity[v as usize]), v));
+    let cut = (num_items / 10).max(1);
+    let popular: Vec<u32> = by_pop[..cut]
+        .iter()
+        .copied()
+        .filter(|v| !target_set.contains(v))
+        .collect();
+    let rest: Vec<u32> = by_pop[cut..]
+        .iter()
+        .copied()
+        .filter(|v| !target_set.contains(v))
+        .collect();
+
+    let from_popular = ((budget as f64) * 0.1).round() as usize;
+    let from_popular = from_popular.min(popular.len());
+    let from_rest = (budget - from_popular).min(rest.len());
+
+    let profiles = (0..num_malicious)
+        .map(|_| {
+            let mut fillers = Vec::with_capacity(budget);
+            fillers.extend(
+                rng.sample_indices(popular.len(), from_popular)
+                    .into_iter()
+                    .map(|i| popular[i]),
+            );
+            fillers.extend(
+                rng.sample_indices(rest.len(), from_rest)
+                    .into_iter()
+                    .map(|i| rest[i]),
+            );
+            profile_from(targets, fillers)
+        })
+        .collect();
+    ShillingAdversary::new("bandwagon", profiles, num_items, k, seed ^ 0xBA4D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn popularity() -> Vec<u32> {
+        // 100 items; items 0..10 are the top decile.
+        (0..100u32).map(|v| if v < 10 { 1000 - v } else { 10 }).collect()
+    }
+
+    #[test]
+    fn profiles_mix_popular_and_rest() {
+        let pop = popularity();
+        let adv = bandwagon(&[50], &pop, 4, 60, 4, 3);
+        assert_eq!(adv.len(), 4);
+        // 1 target + 29 fillers.
+        assert_eq!(adv.profile(0), 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pop = popularity();
+        let a = bandwagon(&[50], &pop, 2, 40, 4, 5);
+        let b = bandwagon(&[50], &pop, 2, 40, 4, 5);
+        for i in 0..2 {
+            assert_eq!(a.profile(i), b.profile(i));
+        }
+    }
+
+    #[test]
+    fn targets_never_count_as_fillers() {
+        // Target is the most popular item; profile size must still be
+        // targets + budget.
+        let pop = popularity();
+        let adv = bandwagon(&[0], &pop, 1, 20, 4, 7);
+        assert_eq!(adv.profile(0), 10);
+    }
+}

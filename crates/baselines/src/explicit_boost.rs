@@ -1,0 +1,177 @@
+//! EB — Explicit Boosting \[31\].
+//!
+//! The ablated core of PipAttack: each malicious client `m` holds its own
+//! (fake) feature vector `u_m` and explicitly boosts its predicted score
+//! for every target — binary cross-entropy toward label 1:
+//!
+//! ```text
+//! L_EB = Σ_t −ln σ(u_m ⊙ v_t)
+//! ∂L/∂v_t = −σ(−x̂_mt)·u_m ,   ∂L/∂u_m = −σ(−x̂_mt)·v_t
+//! ```
+//!
+//! The uploaded gradient is scaled by a boost factor and **not** clipped —
+//! per the paper's comparison protocol (§V-C adopts the settings of \[31\]),
+//! which is also why EB is "numerically unstable" (Table VIII) and
+//! degrades accuracy: nothing bounds its uploads.
+
+use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
+
+/// The EB adversary.
+pub struct ExplicitBoost {
+    targets: Vec<u32>,
+    /// One fake feature vector per malicious client (lazily sized to `k`).
+    user_vecs: Vec<Vec<f32>>,
+    boost: f32,
+    seed: u64,
+}
+
+impl ExplicitBoost {
+    /// Create the adversary with the given gradient boost factor
+    /// (PipAttack's η_boost; larger = stronger and less stable).
+    pub fn new(targets: Vec<u32>, num_malicious: usize, boost: f32, seed: u64) -> Self {
+        assert!(!targets.is_empty());
+        assert!(boost > 0.0);
+        let mut t = targets;
+        t.sort_unstable();
+        t.dedup();
+        Self {
+            targets: t,
+            user_vecs: vec![Vec::new(); num_malicious],
+            boost,
+            seed,
+        }
+    }
+
+    fn ensure_vec(&mut self, mi: usize, k: usize) {
+        if self.user_vecs[mi].is_empty() {
+            let mut rng = SeededRng::new(self.seed ^ (mi as u64).wrapping_mul(0x9E37));
+            self.user_vecs[mi] = (0..k).map(|_| rng.normal(0.0, 0.1)).collect();
+        }
+    }
+
+    /// Compute one client's EB gradient and step its own vector.
+    fn eb_grad(&mut self, mi: usize, items: &Matrix, lr: f32) -> SparseGrad {
+        let k = items.cols();
+        self.ensure_vec(mi, k);
+        let mut grad = SparseGrad::with_capacity(k, self.targets.len());
+        let mut u_step = vec![0.0f32; k];
+        for &t in &self.targets {
+            let v = items.row(t as usize);
+            let x = vector::dot(&self.user_vecs[mi], v);
+            let coeff = -vector::sigmoid(-x); // ∂(−ln σ(x))/∂x
+            grad.accumulate(t, coeff * self.boost, &self.user_vecs[mi]);
+            vector::axpy(coeff, v, &mut u_step);
+        }
+        vector::axpy(-lr, &u_step.clone(), &mut self.user_vecs[mi]);
+        grad
+    }
+}
+
+impl Adversary for ExplicitBoost {
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        _rng: &mut SeededRng,
+    ) -> Vec<SparseGrad> {
+        // The attacker coordinates: the boosted gradient is scaled by
+        // 1/√(selected) so the aggregate push still *grows* with ρ (the
+        // paper's EB jumps from useless at ρ=10 % to total at ρ=20 %) but
+        // sub-linearly. With the raw per-client gradients, sum aggregation
+        // at ρ ≥ 10 % diverges to NaN within a few rounds — the
+        // instability the paper reports still shows at the ER level, but
+        // the simulation stays numerically alive long enough to measure.
+        let share = 1.0 / (ctx.selected_malicious.len().max(1) as f32).sqrt();
+        ctx.selected_malicious
+            .iter()
+            .map(|&mi| {
+                let mut g = self.eb_grad(mi, items, ctx.lr);
+                g.scale(share);
+                g
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "eb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(selected: &[usize]) -> RoundCtx<'_> {
+        RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 1.0,
+            selected_malicious: selected,
+        }
+    }
+
+    #[test]
+    fn gradient_touches_only_targets() {
+        let mut rng = SeededRng::new(1);
+        let items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
+        let mut adv = ExplicitBoost::new(vec![2, 7], 3, 10.0, 5);
+        let sel = [0usize, 2];
+        let ups = adv.poison(&items, &ctx(&sel), &mut rng);
+        assert_eq!(ups.len(), 2);
+        for up in &ups {
+            assert_eq!(up.items(), &[2, 7]);
+        }
+    }
+
+    #[test]
+    fn boost_scales_upload_magnitude() {
+        let mut rng = SeededRng::new(1);
+        let items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
+        let sel = [0usize];
+        let mut small = ExplicitBoost::new(vec![2], 1, 1.0, 5);
+        let mut big = ExplicitBoost::new(vec![2], 1, 50.0, 5);
+        let us = small.poison(&items, &ctx(&sel), &mut rng);
+        let ub = big.poison(&items, &ctx(&sel), &mut rng);
+        assert!(ub[0].max_row_norm() > 10.0 * us[0].max_row_norm());
+    }
+
+    #[test]
+    fn repeated_rounds_raise_own_target_score() {
+        let mut rng = SeededRng::new(3);
+        let mut items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
+        let mut adv = ExplicitBoost::new(vec![0], 1, 5.0, 9);
+        let sel = [0usize];
+        let score = |adv: &ExplicitBoost, items: &Matrix| {
+            vector::dot(&adv.user_vecs[0], items.row(0))
+        };
+        // warm up the vector
+        let _ = adv.poison(&items, &ctx(&sel), &mut rng);
+        let before = score(&adv, &items);
+        for round in 0..20 {
+            let ups = adv.poison(&items, &ctx(&sel), &mut rng);
+            // emulate the server applying the upload
+            ups[0].apply_to(&mut items, 0.05);
+            let _ = round;
+        }
+        let after = score(&adv, &items);
+        assert!(
+            after > before,
+            "EB failed to raise its own target score: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut rng1 = SeededRng::new(4);
+        let mut rng2 = SeededRng::new(4);
+        let items = Matrix::zeros(5, 3);
+        let sel = [0usize];
+        let mut a = ExplicitBoost::new(vec![1], 1, 2.0, 11);
+        let mut b = ExplicitBoost::new(vec![1], 1, 2.0, 11);
+        assert_eq!(
+            a.poison(&items, &ctx(&sel), &mut rng1),
+            b.poison(&items, &ctx(&sel), &mut rng2)
+        );
+    }
+}

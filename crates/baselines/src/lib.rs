@@ -1,0 +1,42 @@
+//! Baseline attacks the paper compares FedRecAttack against.
+//!
+//! Three families, matching §V of the paper:
+//!
+//! * **Shilling / data-style attacks executed in FR** (Table VII):
+//!   [`random_attack`], [`bandwagon`], [`popular`] — malicious clients are
+//!   given *fake interaction profiles* (targets plus filler items chosen
+//!   per method) and then behave exactly like benign clients: they locally
+//!   train on their fake data and upload genuine BPR gradients.
+//! * **Model-poisoning attacks** (Table VIII): [`explicit_boost`] (EB) and
+//!   [`pipattack`] from Zhang et al. \[31\], [`p3`] (Bhagoji et al. \[28\]),
+//!   [`p4`] (Baruch et al., "a little is enough" \[50\]). These craft
+//!   gradients directly. As in the paper they are granted the side
+//!   information they assume (item popularity for PipAttack) and are *not*
+//!   bound by FedRecAttack's stealth constraints — which is precisely why
+//!   they degrade accuracy (Table VIII's HR column).
+//! * **Data-poisoning attacks with full knowledge** (Table VI):
+//!   [`data_poison`] P1 (factorization-based, Li et al. \[15\]/Fang et al.
+//!   \[41\]) and P2 (deep-learning based, Huang et al. \[16\]). They are given
+//!   the entire interaction matrix `D` (the paper: "assuming attacker has
+//!   access to all user-item interactions"), build optimized fake
+//!   profiles offline against a surrogate model, then join the federation
+//!   as shilling clients with those profiles.
+//!
+//! Every attack implements [`fedrec_federated::Adversary`]; the
+//! [`registry`] module provides a string-keyed factory used by the
+//! experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod bandwagon;
+pub mod data_poison;
+pub mod explicit_boost;
+pub mod p3;
+pub mod p4;
+pub mod pipattack;
+pub mod popular;
+pub mod random_attack;
+pub mod registry;
+pub mod shilling;
+
+pub use registry::{build_adversary, AttackMethod};

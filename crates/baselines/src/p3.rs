@@ -1,0 +1,148 @@
+//! P3 — boosted model poisoning after Bhagoji et al. \[28\].
+//!
+//! "Analyzing federated learning through an adversarial lens" poisons
+//! classification FL by (a) computing the gradient of an adversarial
+//! objective on the malicious worker and (b) *explicitly boosting* it by
+//! roughly the inverse of the attacker's aggregation weight so it survives
+//! averaging, while also training on the benign objective for stealth
+//! (alternating minimization).
+//!
+//! Translated to federated recommendation (the paper's §V-C grants these
+//! comparators the settings of \[31\]): each malicious client uploads
+//!
+//! ```text
+//! ∇Ṽ = ∇BPR(fake profile)  +  λ · ∇EB(targets)
+//! ```
+//!
+//! where λ is the boosting factor. The BPR part imitates benign traffic
+//! (the alternating-minimization half); the boosted EB part is the
+//! adversarial objective. As in the original, nothing is clipped — the
+//! large boosted gradients are what degrade accuracy (Table VIII's HR
+//! column) and make P3 "numerically unstable" at small ρ.
+
+use crate::explicit_boost::ExplicitBoost;
+use crate::shilling::{filler_budget, profile_from, ShillingAdversary};
+use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// The P3 adversary.
+pub struct P3 {
+    benign_like: ShillingAdversary,
+    eb: ExplicitBoost,
+    lambda: f32,
+}
+
+impl P3 {
+    /// Create the adversary. `lambda` is the boosting factor (the original
+    /// uses the reciprocal of the attacker's weight in the aggregate; with
+    /// full participation that is `n / |U_m|`, which callers can pass).
+    pub fn new(
+        targets: Vec<u32>,
+        num_malicious: usize,
+        num_items: usize,
+        kappa: usize,
+        k: usize,
+        lambda: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(lambda > 0.0);
+        // Random camouflage profiles (targets + random fillers).
+        let mut rng = SeededRng::new(seed);
+        let budget = filler_budget(kappa, targets.len(), num_items);
+        let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
+        let profiles: Vec<Vec<u32>> = (0..num_malicious)
+            .map(|_| {
+                let mut fillers = Vec::with_capacity(budget);
+                while fillers.len() < budget {
+                    let v = rng.below(num_items) as u32;
+                    if !target_set.contains(&v) && !fillers.contains(&v) {
+                        fillers.push(v);
+                    }
+                }
+                profile_from(&targets, fillers)
+            })
+            .collect();
+        Self {
+            benign_like: ShillingAdversary::new("p3-benign", profiles, num_items, k, seed ^ 0x33),
+            eb: ExplicitBoost::new(targets, num_malicious, 1.0, seed ^ 0xEB),
+            lambda,
+        }
+    }
+}
+
+impl Adversary for P3 {
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        rng: &mut SeededRng,
+    ) -> Vec<SparseGrad> {
+        let benign = self.benign_like.poison(items, ctx, rng);
+        let mut boosted = self.eb.poison(items, ctx, rng);
+        for up in boosted.iter_mut() {
+            up.scale(self.lambda);
+        }
+        benign
+            .into_iter()
+            .zip(boosted)
+            .map(|(mut b, e)| {
+                b.add_assign(&e);
+                b
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "p3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_combines_benign_and_boosted_parts() {
+        let mut rng = SeededRng::new(1);
+        let items = Matrix::random_normal(30, 4, 0.0, 0.1, &mut rng);
+        let mut adv = P3::new(vec![5], 2, 30, 10, 4, 20.0, 3);
+        let sel = [0usize, 1];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 1.0,
+            selected_malicious: &sel,
+        };
+        let ups = adv.poison(&items, &ctx, &mut rng);
+        assert_eq!(ups.len(), 2);
+        // Target row present and dominated by the boosted term.
+        let t = ups[0].get(5).expect("target row missing");
+        let tnorm = fedrec_linalg::vector::l2_norm(t);
+        assert!(tnorm > 0.3, "boosted target row too small: {tnorm}");
+        // Benign camouflage rows exist beyond the target.
+        assert!(ups[0].nnz_rows() > 1);
+    }
+
+    #[test]
+    fn lambda_scales_the_attack_component() {
+        let items = Matrix::zeros(10, 3);
+        let mk = |lambda: f32| {
+            let mut rng = SeededRng::new(2);
+            let mut adv = P3::new(vec![4], 1, 10, 4, 3, lambda, 3);
+            let sel = [0usize];
+            let ctx = RoundCtx {
+                round: 0,
+                lr: 0.05,
+                clip_norm: 1.0,
+                selected_malicious: &sel,
+            };
+            let ups = adv.poison(&items, &ctx, &mut rng);
+            fedrec_linalg::vector::l2_norm(ups[0].get(4).unwrap())
+        };
+        let small = mk(1.0);
+        let large = mk(100.0);
+        // The benign BPR component adds a lambda-independent offset, so
+        // the ratio is large but below the pure 100x.
+        assert!(large > 10.0 * small, "small={small} large={large}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Popular Attack \[47\].
+//!
+//! §V-A: "In addition to `V^tar`, attacker selects the top
+//! `⌊κ/2⌋ − |V^tar|` items which have the most interactions. And attacker
+//! generates fake interactions between **all** malicious users and the
+//! items" — every malicious client shares the same profile of the hottest
+//! items, dragging the targets' feature vectors toward the popular region
+//! of the embedding space.
+
+use crate::shilling::{filler_budget, profile_from, ShillingAdversary};
+
+/// Build the Popular Attack adversary from item popularity counts.
+pub fn popular(
+    targets: &[u32],
+    item_popularity: &[u32],
+    num_malicious: usize,
+    kappa: usize,
+    k: usize,
+    seed: u64,
+) -> ShillingAdversary {
+    let num_items = item_popularity.len();
+    let budget = filler_budget(kappa, targets.len(), num_items);
+    let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
+    let mut by_pop: Vec<u32> = (0..num_items as u32).collect();
+    by_pop.sort_by_key(|&v| (std::cmp::Reverse(item_popularity[v as usize]), v));
+    let fillers: Vec<u32> = by_pop
+        .into_iter()
+        .filter(|v| !target_set.contains(v))
+        .take(budget)
+        .collect();
+    let profile = profile_from(targets, fillers);
+    let profiles = vec![profile; num_malicious];
+    ShillingAdversary::new("popular", profiles, num_items, k, seed ^ 0x0707)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_clients_share_one_profile_of_top_items() {
+        let pop: Vec<u32> = (0..50u32).map(|v| 100 - v).collect(); // item 0 hottest
+        let adv = popular(&[40], &pop, 3, 10, 4, 1);
+        assert_eq!(adv.len(), 3);
+        for i in 0..3 {
+            assert_eq!(adv.profile(i), 5); // 1 target + 4 fillers
+        }
+    }
+
+    #[test]
+    fn empty_budget_yields_target_only_profiles() {
+        let pop = vec![1u32; 20];
+        let adv = popular(&[3, 4], &pop, 2, 4, 4, 1);
+        assert_eq!(adv.profile(0), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Random Attack \[47\].
+//!
+//! §V-A: "For each malicious user client, attacker randomly selects
+//! `⌊κ/2⌋ − |V^tar|` items in addition to `V^tar`, and generates fake
+//! interactions between the malicious user and the items." Each client
+//! gets an *independent* random filler set.
+
+use crate::shilling::{filler_budget, profile_from, ShillingAdversary};
+use fedrec_linalg::SeededRng;
+
+/// Build the Random Attack adversary.
+pub fn random_attack(
+    targets: &[u32],
+    num_malicious: usize,
+    num_items: usize,
+    kappa: usize,
+    k: usize,
+    seed: u64,
+) -> ShillingAdversary {
+    let mut rng = SeededRng::new(seed);
+    let budget = filler_budget(kappa, targets.len(), num_items);
+    let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
+    let profiles = (0..num_malicious)
+        .map(|_| {
+            let mut fillers = Vec::with_capacity(budget);
+            while fillers.len() < budget {
+                let v = rng.below(num_items) as u32;
+                if !target_set.contains(&v) && !fillers.contains(&v) {
+                    fillers.push(v);
+                }
+            }
+            profile_from(targets, fillers)
+        })
+        .collect();
+    ShillingAdversary::new("random", profiles, num_items, k, seed ^ 0x5A5A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_expected_size() {
+        let adv = random_attack(&[3, 7], 5, 100, 20, 4, 1);
+        assert_eq!(adv.len(), 5);
+        for i in 0..5 {
+            // 2 targets + (10 - 2) fillers.
+            assert_eq!(adv.profile(i), 10);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = random_attack(&[3], 3, 50, 10, 4, 9);
+        let b = random_attack(&[3], 3, 50, 10, 4, 9);
+        for i in 0..3 {
+            assert_eq!(a.profile(i), b.profile(i));
+        }
+    }
+
+    #[test]
+    fn zero_budget_leaves_targets_only() {
+        let adv = random_attack(&[3, 7], 2, 100, 4, 4, 1);
+        assert_eq!(adv.profile(0), 2, "kappa/2 == targets: no fillers");
+    }
+}

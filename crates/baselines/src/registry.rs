@@ -1,0 +1,248 @@
+//! String-keyed factory over every attack in the workspace.
+//!
+//! The experiment harness and the `repro` CLI construct attacks through
+//! this registry so that each table's runner is a loop over method names.
+
+use crate::{bandwagon, data_poison, explicit_boost, p3, p4, pipattack, popular, random_attack};
+use fedrec_attack::{AttackConfig, FedRecAttack};
+use fedrec_data::{Dataset, PublicView};
+use fedrec_federated::adversary::Adversary;
+use fedrec_federated::NoAttack;
+
+/// Every attack method evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackMethod {
+    /// No attack (the `None` rows of every table).
+    None,
+    /// Random shilling attack \[47\].
+    Random,
+    /// Bandwagon shilling attack \[48\].
+    Bandwagon,
+    /// Popular shilling attack \[47\].
+    Popular,
+    /// Explicit boosting (EB ablation of PipAttack \[31\]).
+    ExplicitBoost,
+    /// PipAttack \[31\].
+    PipAttack,
+    /// Boosted gradient ascent after Bhagoji et al. \[28\].
+    P3,
+    /// "A little is enough" after Baruch et al. \[50\].
+    P4,
+    /// Data poisoning of factorization CF, Li et al. \[15\]/Fang et al. \[41\].
+    P1,
+    /// Data poisoning of deep recommenders, Huang et al. \[16\].
+    P2,
+    /// The paper's contribution.
+    FedRecAttack,
+}
+
+impl AttackMethod {
+    /// Display name used in reports (matches the paper's tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackMethod::None => "None",
+            AttackMethod::Random => "Random",
+            AttackMethod::Bandwagon => "Bandwagon",
+            AttackMethod::Popular => "Popular",
+            AttackMethod::ExplicitBoost => "EB",
+            AttackMethod::PipAttack => "PipAttack",
+            AttackMethod::P3 => "P3",
+            AttackMethod::P4 => "P4",
+            AttackMethod::P1 => "P1",
+            AttackMethod::P2 => "P2",
+            AttackMethod::FedRecAttack => "FedRecAttack",
+        }
+    }
+
+    /// Parse from a CLI-style string (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "none" => AttackMethod::None,
+            "random" => AttackMethod::Random,
+            "bandwagon" => AttackMethod::Bandwagon,
+            "popular" => AttackMethod::Popular,
+            "eb" | "explicitboost" | "explicit-boost" => AttackMethod::ExplicitBoost,
+            "pipattack" | "pip" => AttackMethod::PipAttack,
+            "p3" => AttackMethod::P3,
+            "p4" => AttackMethod::P4,
+            "p1" => AttackMethod::P1,
+            "p2" => AttackMethod::P2,
+            "fedrecattack" | "fra" => AttackMethod::FedRecAttack,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything an attack may need at construction time. Each method uses
+/// the subset corresponding to its threat model (see crate docs): only
+/// P1/P2 read `full_data`; only FedRecAttack reads `public`.
+pub struct AttackEnv<'a> {
+    /// The training data (full knowledge — P1/P2 only).
+    pub full_data: &'a Dataset,
+    /// The attacker's public-interaction view (FedRecAttack only).
+    pub public: &'a PublicView,
+    /// Target items.
+    pub targets: &'a [u32],
+    /// Number of malicious clients.
+    pub num_malicious: usize,
+    /// Row budget κ.
+    pub kappa: usize,
+    /// Latent dimension k.
+    pub k: usize,
+    /// Seed for the attack's own randomness.
+    pub seed: u64,
+}
+
+/// Construct the adversary for `method`.
+pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adversary> {
+    let targets = env.targets.to_vec();
+    let m = env.full_data.num_items();
+    match method {
+        AttackMethod::None => Box::new(NoAttack),
+        AttackMethod::Random => Box::new(random_attack::random_attack(
+            &targets,
+            env.num_malicious,
+            m,
+            env.kappa,
+            env.k,
+            env.seed,
+        )),
+        AttackMethod::Bandwagon => Box::new(bandwagon::bandwagon(
+            &targets,
+            &env.full_data.item_popularity(),
+            env.num_malicious,
+            env.kappa,
+            env.k,
+            env.seed,
+        )),
+        AttackMethod::Popular => Box::new(popular::popular(
+            &targets,
+            &env.full_data.item_popularity(),
+            env.num_malicious,
+            env.kappa,
+            env.k,
+            env.seed,
+        )),
+        AttackMethod::ExplicitBoost => Box::new(explicit_boost::ExplicitBoost::new(
+            targets,
+            env.num_malicious,
+            30.0,
+            env.seed,
+        )),
+        AttackMethod::PipAttack => Box::new(pipattack::PipAttack::new(
+            targets,
+            &env.full_data.item_popularity(),
+            env.num_malicious,
+            0.05,
+            30.0,
+            1.0,
+            env.seed,
+        )),
+        AttackMethod::P3 => {
+            // Boost by the reciprocal of the attacker's aggregation weight.
+            let total = env.full_data.num_users() + env.num_malicious;
+            let lambda = (total as f32 / env.num_malicious.max(1) as f32).max(1.0);
+            Box::new(p3::P3::new(
+                targets,
+                env.num_malicious,
+                m,
+                env.kappa,
+                env.k,
+                lambda,
+                env.seed,
+            ))
+        }
+        AttackMethod::P4 => Box::new(p4::P4::new(
+            targets,
+            env.num_malicious,
+            m,
+            env.kappa,
+            env.k,
+            1.5,
+            env.seed,
+        )),
+        AttackMethod::P1 => Box::new(data_poison::p1_attack(
+            env.full_data,
+            &targets,
+            env.num_malicious,
+            env.kappa,
+            env.k,
+            env.seed,
+        )),
+        AttackMethod::P2 => Box::new(data_poison::p2_attack(
+            env.full_data,
+            &targets,
+            env.num_malicious,
+            env.kappa,
+            env.k,
+            env.seed,
+        )),
+        AttackMethod::FedRecAttack => {
+            let mut cfg = AttackConfig::new(targets);
+            cfg.kappa = env.kappa;
+            Box::new(FedRecAttack::new(
+                cfg,
+                env.public.clone(),
+                env.num_malicious,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrec_data::synthetic::SyntheticConfig;
+
+    #[test]
+    fn parse_accepts_all_labels() {
+        for m in [
+            AttackMethod::None,
+            AttackMethod::Random,
+            AttackMethod::Bandwagon,
+            AttackMethod::Popular,
+            AttackMethod::ExplicitBoost,
+            AttackMethod::PipAttack,
+            AttackMethod::P3,
+            AttackMethod::P4,
+            AttackMethod::P1,
+            AttackMethod::P2,
+            AttackMethod::FedRecAttack,
+        ] {
+            assert_eq!(AttackMethod::parse(m.label()), Some(m), "{}", m.label());
+        }
+        assert_eq!(AttackMethod::parse("garbage"), None);
+    }
+
+    #[test]
+    fn every_method_constructs() {
+        let data = SyntheticConfig::smoke().generate(1);
+        let public = PublicView::sample(&data, 0.05, 2);
+        let targets = data.coldest_items(1);
+        let env = AttackEnv {
+            full_data: &data,
+            public: &public,
+            targets: &targets,
+            num_malicious: 4,
+            kappa: 20,
+            k: 8,
+            seed: 3,
+        };
+        for m in [
+            AttackMethod::None,
+            AttackMethod::Random,
+            AttackMethod::Bandwagon,
+            AttackMethod::Popular,
+            AttackMethod::ExplicitBoost,
+            AttackMethod::PipAttack,
+            AttackMethod::P3,
+            AttackMethod::P4,
+            AttackMethod::P1,
+            AttackMethod::P2,
+            AttackMethod::FedRecAttack,
+        ] {
+            let adv = build_adversary(m, &env);
+            assert!(!adv.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared machinery for shilling-style attacks.
+//!
+//! A shilling attack injects fake users whose interaction profiles contain
+//! the target items plus filler items. In the federated setting the fake
+//! users cannot inject *data* directly — instead each malicious client
+//! locally trains on its fake profile like any benign client would and
+//! uploads the resulting (genuine) BPR gradients. The filler budget is
+//! `⌊κ/2⌋ − |V^tar|` items per profile: a profile of `p` items touches up
+//! to `2p` gradient rows (positives plus sampled negatives), so this
+//! budget keeps uploads within the same κ-row envelope FedRecAttack obeys.
+
+use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::client::BenignClient;
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// Number of filler items per fake profile: `⌊κ/2⌋ − |targets|`
+/// (§V-A of the paper), clamped to the available catalog.
+pub fn filler_budget(kappa: usize, num_targets: usize, num_items: usize) -> usize {
+    (kappa / 2)
+        .saturating_sub(num_targets)
+        .min(num_items.saturating_sub(num_targets))
+}
+
+/// Build a sorted fake profile: the targets plus the given fillers.
+pub fn profile_from(targets: &[u32], fillers: impl IntoIterator<Item = u32>) -> Vec<u32> {
+    let mut p: Vec<u32> = targets.iter().copied().chain(fillers).collect();
+    p.sort_unstable();
+    p.dedup();
+    p
+}
+
+/// An adversary whose malicious clients are ordinary local trainers over
+/// fixed fake profiles.
+pub struct ShillingAdversary {
+    clients: Vec<BenignClient>,
+    name: &'static str,
+}
+
+impl ShillingAdversary {
+    /// Create one client per profile. `num_items`/`k` describe the model;
+    /// `seed` derives each client's private stream.
+    pub fn new(
+        name: &'static str,
+        profiles: Vec<Vec<u32>>,
+        num_items: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let clients = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| BenignClient::new(i, profile, num_items, k, &mut rng))
+            .collect();
+        Self { clients, name }
+    }
+
+    /// The fake profile of malicious client `i`.
+    pub fn profile(&self, i: usize) -> usize {
+        self.clients[i].degree()
+    }
+
+    /// Number of fake clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no fake clients exist.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
+impl Adversary for ShillingAdversary {
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        _rng: &mut SeededRng,
+    ) -> Vec<SparseGrad> {
+        ctx.selected_malicious
+            .iter()
+            .map(|&mi| {
+                assert!(mi < self.clients.len(), "unknown malicious client {mi}");
+                self.clients[mi]
+                    // Fake clients obey the same clip bound as benign ones
+                    // and add no DP noise (the attacker has no privacy to
+                    // protect).
+                    .local_round(items, ctx.lr, 0.0, ctx.clip_norm, 0.0)
+                    .map(|up| up.item_grads)
+                    .unwrap_or_else(|| SparseGrad::new(items.cols()))
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filler_budget_formula() {
+        assert_eq!(filler_budget(60, 1, 1000), 29);
+        assert_eq!(filler_budget(60, 5, 1000), 25);
+        assert_eq!(filler_budget(4, 5, 1000), 0, "saturating");
+        assert_eq!(filler_budget(60, 1, 10), 9, "catalog-capped");
+    }
+
+    #[test]
+    fn profile_contains_targets_sorted_dedup() {
+        let p = profile_from(&[5, 2], [7, 2, 9]);
+        assert_eq!(p, vec![2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn shilling_clients_upload_genuine_gradients() {
+        let mut rng = SeededRng::new(1);
+        let items = Matrix::random_normal(20, 4, 0.0, 0.1, &mut rng);
+        let mut adv = ShillingAdversary::new(
+            "test",
+            vec![vec![0, 1, 2], vec![3, 4]],
+            20,
+            4,
+            7,
+        );
+        let selected = [0usize, 1];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 1.0,
+            selected_malicious: &selected,
+        };
+        let ups = adv.poison(&items, &ctx, &mut rng);
+        assert_eq!(ups.len(), 2);
+        // Profile items must appear in the gradient (as positives).
+        for &item in &[0u32, 1, 2] {
+            assert!(ups[0].get(item).is_some(), "item {item} missing");
+        }
+        assert!(ups[0].max_row_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn unselected_clients_do_not_train() {
+        let mut rng = SeededRng::new(2);
+        let items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
+        let mut adv = ShillingAdversary::new("test", vec![vec![0], vec![1]], 10, 4, 8);
+        let selected = [1usize];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 1.0,
+            selected_malicious: &selected,
+        };
+        let ups = adv.poison(&items, &ctx, &mut rng);
+        assert_eq!(ups.len(), 1);
+        assert!(ups[0].get(1).is_some());
+    }
+}

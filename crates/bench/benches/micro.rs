@@ -1,0 +1,133 @@
+//! Micro-benchmarks: per-round costs of the pipeline's hot paths.
+//!
+//! These are the kernels the end-to-end runtime decomposes into: a benign
+//! client's BPR round, the attacker's user-matrix refinement and poisoned
+//! gradient, top-K extraction, the weighted filler sampling of Eq. 22,
+//! and the aggregation rules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_attack::approx::UserApproximator;
+use fedrec_attack::loss::{attack_gradient, Surrogate};
+use fedrec_bench::micro_fixture;
+use fedrec_data::PublicView;
+use fedrec_defense::{CoordinateMedian, Krum, TrimmedMean};
+use fedrec_federated::client::BenignClient;
+use fedrec_federated::server::{Aggregator, SumAggregator};
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+use fedrec_recsys::{bpr, topk};
+use std::hint::black_box;
+
+const K: usize = 16;
+
+fn bench_bpr_round(c: &mut Criterion) {
+    let (train, _, _) = micro_fixture(1);
+    let mut rng = SeededRng::new(2);
+    let items = Matrix::random_normal(train.num_items(), K, 0.0, 0.1, &mut rng);
+    let mut client = BenignClient::new(
+        0,
+        train.user_items(0).to_vec(),
+        train.num_items(),
+        K,
+        &mut rng,
+    );
+    c.bench_function("micro/benign_client_round", |b| {
+        b.iter(|| black_box(client.local_round(&items, 0.05, 0.0, 1.0, 0.0)))
+    });
+
+    let u: Vec<f32> = (0..K).map(|_| rng.normal(0.0, 0.1)).collect();
+    let pairs: Vec<(u32, u32)> = (0..30).map(|i| (i as u32, (i + 40) as u32)).collect();
+    c.bench_function("micro/bpr_user_round_grads_30_pairs", |b| {
+        b.iter(|| black_box(bpr::user_round_grads(&u, &items, &pairs, 0.0)))
+    });
+}
+
+fn bench_attack_kernels(c: &mut Criterion) {
+    let (train, _, targets) = micro_fixture(3);
+    let mut rng = SeededRng::new(4);
+    let items = Matrix::random_normal(train.num_items(), K, 0.0, 0.1, &mut rng);
+    let public = PublicView::sample(&train, 0.05, 5);
+    let users = Matrix::random_normal(train.num_users(), K, 0.0, 0.1, &mut rng);
+
+    c.bench_function("micro/attack_gradient_full", |b| {
+        b.iter(|| {
+            black_box(attack_gradient(
+                &users,
+                &items,
+                &public,
+                &targets,
+                10,
+                None,
+                Surrogate::Saturating,
+            ))
+        })
+    });
+
+    let mut approx = UserApproximator::new(train.num_users(), K, 6);
+    c.bench_function("micro/user_approximation_refine_1_epoch", |b| {
+        b.iter(|| {
+            approx.refine(&public, &items, 1, 0.05);
+            black_box(approx.users().row(0)[0])
+        })
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = SeededRng::new(7);
+    let scores: Vec<f32> = (0..5_000).map(|_| rng.normal(0.0, 1.0)).collect();
+    let exclude: Vec<u32> = (0..200u32).map(|i| i * 7).collect();
+    c.bench_function("micro/top10_of_5000", |b| {
+        b.iter(|| black_box(topk::top_k_excluding(&scores, &exclude, 10)))
+    });
+
+    let weights: Vec<f64> = (0..5_000).map(|_| rng.uniform_f64()).collect();
+    c.bench_function("micro/weighted_sample_60_of_5000", |b| {
+        b.iter(|| black_box(rng.weighted_sample_without_replacement(&weights, 60)))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = SeededRng::new(9);
+    // 60 clients touching ~50 rows each of a 1000-item catalog.
+    let updates: Vec<SparseGrad> = (0..60)
+        .map(|_| {
+            let mut g = SparseGrad::new(K);
+            for _ in 0..50 {
+                let item = rng.below(1_000) as u32;
+                let row: Vec<f32> = (0..K).map(|_| rng.normal(0.0, 0.1)).collect();
+                g.accumulate(item, 1.0, &row);
+            }
+            g
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("micro/aggregation_60_clients");
+    group.bench_function("sum", |b| {
+        b.iter(|| black_box(SumAggregator.aggregate(&updates, 1_000, K)))
+    });
+    group.bench_function("krum", |b| {
+        b.iter(|| {
+            black_box(
+                Krum {
+                    assumed_byzantine: 6,
+                }
+                .aggregate(&updates, 1_000, K),
+            )
+        })
+    });
+    group.bench_function("trimmed_mean", |b| {
+        b.iter(|| black_box(TrimmedMean { trim_fraction: 0.1 }.aggregate(&updates, 1_000, K)))
+    });
+    group.bench_function("median", |b| {
+        b.iter(|| black_box(CoordinateMedian.aggregate(&updates, 1_000, K)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bpr_round,
+    bench_attack_kernels,
+    bench_topk,
+    bench_aggregation
+);
+criterion_main!(benches);

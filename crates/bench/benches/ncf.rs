@@ -1,0 +1,61 @@
+//! Benches for the NCF extension: forward/backward kernels and the
+//! federated NCF round, clean and under attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_bench::micro_fixture;
+use fedrec_data::PublicView;
+use fedrec_linalg::{Matrix, SeededRng};
+use fedrec_ncf::attack::{NcfFedRecAttack, NcfNoAttack};
+use fedrec_ncf::sim::{NcfConfig, NcfSimulation};
+use fedrec_ncf::{NcfModel, Theta};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let theta = Theta::init(16, 8, &mut rng);
+    let u: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 0.3)).collect();
+    let v: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 0.3)).collect();
+    c.bench_function("ncf/forward", |b| {
+        b.iter(|| black_box(NcfModel::forward_vec(&theta, &u, &v)))
+    });
+    let fwd = NcfModel::forward_vec(&theta, &u, &v);
+    c.bench_function("ncf/backward", |b| {
+        b.iter(|| black_box(NcfModel::backward(&theta, &fwd, 1.0)))
+    });
+    let items = Matrix::random_normal(500, 8, 0.0, 0.3, &mut rng);
+    let pairs: Vec<(u32, u32)> = (0..25).map(|i| (i as u32, (i + 100) as u32)).collect();
+    c.bench_function("ncf/bpr_round_25_pairs", |b| {
+        b.iter(|| black_box(NcfModel::bpr_round(&theta, &items, &u, &pairs)))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ncf_simulation");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    let (train, _, targets) = micro_fixture(3);
+    let cfg = NcfConfig {
+        epochs: 10,
+        ..NcfConfig::smoke()
+    };
+    g.bench_function("clean_10_epochs", |b| {
+        b.iter(|| {
+            let mut sim = NcfSimulation::new(&train, cfg, Box::new(NcfNoAttack), 0);
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("attacked_10_epochs", |b| {
+        b.iter(|| {
+            let public = PublicView::sample(&train, 0.05, 2);
+            let attack = NcfFedRecAttack::new(targets.clone(), public, 3, 7);
+            let mut sim = NcfSimulation::new(&train, cfg, Box::new(attack), 3);
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 3 regeneration benches (loss + HR@10 curves per dataset) and the
+//! defense extension table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_experiments::{fig3_side_effects, tables::extension_defenses, DatasetId, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    for id in DatasetId::ALL {
+        g.bench_function(format!("fig3_side_effects/{}", id.label()), |b| {
+            b.iter(|| black_box(fig3_side_effects(Scale::Smoke, id, 10, 42)))
+        });
+    }
+    g.bench_function("extension_defenses", |b| {
+        b.iter(|| black_box(extension_defenses(Scale::Smoke, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

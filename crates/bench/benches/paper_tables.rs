@@ -1,0 +1,55 @@
+//! One bench per table of the paper's evaluation section.
+//!
+//! Each bench regenerates its table at smoke scale (the experiment
+//! *content* — who wins, sweep shapes — matches the paper; see
+//! EXPERIMENTS.md for measured-vs-paper values). Criterion tracks the
+//! cost of regenerating each artifact so regressions in the pipeline
+//! show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_experiments::{
+    table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
+    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation, Scale,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = config(c);
+    g.bench_function("table2_datasets", |b| {
+        b.iter(|| black_box(table2_datasets(Scale::Smoke, 42)))
+    });
+    g.bench_function("table3_xi_sweep", |b| {
+        b.iter(|| black_box(table3_xi_sweep(Scale::Smoke, 42)))
+    });
+    g.bench_function("table4_rho_sweep", |b| {
+        b.iter(|| black_box(table4_rho_sweep(Scale::Smoke, 42)))
+    });
+    g.bench_function("table5_kappa_sweep", |b| {
+        b.iter(|| black_box(table5_kappa_sweep(Scale::Smoke, 42)))
+    });
+    g.bench_function("table6_data_poisoning", |b| {
+        b.iter(|| black_box(table6_data_poisoning(Scale::Smoke, 42)))
+    });
+    g.bench_function("table7_effectiveness", |b| {
+        b.iter(|| black_box(table7_effectiveness(Scale::Smoke, 42)))
+    });
+    g.bench_function("table8_model_poisoning", |b| {
+        b.iter(|| black_box(table8_model_poisoning(Scale::Smoke, 42)))
+    });
+    g.bench_function("table9_ablation", |b| {
+        b.iter(|| black_box(table9_ablation(Scale::Smoke, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! The assembled FedRecAttack adversary (Algorithm 1).
+//!
+//! Per round in which malicious clients are selected:
+//!
+//! 1. refine `Û` from `D′` against the freshly received `V^t` (Eq. 19);
+//! 2. compute `∇Ṽ^t = ζ·∂L^atk/∂V` (Eq. 20);
+//! 3. for each selected malicious client: fix its item set on first
+//!    participation (Eqs. 21–22), upload the clipped restriction
+//!    (Eq. 23), subtract it from the residual (Eq. 24).
+
+use crate::approx::UserApproximator;
+use crate::config::AttackConfig;
+use crate::loss::{attack_gradient, sample_user_subset};
+use crate::upload::{select_item_set, take_upload};
+use fedrec_data::PublicView;
+use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// The FedRecAttack adversary.
+pub struct FedRecAttack {
+    cfg: AttackConfig,
+    public: PublicView,
+    approx: Option<UserApproximator>, // built lazily: needs k from V
+    /// `V_i` per malicious client, fixed at first participation.
+    item_sets: Vec<Option<Vec<u32>>>,
+    /// Sorted targets (the config's list, deduplicated).
+    targets: Vec<u32>,
+    seed: u64,
+    /// Loss trace, one entry per poisoned round (diagnostics).
+    loss_trace: Vec<f32>,
+}
+
+impl FedRecAttack {
+    /// Build the adversary. `num_malicious` is the number of client slots
+    /// the attacker controls; `public` is its prior knowledge `D′`.
+    pub fn new(cfg: AttackConfig, public: PublicView, num_malicious: usize) -> Self {
+        cfg.validate();
+        let mut targets = cfg.targets.clone();
+        targets.sort_unstable();
+        targets.dedup();
+        for &t in &targets {
+            assert!(
+                (t as usize) < public.num_items(),
+                "target {t} outside the item universe"
+            );
+        }
+        Self {
+            cfg,
+            public,
+            approx: None,
+            item_sets: vec![None; num_malicious],
+            targets,
+            seed: 0x0FED_0ABC,
+            loss_trace: Vec::new(),
+        }
+    }
+
+    /// Sorted, deduplicated target items.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Attack-loss value per poisoned round.
+    pub fn loss_trace(&self) -> &[f32] {
+        &self.loss_trace
+    }
+
+    /// The currently fixed item set of malicious client `i`, if any.
+    pub fn item_set(&self, i: usize) -> Option<&[u32]> {
+        self.item_sets[i].as_deref()
+    }
+}
+
+impl Adversary for FedRecAttack {
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        rng: &mut SeededRng,
+    ) -> Vec<SparseGrad> {
+        // Step 1: track the private user matrix (Eq. 19).
+        let approx = self.approx.get_or_insert_with(|| {
+            UserApproximator::new(self.public.num_users(), items.cols(), self.seed)
+        });
+        approx.refine(
+            &self.public,
+            items,
+            self.cfg.approx_epochs_per_round,
+            self.cfg.approx_lr,
+        );
+
+        // Step 2: poisoned gradient ∇Ṽ = ζ·∂Latk/∂V (Eq. 20).
+        let subset = self
+            .cfg
+            .max_users_per_round
+            .map(|max| sample_user_subset(self.public.num_users(), max, rng));
+        let mut out = attack_gradient(
+            approx.users(),
+            items,
+            &self.public,
+            &self.targets,
+            self.cfg.top_k,
+            subset.as_deref(),
+            self.cfg.surrogate,
+        );
+        self.loss_trace.push(out.loss);
+        if self.cfg.zeta != 1.0 {
+            for r in 0..out.grad.rows() {
+                fedrec_linalg::vector::scale(self.cfg.zeta, out.grad.row_mut(r));
+            }
+        }
+
+        // Step 3: per-client uploads under κ and C (Eqs. 21–24).
+        let mut uploads = Vec::with_capacity(ctx.selected_malicious.len());
+        for &mi in ctx.selected_malicious {
+            assert!(
+                mi < self.item_sets.len(),
+                "malicious client {mi} selected but the attack was built for {} clients",
+                self.item_sets.len()
+            );
+            if self.item_sets[mi].is_none() || self.cfg.refresh_item_sets {
+                self.item_sets[mi] =
+                    Some(select_item_set(&out.grad, &self.targets, self.cfg.kappa, rng));
+            }
+            let set = self.item_sets[mi].as_ref().expect("just initialized");
+            uploads.push(take_upload(&mut out.grad, set, ctx.clip_norm));
+        }
+        uploads
+    }
+
+    fn name(&self) -> &'static str {
+        "fedrecattack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrec_data::split::leave_one_out;
+    use fedrec_data::synthetic::SyntheticConfig;
+    use fedrec_data::Dataset;
+    use fedrec_federated::{FedConfig, Simulation};
+    use fedrec_recsys::eval::Evaluator;
+    use fedrec_recsys::MfModel;
+
+    fn run_attack(
+        data: &Dataset,
+        xi: f64,
+        num_malicious: usize,
+        epochs: usize,
+    ) -> (f64, f64, f64) {
+        let (train, test) = leave_one_out(data, 7);
+        let public = PublicView::sample(&train, xi, 8);
+        let targets = train.coldest_items(1);
+        let evaluator = Evaluator::new(&train, &test, &targets, 9);
+
+        let attack = FedRecAttack::new(AttackConfig::new(targets.clone()), public, num_malicious);
+        let fed = FedConfig {
+            epochs,
+            ..FedConfig::smoke()
+        };
+        let mut sim = Simulation::new(&train, fed, Box::new(attack), num_malicious);
+        sim.run(None);
+        let model = MfModel::from_factors(sim.user_factors(), sim.items().clone());
+        let rep = evaluator.evaluate(&model, &train, &test);
+        (rep.attack.er_at_10, rep.attack.ndcg_at_10, rep.hr_at_10)
+    }
+
+    /// The headline behaviour: with ξ = 5 % public interactions and 5 % of
+    /// users malicious, the cold target floods top-10 lists, while the
+    /// ξ = 0 ablation (Table IX) collapses far below it.
+    #[test]
+    fn attack_raises_exposure_and_ablation_collapses() {
+        let data = SyntheticConfig::smoke().generate(21);
+        let (er10, ndcg, _) = run_attack(&data, 0.05, 6, 60);
+        assert!(er10 > 0.6, "ER@10 too low: {er10}");
+        assert!(ndcg > 0.4, "NDCG@10 too low: {ndcg}");
+        let (er10_blind, _, _) = run_attack(&data, 0.0, 6, 60);
+        assert!(
+            er10_blind < er10 * 0.5,
+            "ξ=0 should collapse: blind {er10_blind} vs informed {er10}"
+        );
+    }
+
+    /// §V-D: side effects on recommendation accuracy are small.
+    #[test]
+    fn attack_barely_hurts_accuracy() {
+        let data = SyntheticConfig::smoke().generate(22);
+        let (train, test) = leave_one_out(&data, 7);
+        let targets = train.coldest_items(1);
+        let evaluator = Evaluator::new(&train, &test, &targets, 9);
+        let fed = FedConfig {
+            epochs: 60,
+            ..FedConfig::smoke()
+        };
+
+        let mut clean = Simulation::new(
+            &train,
+            fed,
+            Box::new(fedrec_federated::NoAttack),
+            0,
+        );
+        clean.run(None);
+        let clean_model = MfModel::from_factors(clean.user_factors(), clean.items().clone());
+        let clean_hr = evaluator.evaluate(&clean_model, &train, &test).hr_at_10;
+
+        let public = PublicView::sample(&train, 0.05, 8);
+        let attack = FedRecAttack::new(AttackConfig::new(targets.clone()), public, 6);
+        let mut sim = Simulation::new(&train, fed, Box::new(attack), 6);
+        sim.run(None);
+        let model = MfModel::from_factors(sim.user_factors(), sim.items().clone());
+        let attacked_hr = evaluator.evaluate(&model, &train, &test).hr_at_10;
+
+        assert!(
+            attacked_hr > clean_hr - 0.15,
+            "side effects too large: clean HR {clean_hr} vs attacked {attacked_hr}"
+        );
+    }
+
+    #[test]
+    fn item_sets_are_fixed_after_first_participation() {
+        let data = SyntheticConfig::smoke().generate(23);
+        let public = PublicView::sample(&data, 0.05, 8);
+        let targets = data.coldest_items(1);
+        let mut attack = FedRecAttack::new(AttackConfig::new(targets), public, 2);
+        let mut rng = SeededRng::new(1);
+        let mut items = Matrix::random_normal(data.num_items(), 8, 0.0, 0.1, &mut rng);
+        let selected = [0usize, 1];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 1.0,
+            selected_malicious: &selected,
+        };
+        let _ = attack.poison(&items, &ctx, &mut rng);
+        let set0 = attack.item_set(0).unwrap().to_vec();
+        // Perturb items, poison again: the set must not change.
+        items.row_mut(0)[0] += 1.0;
+        let ctx2 = RoundCtx {
+            round: 1,
+            ..ctx
+        };
+        let _ = attack.poison(&items, &ctx2, &mut rng);
+        assert_eq!(attack.item_set(0).unwrap(), set0.as_slice());
+    }
+
+    #[test]
+    fn uploads_respect_kappa_and_clip() {
+        let data = SyntheticConfig::smoke().generate(24);
+        let public = PublicView::sample(&data, 0.05, 8);
+        let targets = data.coldest_items(2);
+        let mut cfg = AttackConfig::new(targets.clone());
+        cfg.kappa = 10;
+        let mut attack = FedRecAttack::new(cfg, public, 3);
+        let mut rng = SeededRng::new(2);
+        let items = Matrix::random_normal(data.num_items(), 8, 0.0, 0.1, &mut rng);
+        let selected = [0usize, 1, 2];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.05,
+            clip_norm: 0.7,
+            selected_malicious: &selected,
+        };
+        let ups = attack.poison(&items, &ctx, &mut rng);
+        assert_eq!(ups.len(), 3);
+        for up in &ups {
+            assert!(up.nnz_rows() <= 10, "kappa violated: {}", up.nnz_rows());
+            assert!(
+                up.max_row_norm() <= 0.7 + 1e-4,
+                "clip violated: {}",
+                up.max_row_norm()
+            );
+        }
+        // Targets must be in every item set.
+        for mi in 0..3 {
+            let set = attack.item_set(mi).unwrap();
+            for t in attack.targets() {
+                assert!(set.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn loss_trace_accumulates_per_poisoned_round() {
+        let data = SyntheticConfig::smoke().generate(25);
+        let public = PublicView::sample(&data, 0.05, 8);
+        let targets = data.coldest_items(1);
+        let mut attack = FedRecAttack::new(AttackConfig::new(targets), public, 1);
+        let mut rng = SeededRng::new(3);
+        let items = Matrix::random_normal(data.num_items(), 8, 0.0, 0.1, &mut rng);
+        let selected = [0usize];
+        for round in 0..4 {
+            let ctx = RoundCtx {
+                round,
+                lr: 0.05,
+                clip_norm: 1.0,
+                selected_malicious: &selected,
+            };
+            let _ = attack.poison(&items, &ctx, &mut rng);
+        }
+        assert_eq!(attack.loss_trace().len(), 4);
+    }
+
+    #[test]
+    fn refresh_item_sets_resamples_each_round() {
+        let data = SyntheticConfig::smoke().generate(27);
+        let public = PublicView::sample(&data, 0.05, 8);
+        let targets = data.coldest_items(1);
+        let mut cfg = AttackConfig::new(targets.clone());
+        cfg.refresh_item_sets = true;
+        cfg.kappa = 10;
+        let mut attack = FedRecAttack::new(cfg, public, 1);
+        let mut rng = SeededRng::new(4);
+        let items = Matrix::random_normal(data.num_items(), 8, 0.0, 0.1, &mut rng);
+        let selected = [0usize];
+        let mut sets = std::collections::HashSet::new();
+        for round in 0..6 {
+            let ctx = RoundCtx {
+                round,
+                lr: 0.05,
+                clip_norm: 1.0,
+                selected_malicious: &selected,
+            };
+            let _ = attack.poison(&items, &ctx, &mut rng);
+            sets.insert(attack.item_set(0).unwrap().to_vec());
+        }
+        assert!(sets.len() > 1, "refresh mode never changed the item set");
+        for set in &sets {
+            assert!(set.contains(&targets[0]), "targets always included");
+        }
+    }
+
+    #[test]
+    fn hinge_surrogate_produces_larger_gradients_once_target_leads() {
+        use crate::loss::Surrogate;
+        // When the target is far above the margin, the saturating g stops
+        // pushing but the hinge keeps a full-strength gradient.
+        let users = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let items = Matrix::from_vec(3, 2, vec![20.0, 0.0, 0.1, 0.0, 0.2, 0.0]);
+        let public = PublicView::empty(1, 3);
+        let sat = attack_gradient(&users, &items, &public, &[0], 1, None, Surrogate::Saturating);
+        let hinge = attack_gradient(&users, &items, &public, &[0], 1, None, Surrogate::Hinge);
+        let norm = |m: &Matrix| fedrec_linalg::vector::l2_norm(m.row(0));
+        assert!(norm(&sat.grad) < 1e-6, "saturating g must be flat here");
+        assert!(
+            norm(&hinge.grad) > 0.9,
+            "hinge must keep pushing: {}",
+            norm(&hinge.grad)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the item universe")]
+    fn rejects_out_of_range_target() {
+        let data = SyntheticConfig::smoke().generate(26);
+        let public = PublicView::sample(&data, 0.05, 8);
+        let _ = FedRecAttack::new(
+            AttackConfig::new(vec![data.num_items() as u32]),
+            public,
+            1,
+        );
+    }
+}

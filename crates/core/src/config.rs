@@ -1,0 +1,100 @@
+//! Attack configuration.
+
+use crate::loss::Surrogate;
+
+/// Hyper-parameters of FedRecAttack.
+///
+/// Defaults follow §V-A: κ = 60, step size ζ = 1, recommendation length
+/// K = 10 (the largest K the paper's metrics use). The ℓ2 bound C is not
+/// here — it is a property of the *federation* (the adversary reads it
+/// from the round context, since malicious uploads must look like benign
+/// ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// The target items `V^tar` whose exposure the attacker maximizes.
+    pub targets: Vec<u32>,
+    /// Maximum number of non-zero rows per malicious upload (κ).
+    pub kappa: usize,
+    /// Step size ζ of Eq. 20.
+    pub zeta: f32,
+    /// Length K of the (approximate) recommendation lists used inside
+    /// `L^atk` (Eq. 15).
+    pub top_k: usize,
+    /// SGD passes over `D′` per round when refining the user-matrix
+    /// approximation (Eq. 19). The approximation warm-starts from the
+    /// previous round, so a few passes suffice.
+    pub approx_epochs_per_round: usize,
+    /// Learning rate of the approximation SGD.
+    pub approx_lr: f32,
+    /// Optional cap on how many users enter the attack loss each round
+    /// (subsampling keeps paper-scale datasets affordable; `None` = all
+    /// users, the paper's formulation).
+    pub max_users_per_round: Option<usize>,
+    /// Margin surrogate (ablation knob; the paper uses the saturating
+    /// `g` of Eq. 14 — see §V-D for why that matters for stealth).
+    pub surrogate: Surrogate,
+    /// Ablation knob: re-sample each malicious client's item set every
+    /// round instead of freezing it at first participation (Eq. 21
+    /// freezes it; refreshing makes uploads look like a user whose
+    /// entire history churns every round — powerful but conspicuous).
+    pub refresh_item_sets: bool,
+}
+
+impl AttackConfig {
+    /// Default configuration for the given target items.
+    pub fn new(targets: Vec<u32>) -> Self {
+        Self {
+            targets,
+            kappa: 60,
+            zeta: 1.0,
+            top_k: 10,
+            approx_epochs_per_round: 4,
+            approx_lr: 0.05,
+            max_users_per_round: None,
+            surrogate: Surrogate::default(),
+            refresh_item_sets: false,
+        }
+    }
+
+    /// Validate invariants; called by the attack constructor.
+    pub fn validate(&self) {
+        assert!(!self.targets.is_empty(), "need at least one target item");
+        assert!(
+            self.kappa >= self.targets.len(),
+            "kappa ({}) must cover the target set ({})",
+            self.kappa,
+            self.targets.len()
+        );
+        assert!(self.zeta > 0.0, "zeta must be positive");
+        assert!(self.top_k > 0, "top_k must be positive");
+        assert!(self.approx_lr > 0.0, "approx_lr must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AttackConfig::new(vec![3]);
+        assert_eq!(c.kappa, 60);
+        assert!((c.zeta - 1.0).abs() < 1e-9);
+        assert_eq!(c.top_k, 10);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn rejects_empty_targets() {
+        AttackConfig::new(vec![]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the target set")]
+    fn rejects_kappa_below_targets() {
+        let mut c = AttackConfig::new(vec![1, 2, 3]);
+        c.kappa = 2;
+        c.validate();
+    }
+}

@@ -1,0 +1,344 @@
+//! The attack loss `L^atk` and its gradient with respect to `V`.
+//!
+//! ER@K is discontinuous, so the paper optimizes the surrogate (Eq. 15):
+//!
+//! ```text
+//! L_i^atk = Σ_{t ∈ V^tar, (u_i,t) ∉ D′}  g( min_{v_j ∈ V_i^rec′, v_j ∉ V^tar} x̂_ij  −  x̂_it )
+//! g(x) = x        (x ≥ 0)
+//!      = eˣ − 1   (x < 0)
+//! ```
+//!
+//! `V_i^rec′` is the user's top-K list computed from the attacker's
+//! approximation `Û` and restricted to `V_i⁻″` (items without *public*
+//! interactions — the attacker's best guess at what is recommendable).
+//!
+//! Gradient (hand-derived; `u_i` is a constant here because the attacker
+//! only poisons `V`): with margin item `j* = argmin …` and
+//! `d = x̂_ij* − x̂_it`,
+//!
+//! ```text
+//! ∂L/∂v_t  = −g′(d)·u_i          g′(x) = 1 (x ≥ 0), eˣ (x < 0)
+//! ∂L/∂v_j* = +g′(d)·u_i          (sub-gradient through the min)
+//! ```
+//!
+//! `g` saturates for very negative margins (targets already well inside
+//! the list), which is exactly why the paper's side effects are small
+//! (§V-D): scores are pushed just past the boundary, not to infinity.
+
+use fedrec_data::PublicView;
+use fedrec_linalg::{vector, Matrix, SeededRng};
+use fedrec_recsys::topk;
+
+/// The saturating surrogate `g` of Eq. 14.
+#[inline]
+pub fn g(x: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        x.exp() - 1.0
+    }
+}
+
+/// Derivative `g′` (1 for `x ≥ 0`, `eˣ` below).
+#[inline]
+pub fn g_prime(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        x.exp()
+    }
+}
+
+/// Which margin surrogate the attack loss uses.
+///
+/// The paper argues (§V-D) that the saturation of `g` is *why*
+/// FedRecAttack's side effects are small: target scores are pushed only
+/// "a little higher than the last item in the recommendation list",
+/// never indefinitely. [`Surrogate::Hinge`] removes that saturation
+/// (constant slope even after the target clears the boundary), which the
+/// ablation bench uses to measure the claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Surrogate {
+    /// The paper's Eq. 14 (`x` above zero, `eˣ − 1` below).
+    #[default]
+    Saturating,
+    /// A plain linear penalty `g(x) = x` with `g′ ≡ 1`: keeps pushing
+    /// target scores up long after they enter the list.
+    Hinge,
+}
+
+impl Surrogate {
+    /// Evaluate the surrogate.
+    #[inline]
+    pub fn value(&self, x: f32) -> f32 {
+        match self {
+            Surrogate::Saturating => g(x),
+            Surrogate::Hinge => x,
+        }
+    }
+
+    /// Evaluate its derivative.
+    #[inline]
+    pub fn derivative(&self, x: f32) -> f32 {
+        match self {
+            Surrogate::Saturating => g_prime(x),
+            Surrogate::Hinge => 1.0,
+        }
+    }
+}
+
+/// Result of one attack-gradient evaluation.
+#[derive(Debug, Clone)]
+pub struct AttackGradient {
+    /// Dense `m × k` gradient `∂L^atk/∂V` (most rows are zero; the dense
+    /// layout keeps Eq. 22's row-norm sampling trivial).
+    pub grad: Matrix,
+    /// The attack loss value `L^atk` (diagnostics / convergence tests).
+    pub loss: f32,
+}
+
+/// Compute `L^atk` and `∂L^atk/∂V` over the given users.
+///
+/// * `users` — the attacker's approximation `Û` (or, in white-box tests,
+///   the true `U`).
+/// * `items` — the shared `V^t`.
+/// * `public` — `D′`; provides each user's public exclusion set `V_i⁻″`
+///   and the `(u_i, t) ∉ D′` filter.
+/// * `targets` — sorted `V^tar`.
+/// * `top_k` — list length K.
+/// * `user_subset` — evaluate only these users (`None` = all), the
+///   `max_users_per_round` scaling knob.
+/// * `surrogate` — which margin penalty to use (the paper's saturating
+///   `g`, or the hinge ablation).
+pub fn attack_gradient(
+    users: &Matrix,
+    items: &Matrix,
+    public: &PublicView,
+    targets: &[u32],
+    top_k: usize,
+    user_subset: Option<&[usize]>,
+    surrogate: Surrogate,
+) -> AttackGradient {
+    debug_assert!(targets.windows(2).all(|w| w[0] < w[1]), "targets unsorted");
+    let m = items.rows();
+    let k = items.cols();
+    let mut grad = Matrix::zeros(m, k);
+    let mut loss = 0.0f32;
+    let mut scores = vec![0.0f32; m];
+
+    let all_users: Vec<usize>;
+    let user_ids: &[usize] = match user_subset {
+        Some(s) => s,
+        None => {
+            all_users = (0..users.rows()).collect();
+            &all_users
+        }
+    };
+
+    // The top list must contain at least one non-target even when targets
+    // occupy the whole top-K, so fetch K + |targets| entries.
+    let fetch = top_k + targets.len();
+
+    for &ui in user_ids {
+        let u = users.row(ui);
+        for (item, slot) in scores.iter_mut().enumerate() {
+            *slot = vector::dot(u, items.row(item));
+        }
+        let exclude = public.user_items(ui);
+        let extended = topk::top_k_excluding(&scores, exclude, fetch);
+
+        // Margin item: weakest non-target inside the top-K window, else
+        // the strongest non-target just below it.
+        let mut margin_item: Option<u32> = None;
+        for (pos, &v) in extended.iter().enumerate() {
+            let is_target = targets.binary_search(&v).is_ok();
+            if pos < top_k {
+                if !is_target {
+                    margin_item = Some(v); // keeps updating: last = weakest
+                }
+            } else if margin_item.is_none() && !is_target {
+                margin_item = Some(v);
+                break;
+            }
+        }
+        let Some(jstar) = margin_item else {
+            continue; // degenerate: fewer non-target items than K
+        };
+        let margin = scores[jstar as usize];
+
+        for &t in targets {
+            if public.contains(ui, t) {
+                continue; // (u_i, t) ∈ D′ — already interacted publicly
+            }
+            let d = margin - scores[t as usize];
+            loss += surrogate.value(d);
+            let gp = surrogate.derivative(d);
+            // ∂L/∂v_t = −g′·u ; ∂L/∂v_j* = +g′·u
+            grad.axpy_row(t as usize, -gp, u);
+            grad.axpy_row(jstar as usize, gp, u);
+        }
+    }
+    AttackGradient { grad, loss }
+}
+
+/// Choose a random user subset of size `max` (or all users when `max`
+/// covers them) for subsampled gradient evaluation.
+pub fn sample_user_subset(num_users: usize, max: usize, rng: &mut SeededRng) -> Vec<usize> {
+    if max >= num_users {
+        (0..num_users).collect()
+    } else {
+        let mut s = rng.sample_indices(num_users, max);
+        s.sort_unstable();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrec_data::Dataset;
+
+    #[test]
+    fn g_matches_definition_and_is_continuous() {
+        assert_eq!(g(2.0), 2.0);
+        assert_eq!(g(0.0), 0.0);
+        assert!((g(-1.0) - ((-1.0f32).exp() - 1.0)).abs() < 1e-7);
+        // Continuity and derivative continuity at 0.
+        assert!((g(1e-6) - g(-1e-6)).abs() < 1e-5);
+        assert!((g_prime(0.0) - 1.0).abs() < 1e-7);
+        assert!((g_prime(-1e-6) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn g_saturates_for_very_negative_margins() {
+        assert!(g(-30.0) > -1.0 - 1e-6);
+        assert!(g_prime(-30.0) < 1e-12);
+    }
+
+    fn tiny_setup() -> (Matrix, Matrix, PublicView, Vec<u32>) {
+        // 2 users, 6 items, k=2. Users point along e0 and e1.
+        let users = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let items = Matrix::from_vec(
+            6,
+            2,
+            vec![
+                0.9, 0.1, // item 0: high for user 0
+                0.5, 0.5, // item 1
+                0.1, 0.9, // item 2: high for user 1
+                -0.5, -0.5, // item 3: the target, low for both
+                0.3, 0.2, // item 4
+                0.2, 0.3, // item 5
+            ],
+        );
+        let data = Dataset::from_tuples(2, 6, vec![(0, 0), (1, 2)]);
+        let public = PublicView::sample(&data, 1.0, 1);
+        (users, items, public, vec![3u32])
+    }
+
+    #[test]
+    fn gradient_pushes_target_toward_users() {
+        let (users, items, public, targets) = tiny_setup();
+        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        // Target row gradient = -Σ g'·u_i: descending it *raises* target
+        // scores. Both users contribute, so both coords negative.
+        let trow = out.grad.row(3);
+        assert!(trow[0] < 0.0, "target grad {trow:?}");
+        assert!(trow[1] < 0.0, "target grad {trow:?}");
+        assert!(out.loss > 0.0, "unreached target must produce loss");
+    }
+
+    #[test]
+    fn margin_item_receives_positive_gradient() {
+        let (users, items, public, targets) = tiny_setup();
+        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        // Some non-target row must be pushed *down* (positive gradient,
+        // since the server descends).
+        let any_positive = (0..6)
+            .filter(|&i| i != 3)
+            .any(|i| out.grad.row(i).iter().any(|&x| x > 0.0));
+        assert!(any_positive);
+    }
+
+    #[test]
+    fn finite_difference_check_on_v() {
+        let (users, items, public, targets) = tiny_setup();
+        let eps = 1e-3f32;
+        let base = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        // Check the target row (the only row with smooth dependence; the
+        // margin item can switch discretely so we test the target).
+        for dim in 0..2 {
+            let mut up = items.clone();
+            up.row_mut(3)[dim] += eps;
+            let mut dn = items.clone();
+            dn.row_mut(3)[dim] -= eps;
+            let lu = attack_gradient(&users, &up, &public, &targets, 2, None, Surrogate::Saturating).loss;
+            let ld = attack_gradient(&users, &dn, &public, &targets, 2, None, Surrogate::Saturating).loss;
+            let num = (lu - ld) / (2.0 * eps);
+            let ana = base.grad.row(3)[dim];
+            assert!(
+                (ana - num).abs() < 1e-2,
+                "dim {dim}: analytic {ana} vs numeric {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn publicly_interacted_targets_are_skipped() {
+        // User 0 publicly interacted with the target: no loss from them.
+        let users = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let items = Matrix::from_vec(3, 2, vec![0.9, 0.0, 0.5, 0.0, -0.5, 0.0]);
+        let data = Dataset::from_tuples(1, 3, vec![(0, 2)]);
+        let public = PublicView::sample(&data, 1.0, 1);
+        let out = attack_gradient(&users, &items, &public, &[2], 1, None, Surrogate::Saturating);
+        assert_eq!(out.loss, 0.0);
+        assert!(out.grad.row(2).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn reached_targets_contribute_negligible_gradient() {
+        // Target already far above the boundary: margin − target ≪ 0.
+        let users = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let items = Matrix::from_vec(3, 2, vec![20.0, 0.0, 0.1, 0.0, 0.2, 0.0]);
+        let public = PublicView::empty(1, 3);
+        let out = attack_gradient(&users, &items, &public, &[0], 1, None, Surrogate::Saturating);
+        assert!(out.loss < 0.0, "saturated g is negative but bounded");
+        assert!(out.loss > -1.01);
+        assert!(vector::l2_norm(out.grad.row(0)) < 1e-6);
+    }
+
+    #[test]
+    fn user_subset_restricts_contributions() {
+        let (users, items, public, targets) = tiny_setup();
+        let only0 = attack_gradient(&users, &items, &public, &targets, 2, Some(&[0]), Surrogate::Saturating);
+        // Only user 0 = e0 contributes: target grad dim 1 must be zero.
+        assert!(only0.grad.row(3)[0] < 0.0);
+        assert_eq!(only0.grad.row(3)[1], 0.0);
+    }
+
+    #[test]
+    fn sample_user_subset_bounds() {
+        let mut rng = SeededRng::new(1);
+        assert_eq!(sample_user_subset(5, 10, &mut rng), vec![0, 1, 2, 3, 4]);
+        let s = sample_user_subset(100, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn loss_decreases_when_descending_the_gradient() {
+        let (users, items, public, targets) = tiny_setup();
+        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        let mut poisoned = items.clone();
+        for r in 0..poisoned.rows() {
+            let g = out.grad.row(r).to_vec();
+            vector::axpy(-0.1, &g, poisoned.row_mut(r));
+        }
+        let after = attack_gradient(&users, &poisoned, &public, &targets, 2, None, Surrogate::Saturating);
+        assert!(
+            after.loss < out.loss,
+            "descent failed: {} -> {}",
+            out.loss,
+            after.loss
+        );
+    }
+}

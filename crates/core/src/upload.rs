@@ -1,0 +1,195 @@
+//! Uploading the poisoned gradient under the stealth constraints
+//! (Eqs. 21–24).
+//!
+//! The raw poisoned gradient `∇Ṽ^t` generally touches many items with
+//! large rows — uploading it directly would be detected. Instead each
+//! selected malicious client `u_i`:
+//!
+//! 1. On **first participation** fixes its item set
+//!    `V_i = V^tar ∪ R(∇Ṽ^t, κ − |V^tar|)` (Eq. 21), where `R` samples
+//!    filler items without replacement with probability proportional to
+//!    the gradient's row norms (Eq. 22). `V_i` never changes afterwards —
+//!    a benign user's interacted set doesn't churn either, so a frozen
+//!    `V_i` is what stealth requires.
+//! 2. Uploads `∇Ṽ_i^t`: the rows of `∇Ṽ^t` restricted to `V_i`, each
+//!    clipped to ℓ2 norm `C` (Eq. 23).
+//! 3. The shared residual is updated `∇Ṽ^t ← ∇Ṽ^t − ∇Ṽ_i^t` (Eq. 24), so
+//!    malicious clients selected later in the same round upload what is
+//!    left rather than duplicating the same push.
+
+use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
+
+/// Select a malicious client's fixed item set `V_i` (Eqs. 21–22).
+///
+/// `grad` is the current poisoned gradient `∇Ṽ^t`; `targets` must be
+/// sorted. Returns a sorted item list of size ≤ κ containing all targets.
+/// If fewer than `κ − |targets|` items have positive row norms, the
+/// shortfall is filled uniformly from the remaining non-target items, so
+/// the profile size stays κ (a benign-looking interaction count).
+pub fn select_item_set(
+    grad: &Matrix,
+    targets: &[u32],
+    kappa: usize,
+    rng: &mut SeededRng,
+) -> Vec<u32> {
+    debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+    assert!(kappa >= targets.len(), "kappa must cover targets");
+    let m = grad.rows();
+    let fillers_wanted = (kappa - targets.len()).min(m - targets.len());
+
+    // Eq. 22: p(v_j) ∝ ‖∇ṽ_j‖ for non-targets, 0 for targets.
+    let mut weights: Vec<f64> = (0..m)
+        .map(|j| vector::l2_norm(grad.row(j)) as f64)
+        .collect();
+    for &t in targets {
+        weights[t as usize] = 0.0;
+    }
+    let mut chosen = rng.weighted_sample_without_replacement(&weights, fillers_wanted);
+
+    if chosen.len() < fillers_wanted {
+        // Zero-gradient catalog remainder: fill uniformly.
+        let taken: std::collections::HashSet<usize> = chosen
+            .iter()
+            .copied()
+            .chain(targets.iter().map(|&t| t as usize))
+            .collect();
+        let pool: Vec<usize> = (0..m).filter(|j| !taken.contains(j)).collect();
+        let extra = rng.sample_indices(pool.len(), fillers_wanted - chosen.len());
+        chosen.extend(extra.into_iter().map(|i| pool[i]));
+    }
+
+    let mut items: Vec<u32> = targets
+        .iter()
+        .copied()
+        .chain(chosen.into_iter().map(|j| j as u32))
+        .collect();
+    items.sort_unstable();
+    items.dedup();
+    items
+}
+
+/// Build one malicious upload `∇Ṽ_i^t` from the residual gradient
+/// (Eq. 23) and subtract it from the residual (Eq. 24).
+///
+/// Rows outside `item_set` are zero (not uploaded); rows inside are taken
+/// from `grad` and clipped to `clip_norm`. Rows of `grad` covered by the
+/// upload are reduced by exactly what was uploaded.
+pub fn take_upload(grad: &mut Matrix, item_set: &[u32], clip_norm: f32) -> SparseGrad {
+    debug_assert!(item_set.windows(2).all(|w| w[0] < w[1]));
+    let k = grad.cols();
+    let mut upload = SparseGrad::with_capacity(k, item_set.len());
+    for &item in item_set {
+        let row = grad.row(item as usize);
+        let norm = vector::l2_norm(row);
+        if norm == 0.0 {
+            continue;
+        }
+        let mut clipped = row.to_vec();
+        vector::clip_l2(&mut clipped, clip_norm);
+        upload.accumulate(item, 1.0, &clipped);
+        // Eq. 24: residual -= uploaded part.
+        vector::axpy(-1.0, &clipped.clone(), grad.row_mut(item as usize));
+    }
+    upload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_with_norms(norms: &[f32]) -> Matrix {
+        let mut g = Matrix::zeros(norms.len(), 2);
+        for (j, &n) in norms.iter().enumerate() {
+            g.row_mut(j)[0] = n;
+        }
+        g
+    }
+
+    #[test]
+    fn item_set_contains_all_targets() {
+        let g = grad_with_norms(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut rng = SeededRng::new(1);
+        let set = select_item_set(&g, &[0, 2], 4, &mut rng);
+        assert!(set.contains(&0) && set.contains(&2));
+        assert_eq!(set.len(), 4);
+        assert!(set.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn item_set_size_is_kappa_even_with_zero_gradient() {
+        let g = grad_with_norms(&[0.0; 10]);
+        let mut rng = SeededRng::new(2);
+        let set = select_item_set(&g, &[3], 6, &mut rng);
+        assert_eq!(set.len(), 6, "uniform fallback must fill to kappa");
+        assert!(set.contains(&3));
+    }
+
+    #[test]
+    fn item_set_capped_by_catalog() {
+        let g = grad_with_norms(&[1.0, 1.0, 1.0]);
+        let mut rng = SeededRng::new(3);
+        let set = select_item_set(&g, &[0], 10, &mut rng);
+        assert_eq!(set, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heavy_rows_are_preferred_as_fillers() {
+        // Item 5 has weight 100; others 0.01. With one filler slot it
+        // should win almost always.
+        let g = grad_with_norms(&[0.01, 0.01, 0.01, 0.01, 0.01, 100.0]);
+        let mut hits = 0;
+        for seed in 0..200 {
+            let mut rng = SeededRng::new(seed);
+            let set = select_item_set(&g, &[0], 2, &mut rng);
+            if set.contains(&5) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 180, "heavy filler chosen only {hits}/200 times");
+    }
+
+    #[test]
+    fn upload_respects_kappa_and_clip() {
+        let mut g = grad_with_norms(&[5.0, 0.0, 3.0, 0.5]);
+        let up = take_upload(&mut g, &[0, 2, 3], 1.0);
+        assert!(up.nnz_rows() <= 3);
+        assert!(up.max_row_norm() <= 1.0 + 1e-5);
+        // Zero rows are not uploaded at all.
+        assert!(up.get(1).is_none());
+    }
+
+    #[test]
+    fn residual_accounting_is_exact() {
+        let mut g = grad_with_norms(&[5.0, 0.0, 0.5, 0.0]);
+        let up = take_upload(&mut g, &[0, 2], 1.0);
+        // Row 0 had norm 5, clipped to 1 → residual 4 along dim 0.
+        assert!((g.row(0)[0] - 4.0).abs() < 1e-5);
+        assert!((up.get(0).unwrap()[0] - 1.0).abs() < 1e-5);
+        // Row 2 was below the clip → fully uploaded, residual zero.
+        assert!(g.row(2)[0].abs() < 1e-6);
+        assert!((up.get(2).unwrap()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn successive_uploads_drain_the_residual() {
+        let mut g = grad_with_norms(&[2.5, 0.0, 0.0, 0.0]);
+        let mut total = 0.0f32;
+        for _ in 0..3 {
+            let up = take_upload(&mut g, &[0], 1.0);
+            total += up.get(0).map(|r| r[0]).unwrap_or(0.0);
+        }
+        assert!((total - 2.5).abs() < 1e-5, "three clients drain 2.5 at C=1");
+        assert!(g.row(0)[0].abs() < 1e-5);
+        // A fourth client has nothing left to upload.
+        let up4 = take_upload(&mut g, &[0], 1.0);
+        assert!(up4.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa must cover targets")]
+    fn select_rejects_small_kappa() {
+        let g = grad_with_norms(&[1.0, 1.0]);
+        let mut rng = SeededRng::new(1);
+        let _ = select_item_set(&g, &[0, 1], 1, &mut rng);
+    }
+}

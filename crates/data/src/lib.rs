@@ -1,0 +1,44 @@
+//! Datasets, splits, public-interaction views and synthetic generators.
+//!
+//! The paper evaluates on three implicit-feedback datasets (Table II):
+//!
+//! | Dataset        | #users | #items | #interactions | sparsity |
+//! |----------------|--------|--------|---------------|----------|
+//! | MovieLens-100K | 943    | 1,682  | 100,000       | 93.70 %  |
+//! | MovieLens-1M   | 6,040  | 3,706  | 1,000,209     | 95.53 %  |
+//! | Steam-200K     | 3,753  | 5,134  | 114,713       | 99.40 %  |
+//!
+//! This crate provides:
+//!
+//! * [`Dataset`] — a deduplicated implicit-feedback interaction matrix in
+//!   CSR layout, the `D ⊆ U × V` of §III-A;
+//! * [`split::leave_one_out`] — the paper's train/test protocol;
+//! * [`public::PublicView`] — the attacker's prior knowledge `D′ ⊆ D` with
+//!   proportion ξ (§III-C);
+//! * [`loader`] — parsers for the real MovieLens / Steam file formats, for
+//!   users who have the original data;
+//! * [`synthetic`] — statistically-matched synthetic generators used when
+//!   the real files are unavailable (see DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use fedrec_data::synthetic::SyntheticConfig;
+//!
+//! let data = SyntheticConfig::smoke().generate(42);
+//! let (train, _test) = fedrec_data::split::leave_one_out(&data, 7);
+//! let public = fedrec_data::public::PublicView::sample(&train, 0.01, 9);
+//! assert!(public.num_interactions() <= train.num_interactions());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod loader;
+pub mod negative;
+pub mod public;
+pub mod split;
+pub mod synthetic;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use public::PublicView;

@@ -1,0 +1,296 @@
+//! Parsers for the real dataset files used by the paper.
+//!
+//! * MovieLens-100K `u.data`: tab-separated `user \t item \t rating \t ts`.
+//! * MovieLens-1M `ratings.dat`: `user::item::rating::ts`.
+//! * Steam-200K `steam-200k.csv`: `user,game,behavior,value[,0]` where
+//!   behavior is `purchase` or `play`; both are kept as implicit feedback,
+//!   matching "we transform all kinds of interactions into implicit
+//!   feedback".
+//!
+//! Raw ids are arbitrary (MovieLens user ids are 1-based; Steam uses large
+//! numeric ids and game *names*), so every loader re-maps users and items
+//! to dense `0..n` / `0..m` ranges in first-appearance order.
+
+use crate::dataset::Dataset;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors produced by the dataset loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not match the expected format.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what failed to parse.
+        reason: String,
+    },
+    /// The file parsed but contained no interactions.
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Malformed { line, reason } => {
+                write!(f, "malformed record at line {line}: {reason}")
+            }
+            LoadError::Empty => write!(f, "file contained no interactions"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Incrementally maps arbitrary raw keys to dense `u32` ids.
+#[derive(Debug, Default)]
+struct IdMap {
+    map: HashMap<String, u32>,
+}
+
+impl IdMap {
+    fn get(&mut self, key: &str) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(key.to_owned()).or_insert(next)
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn build(tuples: Vec<(u32, u32)>, users: usize, items: usize) -> Result<Dataset, LoadError> {
+    if tuples.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(Dataset::from_tuples(users, items, tuples))
+}
+
+/// Parse MovieLens-100K `u.data` content (`user \t item \t rating \t ts`).
+pub fn parse_movielens_100k(content: &str) -> Result<Dataset, LoadError> {
+    parse_separated(content, |l| l.split('\t'), "u.data")
+}
+
+/// Parse MovieLens-1M `ratings.dat` content (`user::item::rating::ts`).
+pub fn parse_movielens_1m(content: &str) -> Result<Dataset, LoadError> {
+    parse_separated(content, |l| l.split("::"), "ratings.dat")
+}
+
+fn parse_separated<'a, I, F>(content: &'a str, split: F, what: &str) -> Result<Dataset, LoadError>
+where
+    I: Iterator<Item = &'a str>,
+    F: Fn(&'a str) -> I,
+{
+    let mut users = IdMap::default();
+    let mut items = IdMap::default();
+    let mut tuples = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = split(line);
+        let (u_raw, v_raw) = match (fields.next(), fields.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(LoadError::Malformed {
+                    line: idx + 1,
+                    reason: format!("expected at least 2 {what} fields"),
+                })
+            }
+        };
+        if u_raw.parse::<u64>().is_err() {
+            return Err(LoadError::Malformed {
+                line: idx + 1,
+                reason: format!("user id {u_raw:?} is not numeric"),
+            });
+        }
+        if v_raw.parse::<u64>().is_err() {
+            return Err(LoadError::Malformed {
+                line: idx + 1,
+                reason: format!("item id {v_raw:?} is not numeric"),
+            });
+        }
+        tuples.push((users.get(u_raw), items.get(v_raw)));
+    }
+    let (u, v) = (users.len(), items.len());
+    build(tuples, u, v)
+}
+
+/// Parse Steam-200K CSV content (`user,game,behavior,value[,0]`).
+///
+/// Game names may contain commas; the format is column-count-from-the-ends:
+/// the first field is the user, the last two (or three when the trailing
+/// `,0` flag is present) are numeric, and the behavior field sits before
+/// them. Everything between user and behavior is the game name.
+pub fn parse_steam_200k(content: &str) -> Result<Dataset, LoadError> {
+    let mut users = IdMap::default();
+    let mut items = IdMap::default();
+    let mut tuples = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 4 {
+            return Err(LoadError::Malformed {
+                line: idx + 1,
+                reason: "expected at least 4 CSV fields".to_owned(),
+            });
+        }
+        // Optional trailing "0" flag present in the Kaggle dump.
+        let has_flag = fields.len() >= 5 && fields[fields.len() - 1].trim() == "0";
+        let value_idx = if has_flag {
+            fields.len() - 2
+        } else {
+            fields.len() - 1
+        };
+        let behavior_idx = value_idx - 1;
+        let behavior = fields[behavior_idx].trim();
+        if behavior != "purchase" && behavior != "play" {
+            return Err(LoadError::Malformed {
+                line: idx + 1,
+                reason: format!("unknown behavior {behavior:?}"),
+            });
+        }
+        if fields[value_idx].trim().parse::<f64>().is_err() {
+            return Err(LoadError::Malformed {
+                line: idx + 1,
+                reason: format!("value {:?} is not numeric", fields[value_idx]),
+            });
+        }
+        let user = fields[0].trim();
+        let game = fields[1..behavior_idx].join(",");
+        tuples.push((users.get(user), items.get(game.trim())));
+    }
+    let (u, v) = (users.len(), items.len());
+    build(tuples, u, v)
+}
+
+/// Load MovieLens-100K from a `u.data` file on disk.
+pub fn load_movielens_100k(path: &Path) -> Result<Dataset, LoadError> {
+    parse_movielens_100k(&fs::read_to_string(path)?)
+}
+
+/// Load MovieLens-1M from a `ratings.dat` file on disk.
+pub fn load_movielens_1m(path: &Path) -> Result<Dataset, LoadError> {
+    parse_movielens_1m(&fs::read_to_string(path)?)
+}
+
+/// Load Steam-200K from a `steam-200k.csv` file on disk.
+pub fn load_steam_200k(path: &Path) -> Result<Dataset, LoadError> {
+    parse_steam_200k(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml100k_parses_and_dedups() {
+        let content = "1\t10\t5\t881250949\n1\t20\t3\t881250950\n2\t10\t4\t881250951\n1\t10\t5\t881250952\n";
+        let d = parse_movielens_100k(content).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 2);
+        assert_eq!(d.num_interactions(), 3, "duplicate (1,10) collapsed");
+    }
+
+    #[test]
+    fn ml100k_skips_blank_lines() {
+        let d = parse_movielens_100k("1\t1\t5\t0\n\n2\t2\t5\t0\n").unwrap();
+        assert_eq!(d.num_interactions(), 2);
+    }
+
+    #[test]
+    fn ml100k_rejects_short_lines() {
+        let err = parse_movielens_100k("1\n").unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn ml100k_rejects_non_numeric() {
+        let err = parse_movielens_100k("a\tb\t5\t0\n").unwrap_err();
+        assert!(err.to_string().contains("not numeric"));
+    }
+
+    #[test]
+    fn ml1m_double_colon_format() {
+        let d = parse_movielens_1m("1::1193::5::978300760\n1::661::3::978302109\n").unwrap();
+        assert_eq!(d.num_users(), 1);
+        assert_eq!(d.num_items(), 2);
+    }
+
+    #[test]
+    fn steam_merges_purchase_and_play() {
+        let content = "\
+151603712,The Elder Scrolls V Skyrim,purchase,1.0,0
+151603712,The Elder Scrolls V Skyrim,play,273.0,0
+151603712,Fallout 4,purchase,1.0,0
+59945701,Fallout 4,play,12.1,0
+";
+        let d = parse_steam_200k(content).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 2);
+        assert_eq!(d.num_interactions(), 3, "purchase+play of same game merge");
+    }
+
+    #[test]
+    fn steam_handles_commas_in_game_names() {
+        let content = "1,Warhammer 40,000 Dawn of War II,play,2.5,0\n";
+        let d = parse_steam_200k(content).unwrap();
+        assert_eq!(d.num_items(), 1);
+        assert_eq!(d.num_interactions(), 1);
+    }
+
+    #[test]
+    fn steam_without_trailing_flag() {
+        let d = parse_steam_200k("1,Portal 2,play,5.0\n").unwrap();
+        assert_eq!(d.num_interactions(), 1);
+    }
+
+    #[test]
+    fn steam_rejects_unknown_behavior() {
+        let err = parse_steam_200k("1,Portal 2,uninstall,5.0,0\n").unwrap_err();
+        assert!(err.to_string().contains("unknown behavior"));
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        assert!(matches!(parse_movielens_100k(""), Err(LoadError::Empty)));
+        assert!(matches!(parse_steam_200k("\n\n"), Err(LoadError::Empty)));
+    }
+
+    #[test]
+    fn io_error_is_wrapped() {
+        let err = load_movielens_100k(Path::new("/nonexistent/u.data")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_appearance_ordered() {
+        let d = parse_movielens_100k("50\t900\t1\t0\n7\t900\t1\t0\n50\t3\t1\t0\n").unwrap();
+        // user 50 -> 0, user 7 -> 1; item 900 -> 0, item 3 -> 1.
+        assert!(d.contains(0, 0));
+        assert!(d.contains(1, 0));
+        assert!(d.contains(0, 1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Negative-item sampling.
+//!
+//! §III-B of the paper: "each user client `u_i` randomly samples a subset
+//! of negative items `V_i⁻′` from `V_i⁻`, and uses `V_i⁻′` instead of
+//! `V_i⁻`", with `|V_i⁻′| = |V_i⁺|` so BPR pairs positives and negatives
+//! one-to-one (Eq. 4). Clients resample every local round, the standard
+//! BPR practice.
+
+use crate::dataset::Dataset;
+use fedrec_linalg::SeededRng;
+
+/// Samples negatives for one user: items the user has *not* interacted
+/// with, drawn uniformly by rejection against the user's positive set.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    num_items: usize,
+}
+
+impl NegativeSampler {
+    /// Sampler over an item universe of the given size.
+    pub fn new(num_items: usize) -> Self {
+        assert!(num_items > 0, "empty item universe");
+        Self { num_items }
+    }
+
+    /// Draw `count` negative items for a user with positive set
+    /// `positives` (sorted). Items may repeat across draws (sampling with
+    /// replacement), which matches per-epoch BPR resampling; each returned
+    /// item is guaranteed not to be in `positives`.
+    ///
+    /// Panics if the user has interacted with every item.
+    pub fn sample(&self, positives: &[u32], count: usize, rng: &mut SeededRng) -> Vec<u32> {
+        assert!(
+            positives.len() < self.num_items,
+            "user has interacted with every item; no negatives exist"
+        );
+        debug_assert!(positives.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let v = rng.below(self.num_items) as u32;
+            if positives.binary_search(&v).is_err() {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Pair each of the user's positives with one fresh negative — the
+    /// `V_i = {(v⁺, v⁻), …}` of Eq. 4.
+    pub fn pair_for_user(
+        &self,
+        data: &Dataset,
+        user: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<(u32, u32)> {
+        let pos = data.user_items(user);
+        let neg = self.sample(pos, pos.len(), rng);
+        pos.iter().copied().zip(neg).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negatives_avoid_positives() {
+        let s = NegativeSampler::new(10);
+        let mut rng = SeededRng::new(1);
+        let positives = [0, 2, 4, 6, 8];
+        for _ in 0..100 {
+            for v in s.sample(&positives, 5, &mut rng) {
+                assert!(positives.binary_search(&v).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_count_is_exact() {
+        let s = NegativeSampler::new(100);
+        let mut rng = SeededRng::new(2);
+        assert_eq!(s.sample(&[1], 7, &mut rng).len(), 7);
+        assert_eq!(s.sample(&[1], 0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn works_when_only_one_negative_exists() {
+        let s = NegativeSampler::new(3);
+        let mut rng = SeededRng::new(3);
+        let got = s.sample(&[0, 2], 5, &mut rng);
+        assert!(got.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no negatives exist")]
+    fn rejects_saturated_user() {
+        let s = NegativeSampler::new(2);
+        let mut rng = SeededRng::new(4);
+        let _ = s.sample(&[0, 1], 1, &mut rng);
+    }
+
+    #[test]
+    fn pairs_match_positive_count() {
+        let data = Dataset::from_tuples(2, 10, vec![(0, 1), (0, 5), (0, 7), (1, 2)]);
+        let s = NegativeSampler::new(10);
+        let mut rng = SeededRng::new(5);
+        let pairs = s.pair_for_user(&data, 0, &mut rng);
+        assert_eq!(pairs.len(), 3);
+        for (p, n) in pairs {
+            assert!(data.contains(0, p));
+            assert!(!data.contains(0, n));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = NegativeSampler::new(50);
+        let a = s.sample(&[3, 9], 10, &mut SeededRng::new(42));
+        let b = s.sample(&[3, 9], 10, &mut SeededRng::new(42));
+        assert_eq!(a, b);
+    }
+}

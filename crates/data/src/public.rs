@@ -1,0 +1,191 @@
+//! The attacker's prior knowledge: public interactions `D′`.
+//!
+//! §III-C of the paper: "For each user `u_i ∈ U`, we randomly select ξ of
+//! items in `V_i⁺`, and expose the interactions between user `u_i` and these
+//! selected items to attacker." A [`PublicView`] is that exposed subset,
+//! sampled per user with proportion ξ.
+//!
+//! ξ = 0 yields an empty view and reproduces the paper's ablation
+//! (Table IX) in which FedRecAttack loses validity completely.
+
+use crate::dataset::Dataset;
+use fedrec_linalg::SeededRng;
+
+/// The public subset `D′ ⊆ D` visible to the attacker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicView {
+    num_users: usize,
+    num_items: usize,
+    user_ptr: Vec<usize>,
+    item_ids: Vec<u32>,
+}
+
+impl PublicView {
+    /// Sample a public view exposing proportion `xi ∈ [0, 1]` of each
+    /// user's interactions (rounded to the nearest count, so a user with 30
+    /// interactions at ξ=1% may expose 0; that matches the paper's
+    /// observation that Steam users frequently expose nothing at ξ=1%).
+    pub fn sample(data: &Dataset, xi: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&xi), "xi out of range: {xi}");
+        let mut rng = SeededRng::new(seed);
+        let mut user_ptr = Vec::with_capacity(data.num_users() + 1);
+        let mut item_ids = Vec::new();
+        user_ptr.push(0);
+        for u in 0..data.num_users() {
+            let items = data.user_items(u);
+            let count = ((items.len() as f64) * xi).round() as usize;
+            let count = count.min(items.len());
+            if count > 0 {
+                let mut chosen: Vec<u32> = rng
+                    .sample_indices(items.len(), count)
+                    .into_iter()
+                    .map(|i| items[i])
+                    .collect();
+                chosen.sort_unstable();
+                item_ids.extend_from_slice(&chosen);
+            }
+            user_ptr.push(item_ids.len());
+        }
+        Self {
+            num_users: data.num_users(),
+            num_items: data.num_items(),
+            user_ptr,
+            item_ids,
+        }
+    }
+
+    /// An empty view (ξ = 0), the Table IX ablation arm.
+    pub fn empty(num_users: usize, num_items: usize) -> Self {
+        Self {
+            num_users,
+            num_items,
+            user_ptr: vec![0; num_users + 1],
+            item_ids: Vec::new(),
+        }
+    }
+
+    /// Number of users in the underlying dataset.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items in the underlying dataset.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Total `|D′|`.
+    #[inline]
+    pub fn num_interactions(&self) -> usize {
+        self.item_ids.len()
+    }
+
+    /// Sorted public items of user `u`.
+    #[inline]
+    pub fn user_items(&self, u: usize) -> &[u32] {
+        &self.item_ids[self.user_ptr[u]..self.user_ptr[u + 1]]
+    }
+
+    /// Whether `(u, v) ∈ D′`.
+    #[inline]
+    pub fn contains(&self, u: usize, v: u32) -> bool {
+        self.user_items(u).binary_search(&v).is_ok()
+    }
+
+    /// Users with at least one public interaction — the only users whose
+    /// feature vectors the attacker can meaningfully approximate.
+    pub fn active_users(&self) -> Vec<usize> {
+        (0..self.num_users)
+            .filter(|&u| !self.user_items(u).is_empty())
+            .collect()
+    }
+
+    /// Iterate all public `(user, item)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_users)
+            .flat_map(move |u| self.user_items(u).iter().map(move |&v| (u as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn data() -> Dataset {
+        SyntheticConfig::smoke().generate(3)
+    }
+
+    #[test]
+    fn view_is_subset_of_data() {
+        let d = data();
+        let v = PublicView::sample(&d, 0.1, 11);
+        for (u, item) in v.iter() {
+            assert!(d.contains(u as usize, item), "public pair not in D");
+        }
+    }
+
+    #[test]
+    fn proportion_is_respected_per_user() {
+        let d = data();
+        let v = PublicView::sample(&d, 0.2, 11);
+        for u in 0..d.num_users() {
+            let expect = ((d.user_degree(u) as f64) * 0.2).round() as usize;
+            assert_eq!(v.user_items(u).len(), expect.min(d.user_degree(u)));
+        }
+    }
+
+    #[test]
+    fn xi_zero_is_empty_and_xi_one_is_everything() {
+        let d = data();
+        let v0 = PublicView::sample(&d, 0.0, 1);
+        assert_eq!(v0.num_interactions(), 0);
+        assert!(v0.active_users().is_empty());
+        let v1 = PublicView::sample(&d, 1.0, 1);
+        assert_eq!(v1.num_interactions(), d.num_interactions());
+    }
+
+    #[test]
+    fn empty_constructor_matches_xi_zero() {
+        let d = data();
+        let a = PublicView::empty(d.num_users(), d.num_items());
+        let b = PublicView::sample(&d, 0.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let d = data();
+        assert_eq!(
+            PublicView::sample(&d, 0.05, 42),
+            PublicView::sample(&d, 0.05, 42)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ_for_nontrivial_xi() {
+        let d = data();
+        let diff = (0..10).any(|s| {
+            PublicView::sample(&d, 0.5, s) != PublicView::sample(&d, 0.5, s + 1000)
+        });
+        assert!(diff);
+    }
+
+    #[test]
+    fn active_users_have_public_items() {
+        let d = data();
+        let v = PublicView::sample(&d, 0.05, 4);
+        for &u in &v.active_users() {
+            assert!(!v.user_items(u).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "xi out of range")]
+    fn rejects_bad_xi() {
+        let d = data();
+        let _ = PublicView::sample(&d, 1.5, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Train/test splitting.
+//!
+//! The paper: "We use the leave-one-out method to divide the training set
+//! and test set." For each user one interacted item is held out for testing
+//! (chosen uniformly at random with a seed — the MovieLens timestamp field
+//! is not part of our [`Dataset`], and the paper does not specify
+//! timestamp-based holdout); users with fewer than two interactions keep
+//! all their data in training and are excluded from HR evaluation.
+
+use crate::dataset::Dataset;
+use fedrec_linalg::SeededRng;
+
+/// Held-out test interactions: `test[u]` is the item left out for user `u`,
+/// or `None` when the user had too few interactions to hold one out.
+pub type TestSet = Vec<Option<u32>>;
+
+/// Leave-one-out split. Returns `(train, test)` where `train` lacks exactly
+/// one item per eligible user and `test[u]` names it.
+pub fn leave_one_out(data: &Dataset, seed: u64) -> (Dataset, TestSet) {
+    let mut rng = SeededRng::new(seed);
+    let mut test: TestSet = vec![None; data.num_users()];
+    let mut tuples = Vec::with_capacity(data.num_interactions());
+    for u in 0..data.num_users() {
+        let items = data.user_items(u);
+        if items.len() >= 2 {
+            let held = items[rng.below(items.len())];
+            test[u] = Some(held);
+            tuples.extend(items.iter().filter(|&&v| v != held).map(|&v| (u as u32, v)));
+        } else {
+            tuples.extend(items.iter().map(|&v| (u as u32, v)));
+        }
+    }
+    (
+        Dataset::from_tuples(data.num_users(), data.num_items(), tuples),
+        test,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_tuples(
+            4,
+            6,
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (2, 5),
+                // user 3 has no interactions
+            ],
+        )
+    }
+
+    #[test]
+    fn each_eligible_user_loses_exactly_one() {
+        let data = sample();
+        let (train, test) = leave_one_out(&data, 1);
+        assert_eq!(train.user_degree(0), 2);
+        assert_eq!(train.user_degree(2), 1);
+        assert!(test[0].is_some());
+        assert!(test[2].is_some());
+    }
+
+    #[test]
+    fn singleton_and_empty_users_keep_everything() {
+        let data = sample();
+        let (train, test) = leave_one_out(&data, 1);
+        assert_eq!(train.user_degree(1), 1, "singleton user keeps its item");
+        assert_eq!(test[1], None);
+        assert_eq!(train.user_degree(3), 0);
+        assert_eq!(test[3], None);
+    }
+
+    #[test]
+    fn held_out_item_absent_from_train_but_in_original() {
+        let data = sample();
+        let (train, test) = leave_one_out(&data, 5);
+        for u in 0..data.num_users() {
+            if let Some(held) = test[u] {
+                assert!(!train.contains(u, held), "held-out item leaked to train");
+                assert!(data.contains(u, held), "held-out item not in original");
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let data = sample();
+        let (t1, s1) = leave_one_out(&data, 77);
+        let (t2, s2) = leave_one_out(&data, 77);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let data = sample();
+        let any_diff = (0..20).any(|s| {
+            let (_, a) = leave_one_out(&data, s);
+            let (_, b) = leave_one_out(&data, s + 100);
+            a != b
+        });
+        assert!(any_diff, "holdout never varies across seeds");
+    }
+
+    #[test]
+    fn interaction_counts_add_up() {
+        let data = sample();
+        let (train, test) = leave_one_out(&data, 3);
+        let held = test.iter().filter(|t| t.is_some()).count();
+        assert_eq!(
+            train.num_interactions() + held,
+            data.num_interactions(),
+            "split must conserve interactions"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Poisoned-gradient detection heuristics.
+//!
+//! §V-D of the paper surveys detection in FR and explains why it is hard:
+//! honest clients' gradients already "vary widely" (different users,
+//! different items, DP noise). These detectors implement the two standard
+//! signals anyway, so experiments can quantify exactly how much (or
+//! little) they see:
+//!
+//! * [`NormDetector`] — flags clients whose update norm is an outlier
+//!   (z-score over the round);
+//! * [`SimilarityDetector`] — flags groups of clients uploading unusually
+//!   *similar* updates (coordinated malicious clients pushing the same
+//!   target rows look alike; honest clients rarely do).
+
+use fedrec_linalg::{stats, SparseGrad};
+
+/// Per-round detection outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReport {
+    /// Per-client anomaly score (higher = more suspicious).
+    pub scores: Vec<f32>,
+    /// Indices flagged by the detector's threshold.
+    pub flagged: Vec<usize>,
+}
+
+impl DetectionReport {
+    /// Fraction of the given (ground-truth malicious) indices that were
+    /// flagged — the detector's recall.
+    pub fn recall(&self, malicious: &[usize]) -> f64 {
+        if malicious.is_empty() {
+            return 0.0;
+        }
+        let hit = malicious
+            .iter()
+            .filter(|m| self.flagged.contains(m))
+            .count();
+        hit as f64 / malicious.len() as f64
+    }
+
+    /// Fraction of flagged clients that are actually malicious — the
+    /// detector's precision (1.0 when nothing is flagged).
+    pub fn precision(&self, malicious: &[usize]) -> f64 {
+        if self.flagged.is_empty() {
+            return 1.0;
+        }
+        let hit = self
+            .flagged
+            .iter()
+            .filter(|f| malicious.contains(f))
+            .count();
+        hit as f64 / self.flagged.len() as f64
+    }
+}
+
+/// Flags clients whose update Frobenius norm deviates from the round mean
+/// by more than `z_threshold` standard deviations.
+#[derive(Debug, Clone, Copy)]
+pub struct NormDetector {
+    /// Z-score threshold (e.g. 3.0).
+    pub z_threshold: f32,
+}
+
+impl NormDetector {
+    /// Score one round of uploads.
+    pub fn inspect(&self, updates: &[SparseGrad]) -> DetectionReport {
+        let norms: Vec<f32> = updates
+            .iter()
+            .map(|u| u.frobenius_norm_sq().sqrt())
+            .collect();
+        let mean = stats::mean(&norms);
+        let sd = stats::std_dev(&norms).max(1e-9);
+        let scores: Vec<f32> = norms.iter().map(|n| ((n - mean) / sd).abs()).collect();
+        let flagged = scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > self.z_threshold)
+            .map(|(i, _)| i)
+            .collect();
+        DetectionReport { scores, flagged }
+    }
+}
+
+/// Flags clients whose update is unusually similar to other clients'
+/// updates (cosine over the sparse gradients). Coordinated poisoning
+/// concentrates on the same target rows; honest updates mostly don't
+/// overlap.
+#[derive(Debug, Clone, Copy)]
+pub struct SimilarityDetector {
+    /// Cosine similarity above which a *pair* counts as suspicious.
+    pub cosine_threshold: f32,
+    /// Minimum number of suspicious pairs before a client is flagged.
+    pub min_pairs: usize,
+}
+
+impl SimilarityDetector {
+    /// Score one round of uploads.
+    pub fn inspect(&self, updates: &[SparseGrad]) -> DetectionReport {
+        let n = updates.len();
+        let norms: Vec<f32> = updates
+            .iter()
+            .map(|u| u.frobenius_norm_sq().sqrt())
+            .collect();
+        let mut suspicious_pairs = vec![0usize; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if norms[i] == 0.0 || norms[j] == 0.0 {
+                    continue;
+                }
+                let cos = updates[i].dot(&updates[j]) / (norms[i] * norms[j]);
+                if cos > self.cosine_threshold {
+                    suspicious_pairs[i] += 1;
+                    suspicious_pairs[j] += 1;
+                }
+            }
+        }
+        let scores: Vec<f32> = suspicious_pairs.iter().map(|&c| c as f32).collect();
+        let flagged = suspicious_pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= self.min_pairs)
+            .map(|(i, _)| i)
+            .collect();
+        DetectionReport { scores, flagged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(k: usize, rows: &[(u32, f32)]) -> SparseGrad {
+        let mut g = SparseGrad::new(k);
+        for &(item, v) in rows {
+            g.accumulate(item, 1.0, &vec![v; k]);
+        }
+        g
+    }
+
+    #[test]
+    fn norm_detector_flags_giant_update() {
+        let mut updates: Vec<SparseGrad> = (0..10)
+            .map(|i| grad(2, &[(i, 1.0 + 0.05 * i as f32)]))
+            .collect();
+        updates.push(grad(2, &[(0, 500.0)]));
+        let rep = NormDetector { z_threshold: 2.5 }.inspect(&updates);
+        assert_eq!(rep.flagged, vec![10]);
+        assert_eq!(rep.recall(&[10]), 1.0);
+        assert_eq!(rep.precision(&[10]), 1.0);
+    }
+
+    #[test]
+    fn norm_detector_passes_homogeneous_round() {
+        let updates: Vec<SparseGrad> = (0..8).map(|i| grad(2, &[(i, 1.0)])).collect();
+        let rep = NormDetector { z_threshold: 3.0 }.inspect(&updates);
+        assert!(rep.flagged.is_empty());
+    }
+
+    #[test]
+    fn norm_detector_misses_clipped_attack() {
+        // FedRecAttack-style uploads are clipped to the same C as benign
+        // rows: the norm signal vanishes.
+        let mut updates: Vec<SparseGrad> = (0..10)
+            .map(|i| grad(2, &[(i, 1.0 + 0.05 * i as f32)]))
+            .collect();
+        updates.push(grad(2, &[(0, 1.02)])); // the "attack"
+        let rep = NormDetector { z_threshold: 2.5 }.inspect(&updates);
+        assert_eq!(rep.recall(&[10]), 0.0, "clipped attack should evade");
+    }
+
+    #[test]
+    fn similarity_detector_flags_coordinated_clients() {
+        // Three attackers upload near-identical target-row pushes; five
+        // honest clients touch disjoint items.
+        let mut updates: Vec<SparseGrad> =
+            (0..5).map(|i| grad(3, &[(10 + i, 1.0)])).collect();
+        for _ in 0..3 {
+            updates.push(grad(3, &[(0, 2.0)]));
+        }
+        let rep = SimilarityDetector {
+            cosine_threshold: 0.95,
+            min_pairs: 2,
+        }
+        .inspect(&updates);
+        assert_eq!(rep.flagged, vec![5, 6, 7]);
+        assert_eq!(rep.recall(&[5, 6, 7]), 1.0);
+    }
+
+    #[test]
+    fn similarity_detector_ignores_disjoint_honest_updates() {
+        let updates: Vec<SparseGrad> = (0..6).map(|i| grad(3, &[(i, 1.0)])).collect();
+        let rep = SimilarityDetector {
+            cosine_threshold: 0.9,
+            min_pairs: 1,
+        }
+        .inspect(&updates);
+        assert!(rep.flagged.is_empty());
+    }
+
+    #[test]
+    fn report_precision_with_false_positives() {
+        let rep = DetectionReport {
+            scores: vec![0.0; 4],
+            flagged: vec![0, 1],
+        };
+        assert_eq!(rep.precision(&[1]), 0.5);
+        assert_eq!(rep.recall(&[1, 2]), 0.5);
+        assert_eq!(rep.recall(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_round_is_clean() {
+        let rep = NormDetector { z_threshold: 3.0 }.inspect(&[]);
+        assert!(rep.flagged.is_empty());
+        let rep = SimilarityDetector {
+            cosine_threshold: 0.9,
+            min_pairs: 1,
+        }
+        .inspect(&[]);
+        assert!(rep.flagged.is_empty());
+        assert_eq!(rep.precision(&[]), 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale smoke|paper] [--seed N] [--dataset ml100k|ml1m|steam]
+//!       [--eval-every N] [--csv] [--out FILE]
+//!
+//! experiments: table2 table3 table4 table5 table6 table7 table8 table9
+//!              fig3 defenses all
+//! ```
+//!
+//! `--scale smoke` (default) runs in seconds on miniature datasets;
+//! `--scale paper` reproduces the full §V-A protocol (much slower).
+
+use fedrec_experiments::{
+    fig3_side_effects, table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
+    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation,
+    DatasetId, Scale, Table,
+};
+use std::io::Write;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    dataset: DatasetId,
+    eval_every: usize,
+    csv: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table2|table3|table4|table5|table6|table7|table8|table9|fig3|defenses|detection|all>\n\
+         \x20      [--scale smoke|paper] [--seed N] [--dataset ml100k|ml1m|steam]\n\
+         \x20      [--eval-every N] [--csv] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: Scale::Smoke,
+        seed: 42,
+        dataset: DatasetId::Ml100k,
+        eval_every: 10,
+        csv: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    match it.next() {
+        Some(e) => args.experiment = e,
+        None => usage(),
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--dataset" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.dataset = DatasetId::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--eval-every" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.eval_every = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--csv" => args.csv = true,
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn run_one(name: &str, args: &Args) -> Vec<Table> {
+    match name {
+        "table2" => vec![table2_datasets(args.scale, args.seed)],
+        "table3" => vec![table3_xi_sweep(args.scale, args.seed)],
+        "table4" => vec![table4_rho_sweep(args.scale, args.seed)],
+        "table5" => vec![table5_kappa_sweep(args.scale, args.seed)],
+        "table6" => vec![table6_data_poisoning(args.scale, args.seed)],
+        "table7" => vec![table7_effectiveness(args.scale, args.seed)],
+        "table8" => vec![table8_model_poisoning(args.scale, args.seed)],
+        "table9" => vec![table9_ablation(args.scale, args.seed)],
+        "fig3" => DatasetId::ALL
+            .iter()
+            .map(|id| fig3_side_effects(args.scale, *id, args.eval_every, args.seed))
+            .collect(),
+        "defenses" => vec![fedrec_experiments::tables::extension_defenses(
+            args.scale, args.seed,
+        )],
+        "detection" => vec![fedrec_experiments::extension_detection(args.scale, args.seed)],
+        "all" => {
+            let mut v = Vec::new();
+            for e in [
+                "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+                "fig3", "defenses", "detection",
+            ] {
+                v.extend(run_one(e, args));
+            }
+            v
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+    let tables = run_one(&args.experiment, &args);
+    let rendered: String = tables
+        .iter()
+        .map(|t| {
+            if args.csv {
+                format!("# {}\n{}\n", t.title, t.to_csv())
+            } else {
+                format!("{}\n", t.to_markdown())
+            }
+        })
+        .collect();
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).expect("create output file");
+            f.write_all(rendered.as_bytes()).expect("write output");
+            eprintln!(
+                "wrote {} table(s) to {path} in {:.1}s",
+                tables.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        None => {
+            print!("{rendered}");
+            eprintln!(
+                "({} table(s) in {:.1}s)",
+                tables.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's published numbers, embedded so every report can print
+//! measured-vs-paper side by side (EXPERIMENTS.md is generated from
+//! these).
+//!
+//! All values are transcribed from the tables of "FedRecAttack: Model
+//! Poisoning Attack to Federated Recommendation" (ICDE 2022).
+
+/// Table III — impact of ξ on ML-100K (ρ=5%, κ=60): `(ξ, ER@5, ER@10,
+/// NDCG@10)`.
+pub const TABLE3_XI: [(f64, f64, f64, f64); 5] = [
+    (0.01, 0.9400, 0.9475, 0.9411),
+    (0.02, 0.9818, 0.9893, 0.9789),
+    (0.03, 0.9882, 0.9914, 0.9866),
+    (0.05, 0.9936, 0.9946, 0.9886),
+    (0.10, 0.9914, 0.9925, 0.9890),
+];
+
+/// Table IV — impact of ρ on ML-100K (ξ=1%): `(ρ, ER@5, ER@10, NDCG@10)`.
+pub const TABLE4_RHO: [(f64, f64, f64, f64); 5] = [
+    (0.01, 0.0011, 0.0011, 0.0011),
+    (0.02, 0.0043, 0.0075, 0.0042),
+    (0.03, 0.6902, 0.7395, 0.6615),
+    (0.05, 0.9400, 0.9475, 0.9411),
+    (0.10, 0.9475, 0.9518, 0.9423),
+];
+
+/// Table V — impact of κ on ML-100K: `(κ, ER@5, ER@10, NDCG@10)`.
+pub const TABLE5_KAPPA: [(usize, f64, f64, f64); 5] = [
+    (20, 0.9475, 0.9539, 0.9453),
+    (40, 0.9464, 0.9518, 0.9442),
+    (60, 0.9400, 0.9475, 0.9411),
+    (80, 0.9507, 0.9593, 0.9480),
+    (100, 0.9453, 0.9518, 0.9456),
+];
+
+/// Table VI — ER@10 on ML-100K vs data-poisoning attacks:
+/// `(method, [ρ=0.5%, 1%, 3%, 5%])`.
+pub const TABLE6_ER10: [(&str, [f64; 4]); 4] = [
+    ("None", [0.0, 0.0, 0.0, 0.0]),
+    ("P1", [0.0001, 0.0002, 0.0014, 0.0033]),
+    ("P2", [0.0007, 0.0019, 0.0111, 0.0206]),
+    ("FedRecAttack", [0.0000, 0.0011, 0.7449, 0.9475]),
+];
+
+/// One dataset block of Table VII: `(method, [(ER@5, ER@10, NDCG@10); ρ ∈
+/// {3%, 5%, 10%}])`.
+pub type Table7Block = [(&'static str, [(f64, f64, f64); 3]); 5];
+
+/// Table VII — MovieLens-100K block.
+pub const TABLE7_ML100K: Table7Block = [
+    ("None", [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)]),
+    (
+        "Random",
+        [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0011, 0.0011, 0.0004)],
+    ),
+    (
+        "Bandwagon",
+        [(0.0011, 0.0011, 0.0011), (0.0, 0.0021, 0.0006), (0.0, 0.0, 0.0)],
+    ),
+    (
+        "Popular",
+        [
+            (0.0011, 0.0011, 0.0005),
+            (0.0011, 0.0011, 0.0011),
+            (0.0032, 0.0075, 0.0035),
+        ],
+    ),
+    (
+        "FedRecAttack",
+        [
+            (0.6988, 0.7449, 0.6702),
+            (0.9400, 0.9475, 0.9411),
+            (0.9507, 0.9528, 0.9455),
+        ],
+    ),
+];
+
+/// Table VII — MovieLens-1M block.
+pub const TABLE7_ML1M: Table7Block = [
+    ("None", [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)]),
+    (
+        "Random",
+        [(0.0, 0.0, 0.0), (0.0002, 0.0002, 0.0001), (0.0002, 0.0005, 0.0002)],
+    ),
+    (
+        "Bandwagon",
+        [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0010, 0.0012, 0.0008)],
+    ),
+    (
+        "Popular",
+        [
+            (0.0035, 0.0056, 0.0030),
+            (0.0393, 0.0503, 0.0349),
+            (0.1358, 0.1598, 0.1255),
+        ],
+    ),
+    (
+        "FedRecAttack",
+        [
+            (0.9722, 0.9752, 0.9684),
+            (0.9659, 0.9704, 0.9610),
+            (0.9689, 0.9742, 0.9646),
+        ],
+    ),
+];
+
+/// Table VII — Steam-200K block.
+pub const TABLE7_STEAM: Table7Block = [
+    ("None", [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)]),
+    (
+        "Random",
+        [
+            (0.0027, 0.0037, 0.0022),
+            (0.0024, 0.0029, 0.0025),
+            (0.0029, 0.0032, 0.0027),
+        ],
+    ),
+    (
+        "Bandwagon",
+        [
+            (0.0133, 0.0157, 0.0121),
+            (0.0702, 0.0952, 0.0669),
+            (0.8829, 0.8944, 0.8774),
+        ],
+    ),
+    (
+        "Popular",
+        [
+            (0.2067, 0.3129, 0.1994),
+            (0.7165, 0.7639, 0.6908),
+            (0.8349, 0.8480, 0.8246),
+        ],
+    ),
+    (
+        "FedRecAttack",
+        [
+            (0.9843, 0.9848, 0.9833),
+            (0.9835, 0.9848, 0.9831),
+            (0.9864, 0.9869, 0.9852),
+        ],
+    ),
+];
+
+/// Table VIII — model-poisoning comparison on ML-1M:
+/// `(method, [(HR@10, ER@5); ρ ∈ {10%, 20%, 30%, 40%}])`.
+pub const TABLE8: [(&str, [(f64, f64); 4]); 6] = [
+    (
+        "None",
+        [(0.5940, 0.0), (0.5940, 0.0), (0.5940, 0.0), (0.5940, 0.0)],
+    ),
+    (
+        "P3",
+        [
+            (0.4434, 0.0),
+            (0.4430, 0.0),
+            (0.4435, 0.0154),
+            (0.4454, 0.0298),
+        ],
+    ),
+    (
+        "P4",
+        [
+            (0.4392, 0.0),
+            (0.4386, 0.9625),
+            (0.4320, 0.9016),
+            (0.4425, 1.0),
+        ],
+    ),
+    (
+        "EB",
+        [
+            (0.4432, 0.0),
+            (0.4449, 1.0),
+            (0.4363, 0.9998),
+            (0.4432, 1.0),
+        ],
+    ),
+    (
+        "PipAttack",
+        [
+            (0.4384, 0.9513),
+            (0.4412, 1.0),
+            (0.4401, 1.0),
+            (0.4349, 1.0),
+        ],
+    ),
+    (
+        "FedRecAttack",
+        [
+            (0.5901, 0.9689),
+            (0.5800, 0.9735),
+            (0.5829, 0.9733),
+            (0.5800, 0.9786),
+        ],
+    ),
+];
+
+/// Table IX — ablation (ξ=1% vs ξ=0): `(dataset, ER@5, ER@10, NDCG@10)`
+/// for ξ=1%; all ξ=0 entries are 0.0000.
+pub const TABLE9_XI1: [(&str, f64, f64, f64); 3] = [
+    ("MovieLens-100K", 0.9400, 0.9475, 0.9411),
+    ("MovieLens-1M", 0.9659, 0.9704, 0.9610),
+    ("Steam-200K", 0.9835, 0.9848, 0.9831),
+];
+
+/// Table II — dataset statistics: `(name, users, items, interactions,
+/// avg, sparsity%)`.
+pub const TABLE2: [(&str, usize, usize, usize, usize, f64); 3] = [
+    ("MovieLens-100K", 943, 1_682, 100_000, 106, 93.70),
+    ("MovieLens-1M", 6_040, 3_706, 1_000_209, 166, 95.53),
+    ("Steam-200K", 3_753, 5_134, 114_713, 31, 99.40),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_have_expected_shapes() {
+        assert_eq!(TABLE3_XI.len(), 5);
+        assert_eq!(TABLE4_RHO.len(), 5);
+        assert_eq!(TABLE5_KAPPA.len(), 5);
+        assert_eq!(TABLE6_ER10.len(), 4);
+        assert_eq!(TABLE8.len(), 6);
+        assert_eq!(TABLE9_XI1.len(), 3);
+    }
+
+    #[test]
+    fn headline_values_are_transcribed_correctly() {
+        // Spot checks against the paper text.
+        assert_eq!(TABLE4_RHO[3].1, 0.9400); // ρ=5% ER@5
+        assert_eq!(TABLE6_ER10[3].1[3], 0.9475); // FedRecAttack ρ=5% ER@10
+        assert_eq!(TABLE8[5].1[0].0, 0.5901); // FedRecAttack HR@10 at ρ=10%
+        assert_eq!(TABLE7_STEAM[4].1[0].0, 0.9843);
+    }
+
+    #[test]
+    fn all_metrics_are_probabilities() {
+        for (_, a, b, c) in TABLE3_XI {
+            for v in [a, b, c] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        for (_, vals) in TABLE8 {
+            for (hr, er) in vals {
+                assert!((0.0..=1.0).contains(&hr));
+                assert!((0.0..=1.0).contains(&er));
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Table rendering (markdown + CSV) for experiment output.
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Table VII: effectiveness of attacks"`.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (stringified cells, `header.len()` each).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// GitHub-flavored markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// CSV rendering (quotes cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a metric to the paper's 4-decimal convention.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a measured value next to the paper's published value, e.g.
+/// `"0.8312 (paper 0.9400)"`. `paper` = `None` renders just the value.
+pub fn with_paper(measured: f64, paper: Option<f64>) -> String {
+    match paper {
+        Some(p) => format!("{} (paper {})", fmt4(measured), fmt4(p)),
+        None => fmt4(measured),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", vec!["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_title_header_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | x,y |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new("q", vec!["c"]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("bad", vec!["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt4(0.94), "0.9400");
+        assert_eq!(with_paper(0.83, Some(0.94)), "0.8300 (paper 0.9400)");
+        assert_eq!(with_paper(0.83, None), "0.8300");
+    }
+}

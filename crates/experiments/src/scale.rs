@@ -1,0 +1,161 @@
+//! Experiment scales and dataset selection.
+
+use fedrec_data::synthetic::SyntheticConfig;
+use fedrec_data::{loader, Dataset};
+use fedrec_federated::FedConfig;
+use std::path::Path;
+
+/// The three datasets of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// MovieLens-100K.
+    Ml100k,
+    /// MovieLens-1M.
+    Ml1m,
+    /// Steam-200K.
+    Steam200k,
+}
+
+impl DatasetId {
+    /// All three, in the paper's order.
+    pub const ALL: [DatasetId; 3] = [DatasetId::Ml100k, DatasetId::Ml1m, DatasetId::Steam200k];
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetId::Ml100k => "MovieLens-100K",
+            DatasetId::Ml1m => "MovieLens-1M",
+            DatasetId::Steam200k => "Steam-200K",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "ml100k" | "ml-100k" | "movielens-100k" => DatasetId::Ml100k,
+            "ml1m" | "ml-1m" | "movielens-1m" => DatasetId::Ml1m,
+            "steam" | "steam200k" | "steam-200k" => DatasetId::Steam200k,
+            _ => return None,
+        })
+    }
+}
+
+/// How big an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Miniature datasets, short training (tests/benches/CI).
+    Smoke,
+    /// Full Table II sizes and the paper's §V-A hyper-parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "smoke" => Scale::Smoke,
+            "paper" | "full" => Scale::Paper,
+            _ => return None,
+        })
+    }
+
+    /// Federated training configuration at this scale.
+    pub fn fed_config(&self, seed: u64) -> FedConfig {
+        match self {
+            Scale::Smoke => FedConfig {
+                k: 16,
+                lr: 0.05,
+                epochs: 60,
+                seed,
+                ..FedConfig::default()
+            },
+            Scale::Paper => FedConfig {
+                k: 32,
+                lr: 0.01,
+                epochs: 200,
+                seed,
+                ..FedConfig::default()
+            },
+        }
+    }
+
+    /// The synthetic stand-in for a dataset at this scale. At smoke scale
+    /// the three miniatures preserve the paper's *density ordering*
+    /// (ML-1M densest, Steam sparsest), which drives the cross-dataset
+    /// trend in Table VII.
+    pub fn synthetic(&self, id: DatasetId) -> SyntheticConfig {
+        match (self, id) {
+            (Scale::Smoke, DatasetId::Ml100k) => SyntheticConfig::smoke(),
+            (Scale::Smoke, DatasetId::Ml1m) => SyntheticConfig::smoke_dense(),
+            (Scale::Smoke, DatasetId::Steam200k) => SyntheticConfig::smoke_sparse(),
+            (Scale::Paper, DatasetId::Ml100k) => SyntheticConfig::ml100k(),
+            (Scale::Paper, DatasetId::Ml1m) => SyntheticConfig::ml1m(),
+            (Scale::Paper, DatasetId::Steam200k) => SyntheticConfig::steam200k(),
+        }
+    }
+
+    /// Materialize a dataset: from the real files when `data_dir` is given
+    /// (expects `u.data`, `ratings.dat`, `steam-200k.csv` inside),
+    /// otherwise from the synthetic generator.
+    pub fn dataset(&self, id: DatasetId, data_dir: Option<&Path>, seed: u64) -> Dataset {
+        if let Some(dir) = data_dir {
+            let result = match id {
+                DatasetId::Ml100k => loader::load_movielens_100k(&dir.join("u.data")),
+                DatasetId::Ml1m => loader::load_movielens_1m(&dir.join("ratings.dat")),
+                DatasetId::Steam200k => loader::load_steam_200k(&dir.join("steam-200k.csv")),
+            };
+            match result {
+                Ok(d) => return d,
+                Err(e) => {
+                    eprintln!(
+                        "warning: failed to load {} from {}: {e}; falling back to synthetic",
+                        id.label(),
+                        dir.display()
+                    );
+                }
+            }
+        }
+        self.synthetic(id).generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        assert_eq!(DatasetId::parse("ml-100k"), Some(DatasetId::Ml100k));
+        assert_eq!(DatasetId::parse("steam"), Some(DatasetId::Steam200k));
+        assert_eq!(DatasetId::parse("nope"), None);
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_section_5a() {
+        let cfg = Scale::Paper.fed_config(1);
+        assert_eq!(cfg.k, 32);
+        assert_eq!(cfg.epochs, 200);
+        assert!((cfg.lr - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoke_density_ordering_matches_paper() {
+        let density = |c: &SyntheticConfig| {
+            c.num_interactions as f64 / (c.num_users as f64 * c.num_items as f64)
+        };
+        let ml100k = density(&Scale::Smoke.synthetic(DatasetId::Ml100k));
+        let ml1m = density(&Scale::Smoke.synthetic(DatasetId::Ml1m));
+        let steam = density(&Scale::Smoke.synthetic(DatasetId::Steam200k));
+        assert!(ml1m > ml100k, "ML-1M must stay densest");
+        assert!(ml100k > steam, "Steam must stay sparsest");
+    }
+
+    #[test]
+    fn missing_data_dir_falls_back_to_synthetic() {
+        let d = Scale::Smoke.dataset(DatasetId::Ml100k, Some(Path::new("/nonexistent")), 3);
+        assert_eq!(d.num_users(), SyntheticConfig::smoke().num_users);
+    }
+}

@@ -1,0 +1,83 @@
+//! The adversary interface.
+//!
+//! The threat model of §III-C: the attacker controls `ρ·n` malicious user
+//! clients. Whenever the server selects some of them for a round, the
+//! attacker sees the current shared parameters `V` (the server just sent
+//! them) and decides what each selected malicious client uploads. The
+//! attacker never sees benign clients' data or feature vectors.
+//!
+//! Every attack in this workspace — FedRecAttack itself and all baselines —
+//! implements [`Adversary`].
+
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// Round context handed to the adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundCtx<'a> {
+    /// Round (epoch) index, 0-based.
+    pub round: usize,
+    /// Learning rate η the server will apply (assumed known, §III-C:
+    /// "attacker knows the model structure and some hyper parameters").
+    pub lr: f32,
+    /// The ℓ2 row bound `C` malicious uploads must respect.
+    pub clip_norm: f32,
+    /// Indices `0..num_malicious` of the malicious clients selected this
+    /// round.
+    pub selected_malicious: &'a [usize],
+}
+
+/// A coordinated attacker controlling all malicious clients.
+pub trait Adversary {
+    /// Produce the upload of every selected malicious client for this
+    /// round. Must return exactly `ctx.selected_malicious.len()` gradients
+    /// (empty `SparseGrad`s are allowed and mean "upload nothing").
+    fn poison(&mut self, items: &Matrix, ctx: &RoundCtx<'_>, rng: &mut SeededRng)
+        -> Vec<SparseGrad>;
+
+    /// Short name for reports ("fedrecattack", "random", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// The `None` baseline: malicious clients upload nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAttack;
+
+impl Adversary for NoAttack {
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        _rng: &mut SeededRng,
+    ) -> Vec<SparseGrad> {
+        ctx.selected_malicious
+            .iter()
+            .map(|_| SparseGrad::new(items.cols()))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_attack_returns_one_empty_grad_per_selection() {
+        let items = Matrix::zeros(4, 2);
+        let mut rng = SeededRng::new(0);
+        let selected = [0usize, 2];
+        let ctx = RoundCtx {
+            round: 0,
+            lr: 0.01,
+            clip_norm: 1.0,
+            selected_malicious: &selected,
+        };
+        let got = NoAttack.poison(&items, &ctx, &mut rng);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|g| g.is_empty()));
+        assert_eq!(NoAttack.name(), "none");
+    }
+}

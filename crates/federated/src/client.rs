@@ -1,0 +1,220 @@
+//! Benign user clients.
+//!
+//! A [`BenignClient`] owns exactly what the paper says a client owns: its
+//! interaction set `V_i⁺` and its private feature vector `u_i`. Per local
+//! round it samples fresh negatives (Eq. 4), computes BPR gradients against
+//! the received `V`, clips and noises the item gradient (Eq. 5), uploads
+//! it, and steps its own `u_i` (Eq. 6).
+
+use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
+use fedrec_recsys::bpr;
+
+/// What a client sends back to the server for one round.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Sparse item-feature gradient `∇V_i` (after clipping and noise).
+    pub item_grads: SparseGrad,
+    /// The client's local BPR loss this round (used only for the Fig. 3
+    /// loss curves; a real deployment would not upload it).
+    pub loss: f32,
+}
+
+/// A benign federated client.
+#[derive(Debug, Clone)]
+pub struct BenignClient {
+    user_id: usize,
+    /// Sorted positive items `V_i⁺`.
+    positives: Vec<u32>,
+    /// Private feature vector `u_i`.
+    user_vec: Vec<f32>,
+    /// Client-owned RNG stream (negative sampling + DP noise).
+    rng: SeededRng,
+    num_items: usize,
+}
+
+impl BenignClient {
+    /// Create a client for `user_id` with positive set `positives`
+    /// (sorted) over an item universe of `num_items`, with its private
+    /// vector initialized `N(0, 0.1²)`.
+    pub fn new(
+        user_id: usize,
+        positives: Vec<u32>,
+        num_items: usize,
+        k: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        debug_assert!(positives.windows(2).all(|w| w[0] < w[1]));
+        let mut own_rng = rng.fork(user_id as u64);
+        let user_vec = (0..k).map(|_| own_rng.normal(0.0, 0.1)).collect();
+        Self {
+            user_id,
+            positives,
+            user_vec,
+            rng: own_rng,
+            num_items,
+        }
+    }
+
+    /// The user id this client belongs to.
+    pub fn user_id(&self) -> usize {
+        self.user_id
+    }
+
+    /// The private feature vector `u_i` (evaluation assembles the global
+    /// `U` from these; the server never sees them).
+    pub fn user_vec(&self) -> &[f32] {
+        &self.user_vec
+    }
+
+    /// Number of positive interactions `|V_i⁺|`.
+    pub fn degree(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Run one local round against the received item matrix.
+    ///
+    /// `clip_norm` is `C`, `noise_scale` is `µ` (noise std is `µ·C` per
+    /// Eq. 5). Returns `None` for users with no interactions or no
+    /// available negatives — they have nothing to train on.
+    pub fn local_round(
+        &mut self,
+        items: &Matrix,
+        lr: f32,
+        l2_reg: f32,
+        clip_norm: f32,
+        noise_scale: f32,
+    ) -> Option<ClientUpdate> {
+        if self.positives.is_empty() || self.positives.len() >= self.num_items {
+            return None;
+        }
+        // Sample one negative per positive: V_i of Eq. 4.
+        let pairs: Vec<(u32, u32)> = {
+            let mut out = Vec::with_capacity(self.positives.len());
+            for &p in &self.positives {
+                loop {
+                    let v = self.rng.below(self.num_items) as u32;
+                    if self.positives.binary_search(&v).is_err() {
+                        out.push((p, v));
+                        break;
+                    }
+                }
+            }
+            out
+        };
+        let mut g = bpr::user_round_grads(&self.user_vec, items, &pairs, l2_reg);
+        // Local private update of u_i (Eq. 6) happens with the *raw*
+        // gradient; clipping/noise only protect what leaves the device.
+        vector::axpy(-lr, &g.grad_user, &mut self.user_vec);
+        g.grad_items.clip_rows(clip_norm);
+        g.grad_items
+            .add_gaussian_noise(noise_scale * clip_norm, &mut self.rng);
+        Some(ClientUpdate {
+            item_grads: g.grad_items,
+            loss: g.loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(k: usize, m: usize) -> Matrix {
+        let mut rng = SeededRng::new(99);
+        Matrix::random_normal(m, k, 0.0, 0.1, &mut rng)
+    }
+
+    fn client(positives: Vec<u32>) -> BenignClient {
+        let mut rng = SeededRng::new(1);
+        BenignClient::new(0, positives, 20, 4, &mut rng)
+    }
+
+    #[test]
+    fn round_touches_positives_and_some_negatives() {
+        let v = items(4, 20);
+        let mut c = client(vec![2, 5, 9]);
+        let up = c.local_round(&v, 0.01, 0.0, 1.0, 0.0).unwrap();
+        for &p in &[2u32, 5, 9] {
+            assert!(up.item_grads.get(p).is_some(), "positive {p} missing");
+        }
+        // 3 positives + up to 3 distinct negatives.
+        assert!(up.item_grads.nnz_rows() > 3);
+        assert!(up.item_grads.nnz_rows() <= 6);
+    }
+
+    #[test]
+    fn empty_client_skips_round() {
+        let v = items(4, 20);
+        let mut c = client(vec![]);
+        assert!(c.local_round(&v, 0.01, 0.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn saturated_client_skips_round() {
+        let v = items(4, 3);
+        let mut rng = SeededRng::new(1);
+        let mut c = BenignClient::new(0, vec![0, 1, 2], 3, 4, &mut rng);
+        assert!(c.local_round(&v, 0.01, 0.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn private_vector_moves_each_round() {
+        let v = items(4, 20);
+        let mut c = client(vec![2, 5]);
+        let before = c.user_vec().to_vec();
+        c.local_round(&v, 0.1, 0.0, 1.0, 0.0);
+        assert_ne!(before, c.user_vec());
+    }
+
+    #[test]
+    fn uploaded_rows_respect_clip_bound() {
+        let v = items(4, 20);
+        // A large user vector produces large raw gradients.
+        let mut rng = SeededRng::new(1);
+        let mut c = BenignClient::new(0, vec![1, 2, 3], 20, 4, &mut rng);
+        for x in c.user_vec.iter_mut() {
+            *x = 10.0;
+        }
+        let up = c.local_round(&v, 0.01, 0.0, 0.5, 0.0).unwrap();
+        assert!(up.item_grads.max_row_norm() <= 0.5 + 1e-4);
+    }
+
+    #[test]
+    fn noise_perturbs_uploads() {
+        let v = items(4, 20);
+        let run = |noise: f32| {
+            let mut rng = SeededRng::new(7);
+            let mut c = BenignClient::new(3, vec![1, 4], 20, 4, &mut rng);
+            c.local_round(&v, 0.01, 0.0, 1.0, noise).unwrap()
+        };
+        let clean = run(0.0);
+        let noisy = run(0.3);
+        assert_ne!(
+            clean.item_grads.get(1).unwrap(),
+            noisy.item_grads.get(1).unwrap()
+        );
+    }
+
+    #[test]
+    fn clients_are_deterministic_per_seed() {
+        let v = items(4, 20);
+        let mk = || {
+            let mut rng = SeededRng::new(5);
+            BenignClient::new(2, vec![0, 7], 20, 4, &mut rng)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ua = a.local_round(&v, 0.01, 0.0, 1.0, 0.1).unwrap();
+        let ub = b.local_round(&v, 0.01, 0.0, 1.0, 0.1).unwrap();
+        assert_eq!(ua.item_grads, ub.item_grads);
+        assert_eq!(ua.loss, ub.loss);
+    }
+
+    #[test]
+    fn distinct_clients_have_distinct_streams() {
+        let mut rng = SeededRng::new(5);
+        let a = BenignClient::new(0, vec![1], 10, 4, &mut rng);
+        let b = BenignClient::new(1, vec![1], 10, 4, &mut rng);
+        assert_ne!(a.user_vec(), b.user_vec());
+    }
+}

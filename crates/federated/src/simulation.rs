@@ -1,0 +1,409 @@
+//! The end-to-end federated training loop.
+//!
+//! [`Simulation`] wires together the server (shared `V`), the benign
+//! clients (private `u_i`, `V_i⁺`), the adversary (malicious client slots
+//! appended after the benign ones) and an aggregator, and runs the round
+//! loop of §III-B. The observable sequence of a run is deterministic in
+//! the [`FedConfig::seed`] regardless of the thread count: client work is
+//! computed in parallel but always aggregated in client-id order.
+
+use crate::adversary::{Adversary, RoundCtx};
+use crate::client::BenignClient;
+use crate::config::FedConfig;
+use crate::history::TrainingHistory;
+use crate::server::{Aggregator, Server, SumAggregator};
+use fedrec_data::Dataset;
+use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// A read-only view of the federation state handed to evaluation hooks.
+pub struct Snapshot<'a> {
+    /// 0-based epoch that just finished.
+    pub epoch: usize,
+    /// The shared item matrix `V` after this epoch's update.
+    pub items: &'a Matrix,
+    /// All benign clients (their `u_i` are readable for *measurement*;
+    /// the simulated server never looks at them).
+    pub clients: &'a [BenignClient],
+    /// Total benign loss of this epoch.
+    pub loss: f32,
+}
+
+/// Called after every epoch; lets experiments record accuracy/exposure
+/// curves (Fig. 3) without the simulation knowing about metrics.
+pub type EvalHook<'h> = dyn FnMut(&Snapshot<'_>, &mut TrainingHistory) + 'h;
+
+/// A federated recommendation deployment under (possible) attack.
+pub struct Simulation {
+    server: Server,
+    clients: Vec<BenignClient>,
+    adversary: Box<dyn Adversary>,
+    num_malicious: usize,
+    aggregator: Box<dyn Aggregator>,
+    cfg: FedConfig,
+    rng: SeededRng,
+    adv_rng: SeededRng,
+}
+
+impl Simulation {
+    /// Build a simulation over `data` with `num_malicious` malicious
+    /// client slots controlled by `adversary` and plain sum aggregation.
+    pub fn new(
+        data: &Dataset,
+        cfg: FedConfig,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+    ) -> Self {
+        Self::with_aggregator(data, cfg, adversary, num_malicious, Box::new(SumAggregator))
+    }
+
+    /// Like [`Simulation::new`] but with a custom (e.g. byzantine-robust)
+    /// aggregator.
+    pub fn with_aggregator(
+        data: &Dataset,
+        cfg: FedConfig,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+        aggregator: Box<dyn Aggregator>,
+    ) -> Self {
+        cfg.validate();
+        let mut rng = SeededRng::new(cfg.seed);
+        let server = Server::new(
+            Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng),
+            cfg.lr,
+        );
+        let clients: Vec<BenignClient> = (0..data.num_users())
+            .map(|u| {
+                BenignClient::new(
+                    u,
+                    data.user_items(u).to_vec(),
+                    data.num_items(),
+                    cfg.k,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let adv_rng = rng.fork(0xADBE);
+        Self {
+            server,
+            clients,
+            adversary,
+            num_malicious,
+            aggregator,
+            cfg,
+            rng,
+            adv_rng,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+
+    /// Number of benign clients.
+    pub fn num_benign(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of malicious client slots.
+    pub fn num_malicious(&self) -> usize {
+        self.num_malicious
+    }
+
+    /// Current shared item matrix.
+    pub fn items(&self) -> &Matrix {
+        self.server.items()
+    }
+
+    /// Assemble the (measurement-only) global user matrix `U` from the
+    /// benign clients' private vectors.
+    pub fn user_factors(&self) -> Matrix {
+        let k = self.cfg.k;
+        let mut m = Matrix::zeros(self.clients.len(), k);
+        for (i, c) in self.clients.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(c.user_vec());
+        }
+        m
+    }
+
+    /// Run the full training loop; `hook` (if given) fires after every
+    /// epoch to record evaluation series into the returned history.
+    pub fn run(&mut self, mut hook: Option<&mut EvalHook<'_>>) -> TrainingHistory {
+        let mut history = TrainingHistory::new();
+        for epoch in 0..self.cfg.epochs {
+            let loss = self.step(epoch);
+            history.losses.push(loss);
+            if let Some(h) = hook.as_deref_mut() {
+                let snap = Snapshot {
+                    epoch,
+                    items: self.server.items(),
+                    clients: &self.clients,
+                    loss,
+                };
+                h(&snap, &mut history);
+            }
+        }
+        history
+    }
+
+    /// Execute one round (epoch); returns the total benign loss.
+    pub fn step(&mut self, epoch: usize) -> f32 {
+        let total_slots = self.clients.len() + self.num_malicious;
+        let batch = ((total_slots as f64) * self.cfg.client_fraction).ceil() as usize;
+        let batch = batch.clamp(1, total_slots);
+        let mut selected = self.rng.sample_indices(total_slots, batch);
+        selected.sort_unstable();
+        let benign_sel: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|&s| s < self.clients.len())
+            .collect();
+        let malicious_sel: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|&s| s >= self.clients.len())
+            .map(|s| s - self.clients.len())
+            .collect();
+
+        let (mut updates, loss) = self.benign_updates(&benign_sel);
+
+        if !malicious_sel.is_empty() {
+            let ctx = RoundCtx {
+                round: epoch,
+                lr: self.cfg.lr,
+                clip_norm: self.cfg.clip_norm,
+                selected_malicious: &malicious_sel,
+            };
+            let poisoned = self
+                .adversary
+                .poison(self.server.items(), &ctx, &mut self.adv_rng);
+            assert_eq!(
+                poisoned.len(),
+                malicious_sel.len(),
+                "adversary must answer for every selected malicious client"
+            );
+            updates.extend(poisoned);
+        }
+
+        let aggregate =
+            self.aggregator
+                .aggregate(&updates, self.server.items().rows(), self.cfg.k);
+        self.server.apply(&aggregate);
+        loss
+    }
+
+    /// Compute the selected benign clients' updates (possibly in
+    /// parallel); returns them in client-id order plus the summed loss.
+    fn benign_updates(&mut self, benign_sel: &[usize]) -> (Vec<SparseGrad>, f32) {
+        let cfg = self.cfg;
+        let items = self.server.items();
+        let mut picked: Vec<bool> = vec![false; self.clients.len()];
+        for &b in benign_sel {
+            picked[b] = true;
+        }
+        let mut refs: Vec<&mut BenignClient> = self
+            .clients
+            .iter_mut()
+            .filter(|c| picked[c.user_id()])
+            .collect();
+
+        let run_one = |c: &mut BenignClient| {
+            c.local_round(items, cfg.lr, cfg.l2_reg, cfg.clip_norm, cfg.noise_scale)
+        };
+
+        let mut results: Vec<(usize, Option<crate::client::ClientUpdate>)> =
+            if cfg.threads <= 1 || refs.len() < 2 * cfg.threads {
+                refs.iter_mut()
+                    .map(|c| (c.user_id(), run_one(c)))
+                    .collect()
+            } else {
+                let chunk = refs.len().div_ceil(cfg.threads);
+                let mut out = Vec::with_capacity(refs.len());
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = refs
+                        .chunks_mut(chunk)
+                        .map(|chunk_refs| {
+                            scope.spawn(move |_| {
+                                chunk_refs
+                                    .iter_mut()
+                                    .map(|c| (c.user_id(), run_one(c)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        out.extend(h.join().expect("client worker panicked"));
+                    }
+                })
+                .expect("crossbeam scope failed");
+                out
+            };
+
+        // Aggregation order must not depend on thread scheduling.
+        results.sort_by_key(|(id, _)| *id);
+        let mut updates = Vec::with_capacity(results.len());
+        let mut loss = 0.0f32;
+        for (_, r) in results {
+            if let Some(up) = r {
+                loss += up.loss;
+                updates.push(up.item_grads);
+            }
+        }
+        (updates, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NoAttack;
+    use fedrec_data::synthetic::SyntheticConfig;
+
+    fn smoke_cfg() -> FedConfig {
+        FedConfig {
+            k: 8,
+            epochs: 10,
+            lr: 0.05,
+            ..FedConfig::default()
+        }
+    }
+
+    #[test]
+    fn loss_decreases_without_attack() {
+        let data = SyntheticConfig::smoke().generate(1);
+        let mut sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 0);
+        let h = sim.run(None);
+        assert_eq!(h.losses.len(), 10);
+        assert!(
+            h.losses[9] < h.losses[0],
+            "federated training failed to descend: {:?}",
+            h.losses
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let data = SyntheticConfig::smoke().generate(2);
+        let run = || {
+            let mut sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 5);
+            let h = sim.run(None);
+            (h.losses, sim.items().clone())
+        };
+        let (l1, v1) = run();
+        let (l2, v2) = run();
+        assert_eq!(l1, l2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = SyntheticConfig::smoke().generate(3);
+        let result = |threads: usize| {
+            let cfg = FedConfig {
+                threads,
+                ..smoke_cfg()
+            };
+            let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+            let h = sim.run(None);
+            (h.losses, sim.items().clone())
+        };
+        let (l1, v1) = result(1);
+        let (l4, v4) = result(4);
+        assert_eq!(l1, l4, "losses diverge across thread counts");
+        assert_eq!(v1, v4, "item factors diverge across thread counts");
+    }
+
+    #[test]
+    fn partial_participation_trains_fewer_clients_per_round() {
+        let data = SyntheticConfig::smoke().generate(4);
+        let cfg = FedConfig {
+            client_fraction: 0.25,
+            ..smoke_cfg()
+        };
+        let mut full = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 0);
+        let mut part = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+        let lf = full.step(0);
+        let lp = part.step(0);
+        assert!(
+            lp < lf * 0.5,
+            "quarter participation should produce well under half the loss mass"
+        );
+    }
+
+    #[test]
+    fn hook_fires_every_epoch() {
+        let data = SyntheticConfig::smoke().generate(5);
+        let mut sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 0);
+        let mut count = 0usize;
+        let mut hook = |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
+            count += 1;
+            hist.hr_at_10.push(snap.epoch, 0.0);
+        };
+        let h = sim.run(Some(&mut hook));
+        assert_eq!(count, 10);
+        assert_eq!(h.hr_at_10.len(), 10);
+    }
+
+    #[test]
+    fn user_factors_shape_matches() {
+        let data = SyntheticConfig::smoke().generate(6);
+        let sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 3);
+        let u = sim.user_factors();
+        assert_eq!(u.rows(), data.num_users());
+        assert_eq!(u.cols(), 8);
+        assert_eq!(sim.num_malicious(), 3);
+        assert_eq!(sim.num_benign(), data.num_users());
+    }
+
+    /// An adversary that records how often it is called and always uploads
+    /// a fixed large gradient on item 0.
+    struct Recording {
+        calls: std::rc::Rc<std::cell::RefCell<usize>>,
+    }
+
+    impl Adversary for Recording {
+        fn poison(
+            &mut self,
+            items: &Matrix,
+            ctx: &RoundCtx<'_>,
+            _rng: &mut SeededRng,
+        ) -> Vec<SparseGrad> {
+            *self.calls.borrow_mut() += 1;
+            ctx.selected_malicious
+                .iter()
+                .map(|_| {
+                    let mut g = SparseGrad::new(items.cols());
+                    g.accumulate(0, 1.0, &vec![1.0; items.cols()]);
+                    g
+                })
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    #[test]
+    fn adversary_participates_and_moves_items() {
+        let data = SyntheticConfig::smoke().generate(7);
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+        let adv = Recording {
+            calls: calls.clone(),
+        };
+        let mut with_attack = Simulation::new(&data, smoke_cfg(), Box::new(adv), 10);
+        let mut without = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 10);
+        with_attack.run(None);
+        without.run(None);
+        assert_eq!(
+            *calls.borrow(),
+            10,
+            "full participation selects malicious clients every epoch"
+        );
+        assert_ne!(
+            with_attack.items().row(0),
+            without.items().row(0),
+            "poisoned item row should differ"
+        );
+    }
+}

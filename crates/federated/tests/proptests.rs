@@ -1,0 +1,99 @@
+//! Property-based tests for the federated simulation layer.
+
+use fedrec_data::synthetic::SyntheticConfig;
+use fedrec_federated::{FedConfig, NoAttack, Simulation};
+use proptest::prelude::*;
+
+fn tiny_cfg(seed: u64) -> FedConfig {
+    FedConfig {
+        k: 6,
+        lr: 0.05,
+        epochs: 4,
+        seed,
+        ..FedConfig::default()
+    }
+}
+
+fn tiny_data(seed: u64) -> fedrec_data::Dataset {
+    SyntheticConfig {
+        name: "prop-fed",
+        num_users: 30,
+        num_items: 60,
+        num_interactions: 400,
+        zipf_exponent: 0.9,
+        user_activity_exponent: 0.7,
+    }
+    .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ bit-identical run, for any thread count.
+    #[test]
+    fn determinism_across_threads(seed in 0u64..200, threads in 1usize..5) {
+        let data = tiny_data(seed);
+        let run = |t: usize| {
+            let cfg = FedConfig { threads: t, ..tiny_cfg(seed) };
+            let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+            let h = sim.run(None);
+            (h.losses, sim.items().clone())
+        };
+        let (l1, v1) = run(1);
+        let (lt, vt) = run(threads);
+        prop_assert_eq!(l1, lt);
+        prop_assert_eq!(v1, vt);
+    }
+
+    /// Losses are finite, non-negative and (weakly) improving from the
+    /// first epoch to the last under clean training.
+    #[test]
+    fn losses_behave(seed in 0u64..200) {
+        let data = tiny_data(seed);
+        let cfg = FedConfig { epochs: 8, ..tiny_cfg(seed) };
+        let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+        let h = sim.run(None);
+        for &l in &h.losses {
+            prop_assert!(l.is_finite() && l >= 0.0);
+        }
+        prop_assert!(
+            h.losses.last().unwrap() <= &(h.losses[0] * 1.05),
+            "loss rose over training: {:?}", h.losses
+        );
+    }
+
+    /// Partial participation and noise never crash and still yield a
+    /// valid model matrix (finite entries).
+    #[test]
+    fn robustness_under_noise_and_partial_participation(
+        seed in 0u64..200,
+        frac in 0.1f64..1.0,
+        noise in 0.0f32..0.3,
+    ) {
+        let data = tiny_data(seed);
+        let cfg = FedConfig {
+            client_fraction: frac,
+            noise_scale: noise,
+            ..tiny_cfg(seed)
+        };
+        let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+        sim.run(None);
+        for &x in sim.items().as_slice() {
+            prop_assert!(x.is_finite());
+        }
+        for &x in sim.user_factors().as_slice() {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// Different seeds genuinely change the trajectory.
+    #[test]
+    fn seeds_matter(seed in 0u64..100) {
+        let data = tiny_data(7);
+        let run = |s: u64| {
+            let mut sim = Simulation::new(&data, tiny_cfg(s), Box::new(NoAttack), 0);
+            sim.run(None).losses
+        };
+        prop_assert_ne!(run(seed), run(seed + 10_000));
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded random-number generation.
+//!
+//! Every stochastic component of the reproduction (model init, client batch
+//! selection, negative sampling, DP noise, the weighted item selection of
+//! Eq. 22, synthetic dataset generation) draws from a [`SeededRng`] so that
+//! experiments are reproducible from a single `u64` seed.
+//!
+//! The Gaussian sampler (Box–Muller) and the Zipf sampler are implemented
+//! here rather than pulled from `rand_distr`, keeping the dependency surface
+//! to the `rand` core crate only (see DESIGN.md §5).
+
+use rand::rngs::Xoshiro256PlusPlus;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic RNG with the sampling helpers the reproduction needs.
+///
+/// Backed by `Xoshiro256++`, which is `Clone` (clients snapshot their
+/// stream), portable across platforms, and fast enough that sampling never
+/// shows up in training profiles.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: Xoshiro256PlusPlus,
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SeededRng {
+    /// Create a generator from a `u64` seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child generator; used to give each client /
+    /// experiment arm its own stream without correlating them.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::new(s)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below: empty range");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Standard-normal sample via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let mut u1 = self.inner.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.inner.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation, as `f32`.
+    #[inline]
+    pub fn normal(&mut self, mean: f32, std_dev: f32) -> f32 {
+        (mean as f64 + std_dev as f64 * self.gaussian()) as f32
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        xs.shuffle(&mut self.inner);
+    }
+
+    /// Sample `count` distinct indices uniformly from `[0, n)`.
+    ///
+    /// Used for client batch selection and negative-item sampling. Uses a
+    /// partial Fisher–Yates when `count` is a large fraction of `n` and
+    /// rejection sampling otherwise.
+    pub fn sample_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "sample_indices: count {count} > population {n}");
+        if count == 0 {
+            return Vec::new();
+        }
+        if count * 3 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            for i in 0..count {
+                let j = i + self.below(n - i);
+                all.swap(i, j);
+            }
+            all.truncate(count);
+            all
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(count * 2);
+            let mut out = Vec::with_capacity(count);
+            while out.len() < count {
+                let x = self.below(n);
+                if seen.insert(x) {
+                    out.push(x);
+                }
+            }
+            out
+        }
+    }
+
+    /// Weighted sampling of `count` distinct indices without replacement,
+    /// with probability proportional to `weights[i]` (Eq. 22 of the paper:
+    /// filler items are chosen with probability proportional to the row
+    /// norms of the poisoned gradient).
+    ///
+    /// Implements the Efraimidis–Spirakis exponential-key method: each item
+    /// gets key `u^(1/w)` and the `count` largest keys win. Items with zero
+    /// weight are never selected unless fewer than `count` positive-weight
+    /// items exist, in which case only the positive-weight ones are returned.
+    pub fn weighted_sample_without_replacement(
+        &mut self,
+        weights: &[f64],
+        count: usize,
+    ) -> Vec<usize> {
+        let mut keyed: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w >= 0.0 && w.is_finite(), "weight {w} at {i} invalid");
+            if w > 0.0 {
+                let u = self.uniform_f64().max(f64::MIN_POSITIVE);
+                keyed.push((u.ln() / w, i));
+            }
+        }
+        // Largest u^(1/w) == largest ln(u)/w (both negative); sort desc.
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+        keyed.truncate(count);
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Sample from a Zipf distribution over ranks `0..n` with exponent `s`:
+    /// `P(rank = r) ∝ 1 / (r + 1)^s`.
+    ///
+    /// Uses an inverse-CDF table the caller builds once via
+    /// [`ZipfTable::new`]; this method is a convenience for one-off draws.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        ZipfTable::new(n, s).sample(self)
+    }
+}
+
+/// Pre-computed inverse-CDF table for Zipf-distributed ranks.
+///
+/// The synthetic dataset generators draw millions of item ids from a Zipf
+/// popularity law; a cumulative table plus binary search makes each draw
+/// `O(log n)` after `O(n)` setup.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the table for ranks `0..n` with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfTable: empty support");
+        assert!(s >= 0.0 && s.is_finite(), "ZipfTable: bad exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating error leaving the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u = rng.uniform_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let va: Vec<u32> = (0..16).map(|_| a.uniform().to_bits()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.uniform().to_bits()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SeededRng::new(9);
+        let mut parent2 = SeededRng::new(9);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.uniform().to_bits(), c2.uniform().to_bits());
+        let mut c3 = parent1.fork(6);
+        assert_ne!(c1.uniform().to_bits(), c3.uniform().to_bits());
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = SeededRng::new(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = rng.gaussian();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = SeededRng::new(11);
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            sum += rng.normal(3.0, 0.5) as f64;
+        }
+        assert!((sum / n as f64 - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SeededRng::new(3);
+        for &(n, c) in &[(10usize, 10usize), (100, 5), (100, 90), (1, 1), (5, 0)] {
+            let s = rng.sample_indices(n, c);
+            assert_eq!(s.len(), c);
+            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), c, "duplicates for n={n} c={c}");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn weighted_sample_skips_zero_weights() {
+        let mut rng = SeededRng::new(5);
+        let weights = [0.0, 1.0, 0.0, 2.0, 0.0];
+        for _ in 0..50 {
+            let s = rng.weighted_sample_without_replacement(&weights, 2);
+            assert_eq!(s.len(), 2);
+            assert!(s.iter().all(|&i| i == 1 || i == 3));
+        }
+    }
+
+    #[test]
+    fn weighted_sample_returns_fewer_when_support_small() {
+        let mut rng = SeededRng::new(5);
+        let weights = [0.0, 1.0, 0.0];
+        let s = rng.weighted_sample_without_replacement(&weights, 3);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn weighted_sample_prefers_heavy_items() {
+        let mut rng = SeededRng::new(13);
+        let weights = [10.0, 0.1, 0.1, 0.1];
+        let mut hits = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let s = rng.weighted_sample_without_replacement(&weights, 1);
+            if s[0] == 0 {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials * 8 / 10, "heavy item picked {hits}/{trials}");
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let mut rng = SeededRng::new(17);
+        let table = ZipfTable::new(50, 1.1);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..200_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+        // Rough mass check for rank 0: p0 = 1 / H ≈ 0.22 for n=50, s=1.1.
+        let p0 = counts[0] as f64 / 200_000.0;
+        assert!(p0 > 0.15 && p0 < 0.30, "p0={p0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = SeededRng::new(19);
+        let table = ZipfTable::new(4, 0.0);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..80_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 80_000.0;
+            assert!((p - 0.25).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(23);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,372 @@
+//! Sparse per-row gradients of the item feature matrix.
+//!
+//! In federated recommendation a client only touches the items it trained
+//! on, so the gradient `∇V_i` it uploads has few non-zero rows. The paper's
+//! stealth constraint κ ("maximum number of non-zero rows in ∇V_i") and the
+//! ℓ2 row bound C act directly on this structure, so we represent uploads
+//! as `SparseGrad`: a sorted list of item ids plus one dense `k`-vector per
+//! id.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+use crate::vector;
+
+/// A sparse set of item-row gradients: `rows[j]` is the gradient for item
+/// `items[j]`. Item ids are kept sorted and unique.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseGrad {
+    k: usize,
+    items: Vec<u32>,
+    rows: Vec<f32>, // items.len() * k, row-major
+}
+
+impl SparseGrad {
+    /// Empty gradient with latent dimension `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Empty gradient pre-sized for `n` rows.
+    pub fn with_capacity(k: usize, n: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(n),
+            rows: Vec::with_capacity(n * k),
+        }
+    }
+
+    /// Latent dimension.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of non-zero rows (`Σ_j δ(∇v_ij)` in Eq. 9's constraint).
+    #[inline]
+    pub fn nnz_rows(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted item ids with stored rows.
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Row for the `idx`-th stored item (not the item id!).
+    #[inline]
+    pub fn row(&self, idx: usize) -> &[f32] {
+        &self.rows[idx * self.k..(idx + 1) * self.k]
+    }
+
+    /// Mutable row for the `idx`-th stored item.
+    #[inline]
+    pub fn row_mut(&mut self, idx: usize) -> &mut [f32] {
+        &mut self.rows[idx * self.k..(idx + 1) * self.k]
+    }
+
+    /// Gradient row for item `item`, if stored.
+    pub fn get(&self, item: u32) -> Option<&[f32]> {
+        self.items
+            .binary_search(&item)
+            .ok()
+            .map(|idx| self.row(idx))
+    }
+
+    /// Accumulate `alpha * grad` into the row for `item`, inserting a zero
+    /// row first if the item is new. Keeps ids sorted.
+    pub fn accumulate(&mut self, item: u32, alpha: f32, grad: &[f32]) {
+        assert_eq!(grad.len(), self.k, "accumulate: dimension mismatch");
+        let idx = match self.items.binary_search(&item) {
+            Ok(idx) => idx,
+            Err(pos) => {
+                self.items.insert(pos, item);
+                let at = pos * self.k;
+                self.rows.splice(at..at, std::iter::repeat_n(0.0, self.k));
+                pos
+            }
+        };
+        vector::axpy(alpha, grad, self.row_mut(idx));
+    }
+
+    /// Iterate `(item_id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.items
+            .iter()
+            .copied()
+            .zip(self.rows.chunks_exact(self.k))
+    }
+
+    /// `self ← self + other` (row-wise union).
+    pub fn add_assign(&mut self, other: &SparseGrad) {
+        assert_eq!(self.k, other.k, "add_assign: dimension mismatch");
+        for (item, row) in other.iter() {
+            self.accumulate(item, 1.0, row);
+        }
+    }
+
+    /// `self ← self - other`; Eq. 24 of the paper updates the residual
+    /// poisoned gradient by subtracting what a malicious user uploaded.
+    pub fn sub_assign(&mut self, other: &SparseGrad) {
+        assert_eq!(self.k, other.k, "sub_assign: dimension mismatch");
+        for (item, row) in other.iter() {
+            self.accumulate(item, -1.0, row);
+        }
+    }
+
+    /// Scale every stored row by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        vector::scale(alpha, &mut self.rows);
+    }
+
+    /// Clip every row to ℓ2 norm at most `max_norm` (Eq. 23 applied
+    /// row-wise). Returns how many rows were actually shrunk.
+    pub fn clip_rows(&mut self, max_norm: f32) -> usize {
+        let mut clipped = 0;
+        for idx in 0..self.items.len() {
+            if vector::clip_l2(self.row_mut(idx), max_norm) > max_norm {
+                clipped += 1;
+            }
+        }
+        clipped
+    }
+
+    /// ℓ2 norm of each stored row, in `items()` order.
+    pub fn row_norms(&self) -> Vec<f32> {
+        (0..self.items.len())
+            .map(|i| vector::l2_norm(self.row(i)))
+            .collect()
+    }
+
+    /// Maximum row norm; `0.0` for an empty gradient.
+    pub fn max_row_norm(&self) -> f32 {
+        self.row_norms().into_iter().fold(0.0, f32::max)
+    }
+
+    /// Add i.i.d. Gaussian noise `N(0, sigma²)` to every stored entry
+    /// (Eq. 5's differential-privacy noise with `sigma = µ·C`).
+    pub fn add_gaussian_noise(&mut self, sigma: f32, rng: &mut SeededRng) {
+        if sigma == 0.0 {
+            return;
+        }
+        for x in self.rows.iter_mut() {
+            *x += rng.normal(0.0, sigma);
+        }
+    }
+
+    /// Apply this gradient to a dense item matrix with step `-lr` (the
+    /// server-side SGD update of Eq. 7): `V[item] ← V[item] - lr * row`.
+    pub fn apply_to(&self, v: &mut Matrix, lr: f32) {
+        assert_eq!(v.cols(), self.k, "apply_to: dimension mismatch");
+        for (item, row) in self.iter() {
+            v.axpy_row(item as usize, -lr, row);
+        }
+    }
+
+    /// Dense flat representation (`num_items * k`), used by robust
+    /// aggregators that need a fixed coordinate system across clients.
+    pub fn to_dense(&self, num_items: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; num_items * self.k];
+        for (item, row) in self.iter() {
+            let at = item as usize * self.k;
+            out[at..at + self.k].copy_from_slice(row);
+        }
+        out
+    }
+
+    /// Build from a dense flat buffer, keeping only rows whose norm exceeds
+    /// `eps`.
+    pub fn from_dense(dense: &[f32], k: usize, eps: f32) -> Self {
+        assert_eq!(dense.len() % k, 0, "from_dense: length not multiple of k");
+        let mut g = Self::new(k);
+        for (item, row) in dense.chunks_exact(k).enumerate() {
+            if vector::l2_norm(row) > eps {
+                g.accumulate(item as u32, 1.0, row);
+            }
+        }
+        g
+    }
+
+    /// Keep only the rows for items in `keep` (sorted slice); drop the rest.
+    pub fn retain_items(&mut self, keep: &[u32]) {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted");
+        let mut new_items = Vec::with_capacity(keep.len());
+        let mut new_rows = Vec::with_capacity(keep.len() * self.k);
+        for (item, row) in self.iter() {
+            if keep.binary_search(&item).is_ok() {
+                new_items.push(item);
+                new_rows.extend_from_slice(row);
+            }
+        }
+        self.items = new_items;
+        self.rows = new_rows;
+    }
+
+    /// Sum of squared entries across all rows.
+    pub fn frobenius_norm_sq(&self) -> f32 {
+        vector::l2_norm_sq(&self.rows)
+    }
+
+    /// Inner product `⟨self, other⟩` treating both as flat sparse vectors
+    /// (rows for items absent from either side count as zero).
+    pub fn dot(&self, other: &SparseGrad) -> f32 {
+        assert_eq!(self.k, other.k, "dot: dimension mismatch");
+        let mut acc = 0.0f32;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += vector::dot(self.row(i), other.row(j));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance between two sparse gradients (used by
+    /// Krum's neighbor scoring): `‖a‖² + ‖b‖² − 2⟨a,b⟩`, clamped at zero
+    /// against floating error.
+    pub fn dist_sq(&self, other: &SparseGrad) -> f32 {
+        (self.frobenius_norm_sq() + other.frobenius_norm_sq() - 2.0 * self.dot(other)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_of(pairs: &[(u32, [f32; 2])]) -> SparseGrad {
+        let mut g = SparseGrad::new(2);
+        for (item, row) in pairs {
+            g.accumulate(*item, 1.0, row);
+        }
+        g
+    }
+
+    #[test]
+    fn accumulate_inserts_sorted_and_sums() {
+        let mut g = SparseGrad::new(2);
+        g.accumulate(5, 1.0, &[1.0, 0.0]);
+        g.accumulate(2, 1.0, &[0.0, 1.0]);
+        g.accumulate(5, 2.0, &[1.0, 1.0]);
+        assert_eq!(g.items(), &[2, 5]);
+        assert_eq!(g.get(2).unwrap(), &[0.0, 1.0]);
+        assert_eq!(g.get(5).unwrap(), &[3.0, 2.0]);
+        assert_eq!(g.get(7), None);
+        assert_eq!(g.nnz_rows(), 2);
+    }
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let a = grad_of(&[(1, [1.0, 2.0]), (3, [3.0, 4.0])]);
+        let b = grad_of(&[(3, [1.0, 1.0]), (9, [5.0, 5.0])]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.get(3).unwrap(), &[4.0, 5.0]);
+        assert_eq!(c.get(9).unwrap(), &[5.0, 5.0]);
+        c.sub_assign(&b);
+        assert_eq!(c.get(1).unwrap(), a.get(1).unwrap());
+        assert_eq!(c.get(3).unwrap(), &[3.0, 4.0]);
+        assert_eq!(c.get(9).unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_rows_bounds_all_norms() {
+        let mut g = grad_of(&[(0, [3.0, 4.0]), (1, [0.1, 0.0])]);
+        let clipped = g.clip_rows(1.0);
+        assert_eq!(clipped, 1);
+        assert!(g.max_row_norm() <= 1.0 + 1e-5);
+        assert_eq!(g.get(1).unwrap(), &[0.1, 0.0], "short rows untouched");
+    }
+
+    #[test]
+    fn apply_to_is_sgd_step() {
+        let mut v = Matrix::zeros(4, 2);
+        let g = grad_of(&[(1, [1.0, -2.0])]);
+        g.apply_to(&mut v, 0.5);
+        assert_eq!(v.row(1), &[-0.5, 1.0]);
+        assert_eq!(v.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let g = grad_of(&[(0, [1.0, 2.0]), (3, [0.0, 5.0])]);
+        let d = g.to_dense(4);
+        assert_eq!(d.len(), 8);
+        assert_eq!(&d[0..2], &[1.0, 2.0]);
+        assert_eq!(&d[6..8], &[0.0, 5.0]);
+        let g2 = SparseGrad::from_dense(&d, 2, 1e-9);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn retain_items_filters() {
+        let mut g = grad_of(&[(0, [1.0, 0.0]), (2, [2.0, 0.0]), (5, [3.0, 0.0])]);
+        g.retain_items(&[2, 5]);
+        assert_eq!(g.items(), &[2, 5]);
+        assert_eq!(g.get(0), None);
+        assert_eq!(g.get(2).unwrap(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn noise_changes_entries_with_positive_sigma_only() {
+        let mut rng = SeededRng::new(3);
+        let mut g = grad_of(&[(0, [1.0, 1.0])]);
+        let before = g.clone();
+        g.add_gaussian_noise(0.0, &mut rng);
+        assert_eq!(g, before);
+        g.add_gaussian_noise(0.5, &mut rng);
+        assert_ne!(g, before);
+    }
+
+    #[test]
+    fn scale_affects_all_rows() {
+        let mut g = grad_of(&[(0, [1.0, 2.0]), (4, [3.0, 4.0])]);
+        g.scale(2.0);
+        assert_eq!(g.get(0).unwrap(), &[2.0, 4.0]);
+        assert_eq!(g.get(4).unwrap(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn frobenius_matches_dense() {
+        let g = grad_of(&[(0, [3.0, 0.0]), (1, [0.0, 4.0])]);
+        assert!((g.frobenius_norm_sq() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_dot_only_counts_shared_items() {
+        let a = grad_of(&[(0, [1.0, 2.0]), (3, [1.0, 0.0])]);
+        let b = grad_of(&[(3, [2.0, 5.0]), (7, [9.0, 9.0])]);
+        assert!((a.dot(&b) - 2.0).abs() < 1e-6);
+        assert!((a.dot(&a) - a.frobenius_norm_sq()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dist_sq_matches_dense_distance() {
+        let a = grad_of(&[(0, [1.0, 0.0]), (2, [0.0, 2.0])]);
+        let b = grad_of(&[(0, [0.0, 1.0]), (5, [3.0, 0.0])]);
+        let da = a.to_dense(8);
+        let db = b.to_dense(8);
+        let dense: f32 = da
+            .iter()
+            .zip(db.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!((a.dist_sq(&b) - dense).abs() < 1e-5);
+        assert_eq!(a.dist_sq(&a), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Small statistics helpers used by evaluation, detection and the robust
+//! aggregators (trimmed mean, coordinate-wise median).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x as f64).sum();
+    (s / xs.len() as f64) as f32
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs) as f64;
+    let var: f64 = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() as f32
+}
+
+/// Median by partial sort of a copy; `0.0` for an empty slice. For an even
+/// count the mean of the two central values is returned.
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Trimmed mean after dropping the `trim` smallest and `trim` largest
+/// values. Panics if `2*trim >= xs.len()`.
+pub fn trimmed_mean(xs: &[f32], trim: usize) -> f32 {
+    assert!(
+        2 * trim < xs.len(),
+        "trimmed_mean: trimming {trim} from each side of {} values leaves nothing",
+        xs.len()
+    );
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    mean(&v[trim..v.len() - trim])
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Used where a
+/// detector watches gradient norms over many rounds without storing them.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one value.
+    pub fn push(&mut self, x: f32) {
+        self.n += 1;
+        let x = x as f64;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `0.0` before any observation.
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Running population standard deviation; `0.0` before two observations.
+    pub fn std_dev(&self) -> f32 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt() as f32
+        }
+    }
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation; `0.0` for empty.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if v.len() == 1 {
+        return v[0];
+    }
+    let rank = p / 100.0 * (v.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Population std of [2,4,4,4,5,5,7,9] is 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert!((trimmed_mean(&xs, 1) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves nothing")]
+    fn trimmed_mean_rejects_overtrim() {
+        let _ = trimmed_mean(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-5);
+        assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interp() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Vector kernels over `&[f32]` slices.
+//!
+//! These are the primitives every hand-derived gradient in the workspace is
+//! written in terms of. All functions panic if slice lengths differ, which
+//! always indicates a programming error (mismatched latent dimension `k`).
+
+/// Dot product `a · b`.
+///
+/// This is the interaction function Υ of the matrix-factorization base
+/// recommender (Eq. 1 of the paper): `x̂_ij = u_i ⊙ v_j`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y ← y + alpha * x` (the BLAS `axpy` kernel).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha * y`.
+#[inline]
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Squared ℓ2 norm `‖a‖²`.
+#[inline]
+pub fn l2_norm_sq(a: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in a {
+        acc += x * x;
+    }
+    acc
+}
+
+/// ℓ2 norm `‖a‖`.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    l2_norm_sq(a).sqrt()
+}
+
+/// Clip `a` in place so that `‖a‖ ≤ max_norm` (Eq. 23 of the paper).
+///
+/// Returns the norm *before* clipping. Vectors already inside the ball are
+/// untouched, preserving bit-exactness of small gradients.
+#[inline]
+pub fn clip_l2(a: &mut [f32], max_norm: f32) -> f32 {
+    debug_assert!(max_norm >= 0.0);
+    let norm = l2_norm(a);
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        scale(s, a);
+    }
+    norm
+}
+
+/// Element-wise `out ← a - b`.
+#[inline]
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    assert_eq!(a.len(), out.len(), "sub: dimension mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x - y;
+    }
+}
+
+/// Element-wise in-place `a ← a + b`.
+#[inline]
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign: dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// Cosine similarity between `a` and `b`; `0.0` when either is the zero
+/// vector (the convention used by the gradient-similarity detector).
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Squared Euclidean distance `‖a - b‖²` (used by Krum).
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dist_sq: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// The logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`, computed in a numerically
+/// stable branch-per-sign form.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `ln σ(x)` computed without overflow for large `|x|`.
+///
+/// Used by the BPR loss (Eq. 2): `L = -Σ ln σ(x̂_ijk)`.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual_expansion() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert!((dot(&a, &b) - (4.0 - 10.0 + 18.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_of_empty_slices_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut y = [3.0, -4.0];
+        scale(0.0, &mut y);
+        assert_eq!(y, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_norm_of_3_4_is_5() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_shrinks_long_vectors_only() {
+        let mut v = [3.0, 4.0];
+        let before = clip_l2(&mut v, 1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-5);
+
+        let mut w = [0.3, 0.4];
+        clip_l2(&mut w, 1.0);
+        assert_eq!(w, [0.3, 0.4], "short vectors must be bit-identical");
+    }
+
+    #[test]
+    fn clip_zero_vector_is_noop() {
+        let mut v = [0.0, 0.0];
+        let before = clip_l2(&mut v, 0.0);
+        assert_eq!(before, 0.0);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_and_add_assign_roundtrip() {
+        let a = [5.0, 7.0];
+        let b = [2.0, 3.0];
+        let mut out = [0.0; 2];
+        sub(&a, &b, &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        add_assign(&mut out, &b);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn cosine_is_one_for_parallel_and_zero_for_zero() {
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_minus_one_for_antiparallel() {
+        assert!((cosine(&[1.0, 0.0], &[-3.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dist_sq_matches_expansion() {
+        assert!((dist_sq(&[1.0, 1.0], &[4.0, 5.0]) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        for &x in &[-3.0f32, -0.5, 0.7, 10.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-100.0) < 1e-30);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = sigmoid(x).ln();
+            assert!((log_sigmoid(x) - naive).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_no_overflow_at_extremes() {
+        assert!(log_sigmoid(-200.0).is_finite());
+        assert!((log_sigmoid(200.0)).abs() < 1e-6);
+    }
+}

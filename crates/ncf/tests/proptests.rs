@@ -1,0 +1,105 @@
+//! Property-based tests for the NCF extension.
+
+use fedrec_linalg::{Matrix, SeededRng};
+use fedrec_ncf::{NcfModel, Theta};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The backward pass matches finite differences on u, v and a probe
+    /// of Θ coordinates, for arbitrary shapes and inputs.
+    #[test]
+    fn backward_matches_finite_differences(
+        seed in 0u64..500,
+        k in 2usize..6,
+        hidden in 2usize..8,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let theta = Theta::init(hidden, k, &mut rng);
+        let u: Vec<f32> = (0..k).map(|_| rng.normal(0.0, 0.4)).collect();
+        let v: Vec<f32> = (0..k).map(|_| rng.normal(0.0, 0.4)).collect();
+        let fwd = NcfModel::forward_vec(&theta, &u, &v);
+        let b = NcfModel::backward(&theta, &fwd, 1.0);
+        let eps = 1e-3f32;
+        // u and v coordinates.
+        for dim in 0..k {
+            let mut up = u.clone();
+            up[dim] += eps;
+            let mut dn = u.clone();
+            dn[dim] -= eps;
+            let num = (NcfModel::forward_vec(&theta, &up, &v).score
+                - NcfModel::forward_vec(&theta, &dn, &v).score)
+                / (2.0 * eps);
+            // Relu kinks make the worst-case error larger; accept 5e-2.
+            prop_assert!((b.du[dim] - num).abs() < 5e-2, "du[{}]", dim);
+            let mut vp = v.clone();
+            vp[dim] += eps;
+            let mut vn = v.clone();
+            vn[dim] -= eps;
+            let num = (NcfModel::forward_vec(&theta, &u, &vp).score
+                - NcfModel::forward_vec(&theta, &u, &vn).score)
+                / (2.0 * eps);
+            prop_assert!((b.dv[dim] - num).abs() < 5e-2, "dv[{}]", dim);
+        }
+        // A probe of theta coordinates.
+        let n = theta.as_slice().len();
+        for idx in [0, n / 2, n - 1] {
+            let mut tp = theta.clone();
+            let mut tn = theta.clone();
+            *tp.param_mut(idx) += eps;
+            *tn.param_mut(idx) -= eps;
+            let num = (NcfModel::forward_vec(&tp, &u, &v).score
+                - NcfModel::forward_vec(&tn, &u, &v).score)
+                / (2.0 * eps);
+            prop_assert!(
+                (b.dtheta.as_slice()[idx] - num).abs() < 5e-2,
+                "theta[{}]", idx
+            );
+        }
+    }
+
+    /// Backward is linear in the coefficient.
+    #[test]
+    fn backward_linear_in_coeff(seed in 0u64..300, coeff in -3.0f32..3.0) {
+        let mut rng = SeededRng::new(seed);
+        let theta = Theta::init(4, 3, &mut rng);
+        let u: Vec<f32> = (0..3).map(|_| rng.normal(0.0, 0.4)).collect();
+        let v: Vec<f32> = (0..3).map(|_| rng.normal(0.0, 0.4)).collect();
+        let fwd = NcfModel::forward_vec(&theta, &u, &v);
+        let b1 = NcfModel::backward(&theta, &fwd, 1.0);
+        let bc = NcfModel::backward(&theta, &fwd, coeff);
+        for (a, b) in b1.du.iter().zip(bc.du.iter()) {
+            prop_assert!((a * coeff - b).abs() < 1e-4);
+        }
+        for (a, b) in b1.dtheta.as_slice().iter().zip(bc.dtheta.as_slice().iter()) {
+            prop_assert!((a * coeff - b).abs() < 1e-4);
+        }
+    }
+
+    /// BPR round loss is non-negative and finite; gradients are finite.
+    #[test]
+    fn bpr_round_outputs_finite(seed in 0u64..300) {
+        let mut rng = SeededRng::new(seed);
+        let items = Matrix::random_normal(20, 4, 0.0, 0.5, &mut rng);
+        let theta = Theta::init(5, 4, &mut rng);
+        let u: Vec<f32> = (0..4).map(|_| rng.normal(0.0, 0.5)).collect();
+        let pairs = vec![(0u32, 10u32), (1, 11), (2, 12)];
+        let (loss, gu, gv, gt) = NcfModel::bpr_round(&theta, &items, &u, &pairs);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert!(gu.iter().all(|x| x.is_finite()));
+        for (_, row) in gv.iter() {
+            prop_assert!(row.iter().all(|x| x.is_finite()));
+        }
+        prop_assert!(gt.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// Theta clip respects the bound for any shape.
+    #[test]
+    fn theta_clip_bounds(seed in 0u64..300, bound in 0.01f32..3.0) {
+        let mut rng = SeededRng::new(seed);
+        let mut t = Theta::init(6, 4, &mut rng);
+        t.clip(bound);
+        prop_assert!(t.norm() <= bound * 1.0001);
+    }
+}

@@ -1,0 +1,285 @@
+//! Evaluation metrics: ER@K (Eq. 8), NDCG@K and HR@K.
+//!
+//! * **ER@K** — the exposure ratio of the target items: the fraction of a
+//!   user's still-exposable target items (`V^tar ∧ V_i⁻`) that appear in
+//!   the user's top-K list, averaged over all users. A `0/0` user (someone
+//!   who already interacted with every target) contributes 0, which is
+//!   immaterial in practice because target items are cold.
+//! * **NDCG@K** — rank-sensitive version over the target items, as the
+//!   paper uses to "reflect the ranks of target items in users'
+//!   recommendation lists" (following Krichene & Rendle's advice the paper
+//!   cites, we compute it over the full item set, not a sample).
+//! * **HR@K** — recommendation accuracy on the leave-one-out test item
+//!   under the NCF protocol the paper adopts from \[1\]: the held-out item
+//!   is ranked against 99 sampled negatives; a hit means top-K membership.
+
+use crate::topk;
+
+/// Per-user exposure contribution for ER@K: `|V^tar ∧ V^rec| / |V^tar ∧ V⁻|`.
+///
+/// `recommended` is the user's top-K list; `user_pos` the user's sorted
+/// interacted items; `targets` the sorted target set.
+pub fn exposure_ratio_user(recommended: &[u32], user_pos: &[u32], targets: &[u32]) -> f64 {
+    debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+    let exposable = targets
+        .iter()
+        .filter(|&&t| user_pos.binary_search(&t).is_err())
+        .count();
+    if exposable == 0 {
+        return 0.0;
+    }
+    let hit = recommended
+        .iter()
+        .filter(|&&v| targets.binary_search(&v).is_ok())
+        .count();
+    hit as f64 / exposable as f64
+}
+
+/// Per-user NDCG@K of the target items within the top-K list.
+///
+/// Relevance is 1 for target items, 0 otherwise; the ideal list places all
+/// exposable targets first.
+pub fn ndcg_user(recommended: &[u32], user_pos: &[u32], targets: &[u32]) -> f64 {
+    let exposable = targets
+        .iter()
+        .filter(|&&t| user_pos.binary_search(&t).is_err())
+        .count();
+    if exposable == 0 {
+        return 0.0;
+    }
+    let mut dcg = 0.0f64;
+    for (rank, &v) in recommended.iter().enumerate() {
+        if targets.binary_search(&v).is_ok() {
+            dcg += 1.0 / ((rank as f64 + 2.0).log2());
+        }
+    }
+    let ideal_hits = exposable.min(recommended.len().max(1));
+    let idcg: f64 = (0..ideal_hits)
+        .map(|i| 1.0 / ((i as f64 + 2.0).log2()))
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Hit-ratio contribution of one user under the sampled-negatives
+/// protocol: whether `test_item` ranks within the top `k` among itself
+/// plus `negatives` (item scores are `scores[v]`).
+pub fn hit_user(scores: &[f32], test_item: u32, negatives: &[u32], k: usize) -> bool {
+    #[inline]
+    fn sane(x: f32) -> f32 {
+        if x.is_nan() {
+            f32::MIN
+        } else {
+            x.clamp(f32::MIN, f32::MAX)
+        }
+    }
+    let ts = sane(scores[test_item as usize]);
+    let mut better = 0usize;
+    for &n in negatives {
+        debug_assert_ne!(n, test_item);
+        let s = sane(scores[n as usize]);
+        if s > ts || (s == ts && n < test_item) {
+            better += 1;
+            if better >= k {
+                return false;
+            }
+        }
+    }
+    better < k
+}
+
+/// Aggregate attack-effectiveness metrics over all users.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttackMetrics {
+    /// ER@5 (Eq. 8 with K = 5).
+    pub er_at_5: f64,
+    /// ER@10.
+    pub er_at_10: f64,
+    /// NDCG@10 over target items.
+    pub ndcg_at_10: f64,
+}
+
+/// Running accumulator for [`AttackMetrics`] plus HR@10; push one user at
+/// a time to avoid materializing per-user score matrices.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    users: usize,
+    er5_sum: f64,
+    er10_sum: f64,
+    ndcg10_sum: f64,
+    hr_users: usize,
+    hr_hits: usize,
+    loss_sum: f64,
+}
+
+impl MetricsAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one user's attack metrics given their full score vector.
+    pub fn push_user_attack(&mut self, scores: &[f32], user_pos: &[u32], targets: &[u32]) {
+        let top10 = topk::top_k_excluding(scores, user_pos, 10);
+        let top5 = &top10[..top10.len().min(5)];
+        self.er5_sum += exposure_ratio_user(top5, user_pos, targets);
+        self.er10_sum += exposure_ratio_user(&top10, user_pos, targets);
+        self.ndcg10_sum += ndcg_user(&top10, user_pos, targets);
+        self.users += 1;
+    }
+
+    /// Record one user's HR@10 outcome (skips users without a test item).
+    pub fn push_user_hr(&mut self, scores: &[f32], test_item: u32, negatives: &[u32]) {
+        self.hr_users += 1;
+        if hit_user(scores, test_item, negatives, 10) {
+            self.hr_hits += 1;
+        }
+    }
+
+    /// Record one user's training loss (for Fig. 3's loss curves).
+    pub fn push_loss(&mut self, loss: f32) {
+        self.loss_sum += loss as f64;
+    }
+
+    /// Number of users pushed through [`Self::push_user_attack`].
+    pub fn attack_users(&self) -> usize {
+        self.users
+    }
+
+    /// Finalized attack metrics (averages over pushed users).
+    pub fn attack_metrics(&self) -> AttackMetrics {
+        if self.users == 0 {
+            return AttackMetrics::default();
+        }
+        let n = self.users as f64;
+        AttackMetrics {
+            er_at_5: self.er5_sum / n,
+            er_at_10: self.er10_sum / n,
+            ndcg_at_10: self.ndcg10_sum / n,
+        }
+    }
+
+    /// HR@10 over the pushed test users; `0.0` if none.
+    pub fn hr_at_10(&self) -> f64 {
+        if self.hr_users == 0 {
+            0.0
+        } else {
+            self.hr_hits as f64 / self.hr_users as f64
+        }
+    }
+
+    /// Total pushed training loss.
+    pub fn total_loss(&self) -> f64 {
+        self.loss_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_counts_recommended_targets() {
+        // targets {2,5}, user interacted with nothing, top list holds one.
+        let er = exposure_ratio_user(&[1, 2, 3], &[], &[2, 5]);
+        assert!((er - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposure_excludes_interacted_targets_from_denominator() {
+        // target 5 already interacted: only target 2 is exposable.
+        let er = exposure_ratio_user(&[2, 9], &[5], &[2, 5]);
+        assert!((er - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposure_zero_over_zero_is_zero() {
+        let er = exposure_ratio_user(&[1, 2], &[3, 4], &[3, 4]);
+        assert_eq!(er, 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_when_targets_lead_the_list() {
+        let n = ndcg_user(&[7, 8, 1, 2], &[], &[7, 8]);
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_worse_rank() {
+        let high = ndcg_user(&[7, 1, 2, 3], &[], &[7]);
+        let low = ndcg_user(&[1, 2, 3, 7], &[], &[7]);
+        assert!(high > low);
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn ndcg_zero_when_no_target_recommended() {
+        assert_eq!(ndcg_user(&[1, 2], &[], &[9]), 0.0);
+    }
+
+    #[test]
+    fn hit_user_rank_boundary() {
+        // scores: test item = 0.5; negatives above/below.
+        let mut scores = vec![0.0f32; 20];
+        scores[0] = 0.5;
+        for i in 1..=9 {
+            scores[i] = 1.0; // nine better negatives -> rank 9 -> hit at k=10
+        }
+        for i in 10..20 {
+            scores[i] = 0.1;
+        }
+        let negs: Vec<u32> = (1..20).collect();
+        assert!(hit_user(&scores, 0, &negs, 10));
+        // one more better negative pushes it out.
+        let mut scores2 = scores.clone();
+        scores2[10] = 1.0;
+        assert!(!hit_user(&scores2, 0, &negs, 10));
+    }
+
+    #[test]
+    fn hit_user_tie_break_by_id() {
+        let scores = vec![0.5f32, 0.5];
+        // negative id 1 ties with test item 0; tie goes to smaller id (0).
+        assert!(hit_user(&scores, 0, &[1], 1));
+        // reversed roles: test item 1 loses the tie to negative 0.
+        assert!(!hit_user(&scores, 1, &[0], 1));
+    }
+
+    #[test]
+    fn accumulator_averages_users() {
+        let mut acc = MetricsAccumulator::new();
+        // user A: target 0 at the very top.
+        let mut s = vec![0.0f32; 12];
+        s[0] = 9.0;
+        acc.push_user_attack(&s, &[], &[0]);
+        // user B: target 0 dead last.
+        let mut s2 = vec![1.0f32; 12];
+        s2[0] = -9.0;
+        acc.push_user_attack(&s2, &[], &[0]);
+        let m = acc.attack_metrics();
+        assert!((m.er_at_5 - 0.5).abs() < 1e-12);
+        assert!((m.er_at_10 - 0.5).abs() < 1e-12);
+        assert!(m.ndcg_at_10 > 0.0 && m.ndcg_at_10 <= 0.51);
+        assert_eq!(acc.attack_users(), 2);
+    }
+
+    #[test]
+    fn accumulator_hr_fraction() {
+        let mut acc = MetricsAccumulator::new();
+        let scores = vec![1.0f32, 0.0, 0.0];
+        acc.push_user_hr(&scores, 0, &[1, 2]); // hit
+        let scores2 = vec![0.0f32, 1.0, 1.0];
+        acc.push_user_hr(&scores2, 0, &[1, 2]); // rank 2 still < 10: hit
+        assert!((acc.hr_at_10() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroes() {
+        let acc = MetricsAccumulator::new();
+        assert_eq!(acc.attack_metrics(), AttackMetrics::default());
+        assert_eq!(acc.hr_at_10(), 0.0);
+    }
+}

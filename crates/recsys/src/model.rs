@@ -1,0 +1,148 @@
+//! The matrix-factorization model.
+//!
+//! §III-A: users and items have `k`-dimensional feature vectors (rows of
+//! `U` and `V`); the predicted rating is their dot product (Eq. 1). In the
+//! federated setting `U` lives sharded across clients, but the dense model
+//! is used by the centralized surrogate trainer and by evaluation (which
+//! reassembles the global state for measurement only).
+
+use fedrec_linalg::{vector, Matrix, SeededRng};
+
+/// Standard deviation used to initialize feature entries. The paper
+/// initializes randomly; small Gaussians are the standard MF choice.
+pub const INIT_STD: f32 = 0.1;
+
+/// A matrix-factorization recommender: `x̂_ij = u_i ⊙ v_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfModel {
+    /// User feature matrix `U: n × k`.
+    pub user_factors: Matrix,
+    /// Item feature matrix `V: m × k`.
+    pub item_factors: Matrix,
+}
+
+impl MfModel {
+    /// Initialize with i.i.d. `N(0, INIT_STD²)` entries.
+    pub fn init(num_users: usize, num_items: usize, k: usize, rng: &mut SeededRng) -> Self {
+        assert!(k > 0, "latent dimension must be positive");
+        Self {
+            user_factors: Matrix::random_normal(num_users, k, 0.0, INIT_STD, rng),
+            item_factors: Matrix::random_normal(num_items, k, 0.0, INIT_STD, rng),
+        }
+    }
+
+    /// Assemble from existing factors (used by evaluation to combine the
+    /// server's `V` with client-held `u_i` rows).
+    pub fn from_factors(user_factors: Matrix, item_factors: Matrix) -> Self {
+        assert_eq!(
+            user_factors.cols(),
+            item_factors.cols(),
+            "latent dimensions differ"
+        );
+        Self {
+            user_factors,
+            item_factors,
+        }
+    }
+
+    /// Number of users `n`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    /// Number of items `m`.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.item_factors.rows()
+    }
+
+    /// Latent dimension `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.user_factors.cols()
+    }
+
+    /// Predicted score `x̂_uv = u ⊙ v` (Eq. 1).
+    #[inline]
+    pub fn predict(&self, user: usize, item: usize) -> f32 {
+        vector::dot(self.user_factors.row(user), self.item_factors.row(item))
+    }
+
+    /// Scores of every item for one user, written into `out`
+    /// (`out.len() == m`). One pass of `m` dot products.
+    pub fn scores_for_user(&self, user: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.num_items());
+        let u = self.user_factors.row(user);
+        for (item, slot) in out.iter_mut().enumerate() {
+            *slot = vector::dot(u, self.item_factors.row(item));
+        }
+    }
+
+    /// Scores of every item against an explicit user vector (the attacker
+    /// scores items against its *approximated* user rows).
+    pub fn scores_for_vector(items: &Matrix, u: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), items.rows());
+        for (item, slot) in out.iter_mut().enumerate() {
+            *slot = vector::dot(u, items.row(item));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_shapes() {
+        let mut rng = SeededRng::new(1);
+        let m = MfModel::init(5, 7, 4, &mut rng);
+        assert_eq!(m.num_users(), 5);
+        assert_eq!(m.num_items(), 7);
+        assert_eq!(m.k(), 4);
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let u = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let v = Matrix::from_vec(2, 2, vec![3.0, 4.0, -1.0, 0.5]);
+        let m = MfModel::from_factors(u, v);
+        assert!((m.predict(0, 0) - 11.0).abs() < 1e-6);
+        assert!((m.predict(0, 1) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scores_for_user_matches_predict() {
+        let mut rng = SeededRng::new(9);
+        let m = MfModel::init(3, 6, 8, &mut rng);
+        let mut out = vec![0.0; 6];
+        m.scores_for_user(1, &mut out);
+        for (item, &s) in out.iter().enumerate() {
+            assert!((s - m.predict(1, item)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scores_for_vector_matches_row_path() {
+        let mut rng = SeededRng::new(9);
+        let m = MfModel::init(2, 4, 3, &mut rng);
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        m.scores_for_user(0, &mut a);
+        MfModel::scores_for_vector(&m.item_factors, m.user_factors.row(0), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dimensions differ")]
+    fn from_factors_checks_k() {
+        let _ = MfModel::from_factors(Matrix::zeros(1, 2), Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = MfModel::init(4, 4, 4, &mut SeededRng::new(7));
+        let b = MfModel::init(4, 4, 4, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Model persistence: a small, versioned binary format for factor
+//! matrices and models.
+//!
+//! Long experiments (paper-scale training runs hours on CPU) need
+//! checkpointing, and a downstream user of the library needs to ship
+//! trained models. The format is deliberately simple and self-describing:
+//!
+//! ```text
+//! magic   b"FRMF"           (4 bytes)
+//! version u32 LE            (currently 1)
+//! rows    u64 LE
+//! cols    u64 LE
+//! data    rows*cols f32 LE
+//! ```
+//!
+//! An [`MfModel`] is two matrices back to back under the b"FRMD" magic.
+//! No external serialization crate is used (DESIGN.md §5).
+
+use crate::model::MfModel;
+use fedrec_linalg::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MATRIX_MAGIC: &[u8; 4] = b"FRMF";
+const MODEL_MAGIC: &[u8; 4] = b"FRMD";
+const VERSION: u32 = 1;
+
+/// Errors from loading persisted models.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Header fields are inconsistent with the payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a fedrecattack model file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt model file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Write one matrix to a writer.
+pub fn write_matrix(w: &mut impl Write, m: &Matrix) -> Result<(), PersistError> {
+    w.write_all(MATRIX_MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read one matrix from a reader.
+pub fn read_matrix(r: &mut impl Read) -> Result<Matrix, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MATRIX_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| PersistError::Corrupt("dimension overflow".into()))?;
+    // Sanity cap: refuse absurd headers instead of allocating blindly.
+    if n > (1 << 31) {
+        return Err(PersistError::Corrupt(format!("implausible size {rows}x{cols}")));
+    }
+    let mut data = vec![0.0f32; n];
+    let mut buf = [0u8; 4];
+    for slot in data.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *slot = f32::from_le_bytes(buf);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Save a matrix to a file.
+pub fn save_matrix(path: &Path, m: &Matrix) -> Result<(), PersistError> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_matrix(&mut f, m)
+}
+
+/// Load a matrix from a file.
+pub fn load_matrix(path: &Path) -> Result<Matrix, PersistError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_matrix(&mut f)
+}
+
+/// Save a full MF model (user + item factors).
+pub fn save_model(path: &Path, model: &MfModel) -> Result<(), PersistError> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(MODEL_MAGIC)?;
+    write_u32(&mut f, VERSION)?;
+    write_matrix(&mut f, &model.user_factors)?;
+    write_matrix(&mut f, &model.item_factors)?;
+    Ok(())
+}
+
+/// Load a full MF model.
+pub fn load_model(path: &Path) -> Result<MfModel, PersistError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != MODEL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(&mut f)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let users = read_matrix(&mut f)?;
+    let items = read_matrix(&mut f)?;
+    if users.cols() != items.cols() {
+        return Err(PersistError::Corrupt(format!(
+            "latent dims differ: {} vs {}",
+            users.cols(),
+            items.cols()
+        )));
+    }
+    Ok(MfModel::from_factors(users, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrec_linalg::SeededRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fedrecattack-persist");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn matrix_roundtrip_is_bit_exact() {
+        let mut rng = SeededRng::new(1);
+        let m = Matrix::random_normal(13, 7, 0.0, 1.0, &mut rng);
+        let path = tmp("m.frmf");
+        save_matrix(&path, &m).unwrap();
+        let loaded = load_matrix(&path).unwrap();
+        assert_eq!(m, loaded);
+    }
+
+    #[test]
+    fn model_roundtrip_is_bit_exact() {
+        let mut rng = SeededRng::new(2);
+        let model = MfModel::init(9, 11, 4, &mut rng);
+        let path = tmp("model.frmd");
+        save_model(&path, &model).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(model, loaded);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = Matrix::zeros(0, 5);
+        let path = tmp("empty.frmf");
+        save_matrix(&path, &m).unwrap();
+        let loaded = load_matrix(&path).unwrap();
+        assert_eq!(loaded.rows(), 0);
+        assert_eq!(loaded.cols(), 5);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("bad.frmf");
+        std::fs::write(&path, b"NOPE-not-a-model").unwrap();
+        assert!(matches!(load_matrix(&path), Err(PersistError::BadMagic)));
+        assert!(matches!(load_model(&path), Err(PersistError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let path = tmp("badver.frmf");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FRMF");
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_matrix(&path),
+            Err(PersistError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut rng = SeededRng::new(3);
+        let m = Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng);
+        let path = tmp("trunc.frmf");
+        save_matrix(&path, &m).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(load_matrix(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_implausible_header() {
+        let path = tmp("huge.frmf");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FRMF");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        bytes.extend_from_slice(&8u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_matrix(&path), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mismatched_model_dims_are_corrupt() {
+        let path = tmp("mismatch.frmd");
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        use std::io::Write;
+        f.write_all(b"FRMD").unwrap();
+        f.write_all(&1u32.to_le_bytes()).unwrap();
+        write_matrix(&mut f, &Matrix::zeros(2, 3)).unwrap();
+        write_matrix(&mut f, &Matrix::zeros(2, 4)).unwrap();
+        drop(f);
+        assert!(matches!(load_model(&path), Err(PersistError::Corrupt(_))));
+    }
+}

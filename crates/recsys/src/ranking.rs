@@ -1,0 +1,202 @@
+//! General ranking-quality and catalog-health metrics.
+//!
+//! Beyond the three attack metrics of the paper (ER@K, NDCG@K, HR@K),
+//! a production recommender watches list-quality and catalog-health
+//! numbers — and several of them are exactly what a platform operator
+//! would notice drifting under a promotion attack:
+//!
+//! * [`precision_at_k`] / [`recall_at_k`] over held-out relevants;
+//! * [`catalog_coverage`] — the fraction of the catalog appearing in
+//!   anyone's top-K (a successful promotion attack *raises* it by
+//!   injecting a formerly dead item into every list);
+//! * [`gini_index`] over recommendation counts — exposure concentration
+//!   (an attack that floods one item into every list visibly shifts it);
+//! * [`RankingDashboard`] — one pass over all users producing the lot.
+
+use crate::topk;
+
+/// Precision@K: fraction of the top-K list that is relevant.
+pub fn precision_at_k(recommended: &[u32], relevant: &[u32]) -> f64 {
+    debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]));
+    if recommended.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended
+        .iter()
+        .filter(|v| relevant.binary_search(v).is_ok())
+        .count();
+    hits as f64 / recommended.len() as f64
+}
+
+/// Recall@K: fraction of the relevant set that made the top-K list.
+pub fn recall_at_k(recommended: &[u32], relevant: &[u32]) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended
+        .iter()
+        .filter(|v| relevant.binary_search(v).is_ok())
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Fraction of the catalog recommended to at least one user.
+pub fn catalog_coverage(recommendation_counts: &[u32]) -> f64 {
+    if recommendation_counts.is_empty() {
+        return 0.0;
+    }
+    let covered = recommendation_counts.iter().filter(|&&c| c > 0).count();
+    covered as f64 / recommendation_counts.len() as f64
+}
+
+/// Gini index over per-item recommendation counts (0 = perfectly even
+/// exposure, →1 = all exposure on one item).
+pub fn gini_index(recommendation_counts: &[u32]) -> f64 {
+    let n = recommendation_counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = recommendation_counts.iter().map(|&c| c as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = recommendation_counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+    // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n with 1-based i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// One-pass ranking dashboard over all users.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RankingDashboard {
+    /// Mean precision@K over users with a non-empty relevant set.
+    pub precision: f64,
+    /// Mean recall@K over the same users.
+    pub recall: f64,
+    /// Catalog coverage of the top-K lists.
+    pub coverage: f64,
+    /// Gini index of item exposure.
+    pub gini: f64,
+}
+
+/// Compute the dashboard. `score_fn(u, out)` fills the score vector of
+/// user `u`; `exclude(u)` and `relevant(u)` return sorted slices.
+pub fn dashboard<'a>(
+    num_users: usize,
+    num_items: usize,
+    k: usize,
+    mut score_fn: impl FnMut(usize, &mut [f32]),
+    exclude: impl Fn(usize) -> &'a [u32],
+    relevant: impl Fn(usize) -> &'a [u32],
+) -> RankingDashboard {
+    let mut scores = vec![0.0f32; num_items];
+    let mut counts = vec![0u32; num_items];
+    let mut prec_sum = 0.0;
+    let mut rec_sum = 0.0;
+    let mut judged = 0usize;
+    for u in 0..num_users {
+        score_fn(u, &mut scores);
+        let top = topk::top_k_excluding(&scores, exclude(u), k);
+        for &v in &top {
+            counts[v as usize] += 1;
+        }
+        let rel = relevant(u);
+        if !rel.is_empty() {
+            prec_sum += precision_at_k(&top, rel);
+            rec_sum += recall_at_k(&top, rel);
+            judged += 1;
+        }
+    }
+    RankingDashboard {
+        precision: if judged == 0 { 0.0 } else { prec_sum / judged as f64 },
+        recall: if judged == 0 { 0.0 } else { rec_sum / judged as f64 },
+        coverage: catalog_coverage(&counts),
+        gini: gini_index(&counts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_and_recall_basics() {
+        let top = [1u32, 2, 3, 4];
+        let relevant = [2u32, 4, 9];
+        assert!((precision_at_k(&top, &relevant) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&top, &relevant) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(precision_at_k(&[], &[1]), 0.0);
+        assert_eq!(recall_at_k(&[1], &[]), 0.0);
+        assert_eq!(catalog_coverage(&[]), 0.0);
+        assert_eq!(gini_index(&[]), 0.0);
+        assert_eq!(gini_index(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_touched_items() {
+        assert!((catalog_coverage(&[3, 0, 1, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        // Perfectly even exposure → 0.
+        assert!(gini_index(&[5, 5, 5, 5]).abs() < 1e-9);
+        // All exposure on one of many items → close to 1.
+        let mut counts = vec![0u32; 100];
+        counts[7] = 1000;
+        assert!(gini_index(&counts) > 0.98);
+    }
+
+    #[test]
+    fn gini_is_monotone_in_concentration() {
+        let even = gini_index(&[10, 10, 10, 10]);
+        let skewed = gini_index(&[25, 10, 4, 1]);
+        let very_skewed = gini_index(&[37, 1, 1, 1]);
+        assert!(even < skewed);
+        assert!(skewed < very_skewed);
+    }
+
+    #[test]
+    fn dashboard_over_synthetic_scores() {
+        // 3 users, 6 items. User u likes item u (relevant), and scores are
+        // rigged so top-2 of user u is {u, 5}.
+        let relevant_sets = [vec![0u32], vec![1u32], vec![2u32]];
+        let empty: &[u32] = &[];
+        let d = dashboard(
+            3,
+            6,
+            2,
+            |u, out| {
+                out.fill(0.0);
+                out[u] = 2.0;
+                out[5] = 1.0;
+            },
+            |_| empty,
+            |u| relevant_sets[u].as_slice(),
+        );
+        assert!((d.precision - 0.5).abs() < 1e-12, "{d:?}");
+        assert!((d.recall - 1.0).abs() < 1e-12);
+        // Items 0,1,2,5 covered of 6.
+        assert!((d.coverage - 4.0 / 6.0).abs() < 1e-12);
+        assert!(d.gini > 0.0, "item 5 is over-exposed");
+    }
+
+    #[test]
+    fn promotion_attack_signature_shows_in_gini_and_coverage() {
+        // Before: each user gets their own item. After: everyone also
+        // gets item 0 (the "promoted" target).
+        let before: Vec<u32> = (0..50).map(|_| 1).collect();
+        let mut after = before.clone();
+        after[0] += 50;
+        assert!(gini_index(&after) > gini_index(&before) + 0.1);
+    }
+}

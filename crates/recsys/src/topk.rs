@@ -1,0 +1,190 @@
+//! Top-K recommendation lists.
+//!
+//! §III-C: "for each user `u_i`, the recommender system recommends K items
+//! in `V_i⁻` with the top-K predicted scores" — i.e. already-interacted
+//! items are excluded. The same routine with the *public* exclusion set
+//! `V_i⁻″` produces the attacker's approximate lists `V_i^rec′` (Eq. 15).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored item for heap ordering (min-heap on score, ties by item id so
+/// results are deterministic).
+#[derive(Debug, PartialEq)]
+struct Scored {
+    score: f32,
+    item: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: reverse order on score, then on item for determinism.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("NaN score in top-k")
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Replace non-finite scores (NaN/±inf from a diverged model — the
+/// paper's "numerically unstable" attacks produce them) with negative
+/// infinity-like values so ordering stays total and diverged items sink.
+#[inline]
+fn sanitize(score: f32) -> f32 {
+    if score.is_nan() {
+        f32::MIN
+    } else {
+        score.clamp(f32::MIN, f32::MAX)
+    }
+}
+
+/// The `k` highest-scoring items not in `exclude` (sorted ascending item
+/// ids), ordered by descending score (ties broken by ascending item id).
+///
+/// `scores[v]` is the predicted score of item `v`. Runs in `O(m log k)`.
+/// Non-finite scores are treated as the lowest possible value.
+pub fn top_k_excluding(scores: &[f32], exclude: &[u32], k: usize) -> Vec<u32> {
+    debug_assert!(exclude.windows(2).all(|w| w[0] < w[1]), "exclude unsorted");
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Scored> = BinaryHeap::with_capacity(k + 1);
+    for (item, &score) in scores.iter().enumerate() {
+        let score = sanitize(score);
+        let item = item as u32;
+        if exclude.binary_search(&item).is_ok() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Scored { score, item });
+        } else if let Some(min) = heap.peek() {
+            // Replace the current minimum if strictly better (or equal
+            // score with smaller id, matching the deterministic ordering).
+            if score > min.score || (score == min.score && item < min.item) {
+                heap.pop();
+                heap.push(Scored { score, item });
+            }
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_vec();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("NaN score in top-k")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out.into_iter().map(|s| s.item).collect()
+}
+
+/// Rank (0-based) of `target` among items not in `exclude`, by descending
+/// score with the same tie rule as [`top_k_excluding`]. Returns `None` if
+/// `target` is excluded.
+pub fn rank_of(scores: &[f32], exclude: &[u32], target: u32) -> Option<usize> {
+    if exclude.binary_search(&target).is_ok() {
+        return None;
+    }
+    let ts = sanitize(scores[target as usize]);
+    let mut rank = 0usize;
+    for (item, &score) in scores.iter().enumerate() {
+        let score = sanitize(score);
+        let item = item as u32;
+        if item == target || exclude.binary_search(&item).is_ok() {
+            continue;
+        }
+        if score > ts || (score == ts && item < target) {
+            rank += 1;
+        }
+    }
+    Some(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_highest_scores() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_excluding(&scores, &[], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn excludes_interacted_items() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_excluding(&scores, &[1, 3], 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let scores = [0.3, 0.2];
+        assert_eq!(top_k_excluding(&scores, &[0], 10), vec![1]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_excluding(&[1.0, 2.0], &[], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(top_k_excluding(&scores, &[], 2), vec![0, 1]);
+        assert_eq!(top_k_excluding(&scores, &[0], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn ordering_is_descending_score() {
+        let scores = [0.2, 0.9, 0.4, 0.6, 0.8];
+        assert_eq!(top_k_excluding(&scores, &[], 4), vec![1, 4, 3, 2]);
+    }
+
+    #[test]
+    fn rank_of_agrees_with_topk_membership() {
+        let scores = [0.2, 0.9, 0.4, 0.6, 0.8];
+        for target in 0..5u32 {
+            let rank = rank_of(&scores, &[], target).unwrap();
+            let in_top3 = top_k_excluding(&scores, &[], 3).contains(&target);
+            assert_eq!(rank < 3, in_top3, "target {target} rank {rank}");
+        }
+    }
+
+    #[test]
+    fn rank_of_excluded_is_none() {
+        assert_eq!(rank_of(&[0.1, 0.2], &[1], 1), None);
+    }
+
+    #[test]
+    fn rank_of_respects_exclusions() {
+        let scores = [0.9, 0.8, 0.7];
+        // Excluding the best item promotes everyone below it.
+        assert_eq!(rank_of(&scores, &[0], 2).unwrap(), 1);
+        assert_eq!(rank_of(&scores, &[], 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn rank_tie_break_matches_topk() {
+        let scores = [0.5, 0.5];
+        assert_eq!(rank_of(&scores, &[], 0).unwrap(), 0);
+        assert_eq!(rank_of(&scores, &[], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn non_finite_scores_sink_instead_of_panicking() {
+        let scores = [f32::NAN, 0.5, f32::INFINITY, 0.7, f32::NEG_INFINITY];
+        let top = top_k_excluding(&scores, &[], 3);
+        assert_eq!(top[0], 2, "+inf clamps to MAX and still ranks first");
+        assert_eq!(top[1], 3);
+        assert_eq!(top[2], 1);
+        // NaN ties with -inf at f32::MIN; both rank below every finite.
+        assert!(rank_of(&scores, &[], 0).unwrap() >= 3);
+    }
+}

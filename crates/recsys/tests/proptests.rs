@@ -1,0 +1,139 @@
+//! Property-based tests for the recommender core.
+
+use fedrec_linalg::{Matrix, SeededRng};
+use fedrec_recsys::{bpr, metrics, ranking, topk};
+use proptest::prelude::*;
+
+fn scores_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 5..60)
+}
+
+proptest! {
+    /// top-K membership is exactly "rank < K" for every item and K.
+    #[test]
+    fn topk_and_rank_agree(scores in scores_strategy(), k in 1usize..12) {
+        let top = topk::top_k_excluding(&scores, &[], k);
+        for item in 0..scores.len() as u32 {
+            let rank = topk::rank_of(&scores, &[], item).unwrap();
+            prop_assert_eq!(
+                rank < k.min(scores.len()),
+                top.contains(&item),
+                "item {} rank {} k {}", item, rank, k
+            );
+        }
+    }
+
+    /// Excluded items never appear; list length is min(k, candidates).
+    #[test]
+    fn topk_respects_exclusions(
+        scores in scores_strategy(),
+        k in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let n_excl = rng.below(scores.len());
+        let mut exclude: Vec<u32> = rng
+            .sample_indices(scores.len(), n_excl)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        exclude.sort_unstable();
+        let top = topk::top_k_excluding(&scores, &exclude, k);
+        prop_assert_eq!(top.len(), k.min(scores.len() - n_excl));
+        for v in &top {
+            prop_assert!(exclude.binary_search(v).is_err());
+        }
+    }
+
+    /// Top-K lists are sorted by strictly non-increasing score.
+    #[test]
+    fn topk_is_score_sorted(scores in scores_strategy(), k in 1usize..12) {
+        let top = topk::top_k_excluding(&scores, &[], k);
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0] as usize] >= scores[w[1] as usize]);
+        }
+    }
+
+    /// BPR gradients always descend for a small enough step.
+    #[test]
+    fn bpr_gradient_descends(seed in 0u64..300) {
+        let mut rng = SeededRng::new(seed);
+        let k = 4;
+        let items = Matrix::random_normal(12, k, 0.0, 0.5, &mut rng);
+        let u: Vec<f32> = (0..k).map(|_| rng.normal(0.0, 0.5)).collect();
+        let pairs: Vec<(u32, u32)> = (0..4)
+            .map(|_| {
+                let p = rng.below(12) as u32;
+                let mut n = rng.below(12) as u32;
+                while n == p {
+                    n = rng.below(12) as u32;
+                }
+                (p, n)
+            })
+            .collect();
+        let g = bpr::user_round_grads(&u, &items, &pairs, 0.0);
+        prop_assume!(g.loss > 1e-3); // skip already-perfect cases
+        let mut u2 = u.clone();
+        fedrec_linalg::vector::axpy(-0.01, &g.grad_user, &mut u2);
+        let mut items2 = items.clone();
+        g.grad_items.apply_to(&mut items2, 0.01);
+        let after = bpr::user_loss(&u2, &items2, &pairs);
+        prop_assert!(after <= g.loss + 1e-5, "ascent: {} -> {}", g.loss, after);
+    }
+
+    /// ER/NDCG per-user values are probabilities, and ER is monotone in
+    /// the number of recommended targets.
+    #[test]
+    fn exposure_metrics_bounded(
+        seed in 0u64..300,
+        num_targets in 1usize..4,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let m = 30u32;
+        let mut targets: Vec<u32> = rng
+            .sample_indices(m as usize, num_targets)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        targets.sort_unstable();
+        let recommended: Vec<u32> = rng
+            .sample_indices(m as usize, 10)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        let er = metrics::exposure_ratio_user(&recommended, &[], &targets);
+        let ndcg = metrics::ndcg_user(&recommended, &[], &targets);
+        prop_assert!((0.0..=1.0).contains(&er));
+        prop_assert!((0.0..=1.0).contains(&ndcg));
+        // Adding every target to the list yields ER = 1.
+        let full: Vec<u32> = targets.clone();
+        prop_assert_eq!(metrics::exposure_ratio_user(&full, &[], &targets), 1.0);
+    }
+
+    /// The Gini index is scale-invariant and within [0, 1).
+    #[test]
+    fn gini_properties(counts in proptest::collection::vec(0u32..50, 2..40)) {
+        let g1 = ranking::gini_index(&counts);
+        prop_assert!((0.0..1.0).contains(&g1) || g1.abs() < 1e-9);
+        let doubled: Vec<u32> = counts.iter().map(|&c| c * 2).collect();
+        let g2 = ranking::gini_index(&doubled);
+        prop_assert!((g1 - g2).abs() < 1e-9, "not scale invariant: {g1} vs {g2}");
+    }
+
+    /// Precision and recall relate through list/relevant sizes:
+    /// hits = precision·|list| = recall·|relevant|.
+    #[test]
+    fn precision_recall_consistency(seed in 0u64..300) {
+        let mut rng = SeededRng::new(seed);
+        let m = 40usize;
+        let list: Vec<u32> = rng.sample_indices(m, 10).into_iter().map(|x| x as u32).collect();
+        let mut relevant: Vec<u32> =
+            rng.sample_indices(m, 5).into_iter().map(|x| x as u32).collect();
+        relevant.sort_unstable();
+        let p = ranking::precision_at_k(&list, &relevant);
+        let r = ranking::recall_at_k(&list, &relevant);
+        let hits_from_p = p * list.len() as f64;
+        let hits_from_r = r * relevant.len() as f64;
+        prop_assert!((hits_from_p - hits_from_r).abs() < 1e-9);
+    }
+}

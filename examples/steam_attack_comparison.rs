@@ -1,0 +1,74 @@
+//! Game-platform scenario: every attack, head to head, on sparse data.
+//!
+//! Steam-like play data is much sparser than movie ratings (99.4 % vs
+//! 93.7 % in Table II), and the paper finds sparse catalogs *easier* to
+//! attack — even crude shilling moves the needle, and FedRecAttack
+//! saturates. This example runs the whole attack registry on the
+//! Steam-like miniature and prints a leaderboard.
+//!
+//! Run with: `cargo run --release --example steam_attack_comparison`
+
+use fedrecattack::baselines::registry::{build_adversary, AttackEnv};
+use fedrecattack::prelude::*;
+
+fn main() {
+    let data = SyntheticConfig::smoke_sparse().generate(5);
+    let (train, test) = leave_one_out(&data, 1);
+    let targets = train.coldest_items(1);
+    let stats = train.stats();
+    println!(
+        "steam-like dataset: {} users, {} items, sparsity {:.2}%\n",
+        stats.num_users,
+        stats.num_items,
+        stats.sparsity * 100.0
+    );
+
+    let methods = [
+        AttackMethod::None,
+        AttackMethod::Random,
+        AttackMethod::Bandwagon,
+        AttackMethod::Popular,
+        AttackMethod::ExplicitBoost,
+        AttackMethod::PipAttack,
+        AttackMethod::FedRecAttack,
+    ];
+    let rho = 0.05;
+    let num_malicious = ((train.num_users() as f64) * rho).round() as usize;
+    let fed = FedConfig {
+        epochs: 60,
+        ..FedConfig::smoke()
+    };
+    let evaluator = Evaluator::new(&train, &test, &targets, 23);
+
+    let mut results: Vec<(&str, f64, f64)> = Vec::new();
+    for method in methods {
+        let public = PublicView::sample(&train, 0.05, 19);
+        let env = AttackEnv {
+            full_data: &train,
+            public: &public,
+            targets: &targets,
+            num_malicious,
+            kappa: 60,
+            k: fed.k,
+            seed: 29,
+        };
+        let adversary = build_adversary(method, &env);
+        let mut sim = Simulation::new(&train, fed, adversary, num_malicious);
+        sim.run(None);
+        let model = MfModel::from_factors(sim.user_factors(), sim.items().clone());
+        let rep = evaluator.evaluate(&model, &train, &test);
+        results.push((method.label(), rep.attack.er_at_10, rep.hr_at_10));
+    }
+
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("attack          ER@10     HR@10   (rho = 5%)");
+    println!("---------------------------------------------");
+    for (name, er, hr) in &results {
+        println!("{name:<14} {er:>7.4}   {hr:>7.4}");
+    }
+    println!(
+        "\nExpected ordering (paper Table VII, Steam block): FedRecAttack \
+         far ahead; Popular/Bandwagon get real traction on sparse data; \
+         Random stays near zero."
+    );
+}

@@ -1,0 +1,142 @@
+//! Every experiment runner produces a well-formed artifact at smoke scale.
+
+use fedrecattack::experiments::{
+    fig3_side_effects, table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
+    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation,
+    DatasetId, Scale,
+};
+
+/// Parse the measured value out of a `"0.1234 (paper 0.5678)"` cell.
+fn measured(cell: &str) -> f64 {
+    cell.split_whitespace()
+        .next()
+        .expect("non-empty cell")
+        .parse()
+        .expect("leading float")
+}
+
+#[test]
+fn table2_reports_all_three_datasets() {
+    let t = table2_datasets(Scale::Smoke, 1);
+    assert_eq!(t.rows.len(), 3);
+    for row in &t.rows {
+        assert!(row[5].contains('%'), "sparsity column: {row:?}");
+    }
+}
+
+#[test]
+fn table3_xi_values_are_metrics() {
+    let t = table3_xi_sweep(Scale::Smoke, 1);
+    assert_eq!(t.rows.len(), 5);
+    for row in &t.rows {
+        for cell in &row[1..] {
+            let v = measured(cell);
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {cell}");
+        }
+    }
+}
+
+#[test]
+fn table4_rho_shape_matches_paper() {
+    // The qualitative claim of Table IV: tiny ρ is useless, ρ ≥ 5 % works.
+    let t = table4_rho_sweep(Scale::Smoke, 1);
+    let er10_at = |idx: usize| measured(&t.rows[idx][2]);
+    let tiny = er10_at(0); // ρ = 1%
+    let strong = er10_at(3); // ρ = 5%
+    assert!(
+        strong > tiny + 0.3,
+        "no critical-mass effect: rho=1% gives {tiny}, rho=5% gives {strong}"
+    );
+}
+
+#[test]
+fn table5_kappa_is_insensitive() {
+    // Table V: κ has little impact. Check max-min spread is moderate.
+    let t = table5_kappa_sweep(Scale::Smoke, 1);
+    let ers: Vec<f64> = t.rows.iter().map(|r| measured(&r[2])).collect();
+    let max = ers.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ers.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max - min < 0.45,
+        "kappa sensitivity too high at smoke scale: {ers:?}"
+    );
+    assert!(min > 0.2, "attack should work at every kappa: {ers:?}");
+}
+
+#[test]
+fn table6_fedrecattack_dominates_data_poisoning_at_5pct() {
+    let t = table6_data_poisoning(Scale::Smoke, 1);
+    // Rows: None, P1, P2, FedRecAttack; columns 1..5 are ρ sweeps.
+    let fra = measured(&t.rows[3][4]);
+    let p1 = measured(&t.rows[1][4]);
+    let p2 = measured(&t.rows[2][4]);
+    assert!(
+        fra > p1.max(p2) + 0.2,
+        "FedRecAttack ({fra}) must dominate P1 ({p1}) / P2 ({p2}) at rho=5%"
+    );
+}
+
+#[test]
+fn table7_fedrecattack_wins_every_dataset_at_5pct() {
+    let t = table7_effectiveness(Scale::Smoke, 1);
+    for ds in ["MovieLens-100K", "MovieLens-1M", "Steam-200K"] {
+        let er_of = |method: &str| -> f64 {
+            let row = t
+                .rows
+                .iter()
+                .find(|r| r[0] == ds && r[1] == method && r[2] == "5%")
+                .unwrap_or_else(|| panic!("missing row {ds}/{method}"));
+            measured(&row[4])
+        };
+        let fra = er_of("FedRecAttack");
+        for baseline in ["None", "Random", "Bandwagon", "Popular"] {
+            assert!(
+                fra >= er_of(baseline),
+                "{ds}: FedRecAttack ({fra}) lost to {baseline} ({})",
+                er_of(baseline)
+            );
+        }
+        assert!(fra > 0.3, "{ds}: FedRecAttack too weak: {fra}");
+    }
+}
+
+#[test]
+fn table9_ablation_kills_the_attack_everywhere() {
+    let t = table9_ablation(Scale::Smoke, 1);
+    // Rows alternate: (dataset, xi=1%), (dataset, xi=0%).
+    for pair in t.rows.chunks(2) {
+        let with = measured(&pair[0][3]);
+        let without = measured(&pair[1][3]);
+        assert!(
+            without < with * 0.6 || with < 0.05,
+            "{}: xi=0 ER {without} not far below xi>0 ER {with}",
+            pair[0][0]
+        );
+    }
+}
+
+#[test]
+fn fig3_csv_is_plottable() {
+    let t = fig3_side_effects(Scale::Smoke, DatasetId::Ml100k, 15, 1);
+    let csv = t.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "arm,epoch,training_loss,hr_at_10");
+    // Every line has 4 fields; loss parses.
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 4, "bad line {line}");
+        let _: f64 = fields[2].parse().expect("loss parses");
+    }
+}
+
+#[test]
+fn table8_runs_without_numeric_collapse() {
+    let t = table8_model_poisoning(Scale::Smoke, 1);
+    assert_eq!(t.rows.len(), 24, "6 methods x 4 rho");
+    for row in &t.rows {
+        let hr = measured(&row[2]);
+        let er = measured(&row[3]);
+        assert!((0.0..=1.0).contains(&hr), "HR out of range: {row:?}");
+        assert!((0.0..=1.0).contains(&er), "ER out of range: {row:?}");
+    }
+}
