@@ -67,7 +67,9 @@ mod tests {
 
     fn popularity() -> Vec<u32> {
         // 100 items; items 0..10 are the top decile.
-        (0..100u32).map(|v| if v < 10 { 1000 - v } else { 10 }).collect()
+        (0..100u32)
+            .map(|v| if v < 10 { 1000 - v } else { 10 })
+            .collect()
     }
 
     #[test]

@@ -142,9 +142,8 @@ mod tests {
         let mut items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
         let mut adv = ExplicitBoost::new(vec![0], 1, 5.0, 9);
         let sel = [0usize];
-        let score = |adv: &ExplicitBoost, items: &Matrix| {
-            vector::dot(&adv.user_vecs[0], items.row(0))
-        };
+        let score =
+            |adv: &ExplicitBoost, items: &Matrix| vector::dot(&adv.user_vecs[0], items.row(0));
         // warm up the vector
         let _ = adv.poison(&items, &ctx(&sel), &mut rng);
         let before = score(&adv, &items);

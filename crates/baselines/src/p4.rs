@@ -185,8 +185,7 @@ mod tests {
             let mut adv = P4::new(vec![target], 2, 30, 10, 4, z, 9);
             let sel = [0usize, 1];
             let mut r = SeededRng::new(4);
-            adv.poison(&items, &ctx(&sel), &mut r)
-                .remove(0)
+            adv.poison(&items, &ctx(&sel), &mut r).remove(0)
         };
         let honest_mean = mk(0.0);
         let attacked = mk(1.5);

@@ -120,13 +120,7 @@ mod tests {
     fn shilling_clients_upload_genuine_gradients() {
         let mut rng = SeededRng::new(1);
         let items = Matrix::random_normal(20, 4, 0.0, 0.1, &mut rng);
-        let mut adv = ShillingAdversary::new(
-            "test",
-            vec![vec![0, 1, 2], vec![3, 4]],
-            20,
-            4,
-            7,
-        );
+        let mut adv = ShillingAdversary::new("test", vec![vec![0, 1, 2], vec![3, 4]], 20, 4, 7);
         let selected = [0usize, 1];
         let ctx = RoundCtx {
             round: 0,

@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedrec_experiments::{
-    table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
-    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation, Scale,
+    table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep, table6_data_poisoning,
+    table7_effectiveness, table8_model_poisoning, table9_ablation, Scale,
 };
 use std::hint::black_box;
 use std::time::Duration;

@@ -55,12 +55,10 @@ impl UserApproximator {
                 // One negative per public positive, from V_i⁻″.
                 let pairs: Vec<(u32, u32)> = pos
                     .iter()
-                    .map(|&p| {
-                        loop {
-                            let v = self.rng.below(m) as u32;
-                            if pos.binary_search(&v).is_err() {
-                                return (p, v);
-                            }
+                    .map(|&p| loop {
+                        let v = self.rng.below(m) as u32;
+                        if pos.binary_search(&v).is_err() {
+                            return (p, v);
                         }
                     })
                     .collect();

@@ -238,7 +238,15 @@ mod tests {
     #[test]
     fn gradient_pushes_target_toward_users() {
         let (users, items, public, targets) = tiny_setup();
-        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        let out = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &targets,
+            2,
+            None,
+            Surrogate::Saturating,
+        );
         // Target row gradient = -Σ g'·u_i: descending it *raises* target
         // scores. Both users contribute, so both coords negative.
         let trow = out.grad.row(3);
@@ -250,7 +258,15 @@ mod tests {
     #[test]
     fn margin_item_receives_positive_gradient() {
         let (users, items, public, targets) = tiny_setup();
-        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        let out = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &targets,
+            2,
+            None,
+            Surrogate::Saturating,
+        );
         // Some non-target row must be pushed *down* (positive gradient,
         // since the server descends).
         let any_positive = (0..6)
@@ -263,7 +279,15 @@ mod tests {
     fn finite_difference_check_on_v() {
         let (users, items, public, targets) = tiny_setup();
         let eps = 1e-3f32;
-        let base = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        let base = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &targets,
+            2,
+            None,
+            Surrogate::Saturating,
+        );
         // Check the target row (the only row with smooth dependence; the
         // margin item can switch discretely so we test the target).
         for dim in 0..2 {
@@ -271,8 +295,26 @@ mod tests {
             up.row_mut(3)[dim] += eps;
             let mut dn = items.clone();
             dn.row_mut(3)[dim] -= eps;
-            let lu = attack_gradient(&users, &up, &public, &targets, 2, None, Surrogate::Saturating).loss;
-            let ld = attack_gradient(&users, &dn, &public, &targets, 2, None, Surrogate::Saturating).loss;
+            let lu = attack_gradient(
+                &users,
+                &up,
+                &public,
+                &targets,
+                2,
+                None,
+                Surrogate::Saturating,
+            )
+            .loss;
+            let ld = attack_gradient(
+                &users,
+                &dn,
+                &public,
+                &targets,
+                2,
+                None,
+                Surrogate::Saturating,
+            )
+            .loss;
             let num = (lu - ld) / (2.0 * eps);
             let ana = base.grad.row(3)[dim];
             assert!(
@@ -289,7 +331,15 @@ mod tests {
         let items = Matrix::from_vec(3, 2, vec![0.9, 0.0, 0.5, 0.0, -0.5, 0.0]);
         let data = Dataset::from_tuples(1, 3, vec![(0, 2)]);
         let public = PublicView::sample(&data, 1.0, 1);
-        let out = attack_gradient(&users, &items, &public, &[2], 1, None, Surrogate::Saturating);
+        let out = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &[2],
+            1,
+            None,
+            Surrogate::Saturating,
+        );
         assert_eq!(out.loss, 0.0);
         assert!(out.grad.row(2).iter().all(|&x| x == 0.0));
     }
@@ -300,7 +350,15 @@ mod tests {
         let users = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
         let items = Matrix::from_vec(3, 2, vec![20.0, 0.0, 0.1, 0.0, 0.2, 0.0]);
         let public = PublicView::empty(1, 3);
-        let out = attack_gradient(&users, &items, &public, &[0], 1, None, Surrogate::Saturating);
+        let out = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &[0],
+            1,
+            None,
+            Surrogate::Saturating,
+        );
         assert!(out.loss < 0.0, "saturated g is negative but bounded");
         assert!(out.loss > -1.01);
         assert!(vector::l2_norm(out.grad.row(0)) < 1e-6);
@@ -309,7 +367,15 @@ mod tests {
     #[test]
     fn user_subset_restricts_contributions() {
         let (users, items, public, targets) = tiny_setup();
-        let only0 = attack_gradient(&users, &items, &public, &targets, 2, Some(&[0]), Surrogate::Saturating);
+        let only0 = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &targets,
+            2,
+            Some(&[0]),
+            Surrogate::Saturating,
+        );
         // Only user 0 = e0 contributes: target grad dim 1 must be zero.
         assert!(only0.grad.row(3)[0] < 0.0);
         assert_eq!(only0.grad.row(3)[1], 0.0);
@@ -327,13 +393,29 @@ mod tests {
     #[test]
     fn loss_decreases_when_descending_the_gradient() {
         let (users, items, public, targets) = tiny_setup();
-        let out = attack_gradient(&users, &items, &public, &targets, 2, None, Surrogate::Saturating);
+        let out = attack_gradient(
+            &users,
+            &items,
+            &public,
+            &targets,
+            2,
+            None,
+            Surrogate::Saturating,
+        );
         let mut poisoned = items.clone();
         for r in 0..poisoned.rows() {
             let g = out.grad.row(r).to_vec();
             vector::axpy(-0.1, &g, poisoned.row_mut(r));
         }
-        let after = attack_gradient(&users, &poisoned, &public, &targets, 2, None, Surrogate::Saturating);
+        let after = attack_gradient(
+            &users,
+            &poisoned,
+            &public,
+            &targets,
+            2,
+            None,
+            Surrogate::Saturating,
+        );
         assert!(
             after.loss < out.loss,
             "descent failed: {} -> {}",

@@ -78,17 +78,20 @@ pub fn take_upload(grad: &mut Matrix, item_set: &[u32], clip_norm: f32) -> Spars
     debug_assert!(item_set.windows(2).all(|w| w[0] < w[1]));
     let k = grad.cols();
     let mut upload = SparseGrad::with_capacity(k, item_set.len());
+    let mut clipped = vec![0.0f32; k];
     for &item in item_set {
         let row = grad.row(item as usize);
         let norm = vector::l2_norm(row);
         if norm == 0.0 {
             continue;
         }
-        let mut clipped = row.to_vec();
+        clipped.copy_from_slice(row);
         vector::clip_l2(&mut clipped, clip_norm);
-        upload.accumulate(item, 1.0, &clipped);
+        // `item_set` is sorted, so the upload can be built by linear
+        // appends instead of binary-search inserts.
+        upload.push_sorted(item, &clipped);
         // Eq. 24: residual -= uploaded part.
-        vector::axpy(-1.0, &clipped.clone(), grad.row_mut(item as usize));
+        vector::axpy(-1.0, &clipped, grad.row_mut(item as usize));
     }
     upload
 }

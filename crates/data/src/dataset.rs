@@ -108,11 +108,8 @@ impl Dataset {
 
     /// Iterate all `(user, item)` interactions.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_users).flat_map(move |u| {
-            self.user_items(u)
-                .iter()
-                .map(move |&v| (u as u32, v))
-        })
+        (0..self.num_users)
+            .flat_map(move |u| self.user_items(u).iter().map(move |&v| (u as u32, v)))
     }
 
     /// Interaction count per item (item "popularity", used by the

@@ -206,7 +206,8 @@ mod tests {
 
     #[test]
     fn ml100k_parses_and_dedups() {
-        let content = "1\t10\t5\t881250949\n1\t20\t3\t881250950\n2\t10\t4\t881250951\n1\t10\t5\t881250952\n";
+        let content =
+            "1\t10\t5\t881250949\n1\t20\t3\t881250950\n2\t10\t4\t881250951\n1\t10\t5\t881250952\n";
         let d = parse_movielens_100k(content).unwrap();
         assert_eq!(d.num_users(), 2);
         assert_eq!(d.num_items(), 2);

@@ -167,9 +167,8 @@ mod tests {
     #[test]
     fn different_seeds_differ_for_nontrivial_xi() {
         let d = data();
-        let diff = (0..10).any(|s| {
-            PublicView::sample(&d, 0.5, s) != PublicView::sample(&d, 0.5, s + 1000)
-        });
+        let diff = (0..10)
+            .any(|s| PublicView::sample(&d, 0.5, s) != PublicView::sample(&d, 0.5, s + 1000));
         assert!(diff);
     }
 

@@ -20,11 +20,11 @@ pub fn leave_one_out(data: &Dataset, seed: u64) -> (Dataset, TestSet) {
     let mut rng = SeededRng::new(seed);
     let mut test: TestSet = vec![None; data.num_users()];
     let mut tuples = Vec::with_capacity(data.num_interactions());
-    for u in 0..data.num_users() {
+    for (u, slot) in test.iter_mut().enumerate() {
         let items = data.user_items(u);
         if items.len() >= 2 {
             let held = items[rng.below(items.len())];
-            test[u] = Some(held);
+            *slot = Some(held);
             tuples.extend(items.iter().filter(|&&v| v != held).map(|&v| (u as u32, v)));
         } else {
             tuples.extend(items.iter().map(|&v| (u as u32, v)));
@@ -80,8 +80,8 @@ mod tests {
     fn held_out_item_absent_from_train_but_in_original() {
         let data = sample();
         let (train, test) = leave_one_out(&data, 5);
-        for u in 0..data.num_users() {
-            if let Some(held) = test[u] {
+        for (u, t) in test.iter().enumerate() {
+            if let Some(held) = *t {
                 assert!(!train.contains(u, held), "held-out item leaked to train");
                 assert!(data.contains(u, held), "held-out item not in original");
             }

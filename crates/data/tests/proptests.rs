@@ -7,23 +7,28 @@ use fedrec_data::Dataset;
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
-    (10usize..80, 20usize..150, 0.2f64..1.4, 0.2f64..1.2).prop_flat_map(
-        |(users, items, zipf, activity)| {
+    (10usize..80, 20usize..150, 0.2f64..1.4, 0.2f64..1.2)
+        .prop_flat_map(|(users, items, zipf, activity)| {
             // Stay inside the generator's per-user degree cap (60 % of the
             // catalog), which is its documented domain.
             let max_degree = ((items as f64) * 0.6) as usize;
             let max_inter = (users * max_degree).max(users + 1);
-            (Just(users), Just(items), users..max_inter, Just(zipf), Just(activity))
-        },
-    )
-    .prop_map(|(users, items, inter, zipf, activity)| SyntheticConfig {
-        name: "prop",
-        num_users: users,
-        num_items: items,
-        num_interactions: inter,
-        zipf_exponent: zipf,
-        user_activity_exponent: activity,
-    })
+            (
+                Just(users),
+                Just(items),
+                users..max_inter,
+                Just(zipf),
+                Just(activity),
+            )
+        })
+        .prop_map(|(users, items, inter, zipf, activity)| SyntheticConfig {
+            name: "prop",
+            num_users: users,
+            num_items: items,
+            num_interactions: inter,
+            zipf_exponent: zipf,
+            user_activity_exponent: activity,
+        })
 }
 
 proptest! {

@@ -145,7 +145,7 @@ impl Aggregator for TrimmedMean {
                 let vals: Vec<f32> = rows.iter().map(|r| r[d]).collect();
                 *slot = stats::trimmed_mean(&vals, trim) * n as f32;
             }
-            out.accumulate(item, 1.0, &buf);
+            out.push_sorted(item, &buf);
         }
         out
     }
@@ -165,7 +165,7 @@ impl Aggregator for CoordinateMedian {
                 let vals: Vec<f32> = rows.iter().map(|r| r[d]).collect();
                 *slot = stats::median(&vals) * n as f32;
             }
-            out.accumulate(item, 1.0, &buf);
+            out.push_sorted(item, &buf);
         }
         out
     }
@@ -191,7 +191,11 @@ impl Aggregator for NormBound {
             .map(|u| u.frobenius_norm_sq().sqrt())
             .collect();
         let med = stats::median(&norms);
-        let cutoff = if med > 0.0 { med * self.factor } else { f32::MAX };
+        let cutoff = if med > 0.0 {
+            med * self.factor
+        } else {
+            f32::MAX
+        };
         let mut out = SparseGrad::new(k);
         for (u, &n) in updates.iter().zip(norms.iter()) {
             if n <= cutoff {
@@ -282,15 +286,16 @@ mod tests {
         ];
         let agg = CoordinateMedian.aggregate(&updates, 8, 2);
         let got = agg.get(7).unwrap()[0];
-        assert!(got > 100.0, "attacker majority should win the median: {got}");
+        assert!(
+            got > 100.0,
+            "attacker majority should win the median: {got}"
+        );
     }
 
     #[test]
     fn trimmed_mean_drops_tails() {
         let updates = honest_plus_outlier();
-        let tm = TrimmedMean {
-            trim_fraction: 0.2,
-        };
+        let tm = TrimmedMean { trim_fraction: 0.2 };
         let agg = tm.aggregate(&updates, 4, 2);
         let got = agg.get(0).unwrap()[0];
         assert!((5.8..6.6).contains(&got), "got {got}");
@@ -299,9 +304,7 @@ mod tests {
     #[test]
     fn trimmed_mean_with_zero_trim_is_sum() {
         let updates = vec![grad(2, &[(0, 1.0)]), grad(2, &[(0, 3.0)])];
-        let tm = TrimmedMean {
-            trim_fraction: 0.0,
-        };
+        let tm = TrimmedMean { trim_fraction: 0.0 };
         let agg = tm.aggregate(&updates, 4, 2);
         assert!((agg.get(0).unwrap()[0] - 4.0).abs() < 1e-5);
     }

@@ -171,8 +171,7 @@ mod tests {
     fn similarity_detector_flags_coordinated_clients() {
         // Three attackers upload near-identical target-row pushes; five
         // honest clients touch disjoint items.
-        let mut updates: Vec<SparseGrad> =
-            (0..5).map(|i| grad(3, &[(10 + i, 1.0)])).collect();
+        let mut updates: Vec<SparseGrad> = (0..5).map(|i| grad(3, &[(10 + i, 1.0)])).collect();
         for _ in 0..3 {
             updates.push(grad(3, &[(0, 2.0)]));
         }

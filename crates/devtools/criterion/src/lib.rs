@@ -1,0 +1,273 @@
+//! Minimal, offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! bench targets under `crates/bench/benches/` link against this harness
+//! instead of upstream criterion. It covers the subset of the API those
+//! files use — [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`warm_up_time`/`measurement_time`, [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — measuring
+//! wall-clock time and printing per-iteration statistics in a
+//! criterion-like one-line format. No plots, no statistical regression
+//! testing; numbers are honest means over timed samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (only wall-clock is supported).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Per-target timing settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_count: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_count: 20,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Build a driver from the process arguments; the first non-flag
+    /// argument (as passed by `cargo bench -- <substring>`) filters
+    /// benchmark ids by substring.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "Benchmark");
+        Self {
+            filter,
+            settings: Settings::default(),
+        }
+    }
+
+    /// Run one benchmark closure under the driver's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let settings = self.settings;
+        self.run(id, settings, f);
+        self
+    }
+
+    /// Start a named group whose settings can be tuned before its benches
+    /// run.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    fn run<F>(&mut self, id: String, settings: Settings, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: double the iteration count until the warm-up budget is
+        // spent, which also yields a per-iteration estimate.
+        let mut iters = 1u64;
+        let mut per_iter;
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            if warm_start.elapsed() >= settings.warm_up || iters >= (1 << 30) {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Measurement: fixed number of samples sized to fill the budget.
+        let budget = settings.measure.as_secs_f64();
+        let per_sample = budget / settings.sample_count.max(1) as f64;
+        let sample_iters = ((per_sample / per_iter.max(1e-12)) as u64).max(1);
+        let mut samples = Vec::with_capacity(settings.sample_count);
+        for _ in 0..settings.sample_count.max(1) {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples x {sample_iters} iters)",
+            fmt_time(lo),
+            fmt_time(mean),
+            fmt_time(hi),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing tuned settings.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = n;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Total sampling budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let settings = self.settings;
+        self.criterion.run(id, settings, f);
+        self
+    }
+
+    /// End the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the routine a benchmark hands to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` the harness-chosen number of times, timing the batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring criterion's
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion {
+            filter: None,
+            settings: Settings {
+                sample_count: 3,
+                warm_up: Duration::from_millis(1),
+                measure: Duration::from_millis(5),
+            },
+        };
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| count += 1));
+        assert!(count > 0, "routine never ran");
+    }
+
+    #[test]
+    fn groups_respect_filter() {
+        let mut c = Criterion {
+            filter: Some("matches".into()),
+            settings: Settings {
+                sample_count: 2,
+                warm_up: Duration::from_millis(1),
+                measure: Duration::from_millis(2),
+            },
+        };
+        let mut hit = false;
+        let mut g = c.benchmark_group("filtered");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("no_match_here", |b| b.iter(|| hit = true));
+        g.finish();
+        assert!(!hit, "filtered-out bench must not run");
+    }
+}

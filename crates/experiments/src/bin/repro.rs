@@ -95,12 +95,23 @@ fn run_one(name: &str, args: &Args) -> Vec<Table> {
         "defenses" => vec![fedrec_experiments::tables::extension_defenses(
             args.scale, args.seed,
         )],
-        "detection" => vec![fedrec_experiments::extension_detection(args.scale, args.seed)],
+        "detection" => vec![fedrec_experiments::extension_detection(
+            args.scale, args.seed,
+        )],
         "all" => {
             let mut v = Vec::new();
             for e in [
-                "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-                "fig3", "defenses", "detection",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "table9",
+                "fig3",
+                "defenses",
+                "detection",
             ] {
                 v.extend(run_one(e, args));
             }

@@ -28,11 +28,7 @@ pub const DETECTION_METHODS: [AttackMethod; 5] = [
 
 /// Build one round of uploads: all benign clients plus `num_malicious`
 /// poisoned uploads from `method`. Returns `(uploads, malicious_range)`.
-fn one_round(
-    method: AttackMethod,
-    scale: Scale,
-    seed: u64,
-) -> (Vec<SparseGrad>, Vec<usize>) {
+fn one_round(method: AttackMethod, scale: Scale, seed: u64) -> (Vec<SparseGrad>, Vec<usize>) {
     let full = scale.dataset(DatasetId::Ml100k, None, seed);
     let (train, _) = leave_one_out(&full, seed ^ 0x10);
     let targets = train.coldest_items(1);
@@ -132,10 +128,7 @@ mod tests {
     fn fedrecattack_evades_norms_but_not_similarity() {
         let t = extension_detection(Scale::Smoke, 3);
         let cell = |label: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == label)
-                .expect("row")[col]
+            t.rows.iter().find(|r| r[0] == label).expect("row")[col]
                 .parse()
                 .unwrap()
         };

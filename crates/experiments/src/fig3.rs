@@ -107,11 +107,7 @@ mod tests {
         // loss under attack is within a modest factor of the clean loss.
         let t = fig3_side_effects(Scale::Smoke, DatasetId::Ml100k, 30, 4);
         let final_loss = |arm: &str| -> f64 {
-            t.rows
-                .iter()
-                .filter(|r| r[0] == arm)
-                .next_back()
-                .expect("arm present")[2]
+            t.rows.iter().rfind(|r| r[0] == arm).expect("arm present")[2]
                 .parse()
                 .unwrap()
         };

@@ -39,6 +39,6 @@ pub use report::Table;
 pub use runner::{run_experiment, ExperimentSpec, Outcome};
 pub use scale::{DatasetId, Scale};
 pub use tables::{
-    table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
-    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation,
+    table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep, table6_data_poisoning,
+    table7_effectiveness, table8_model_poisoning, table9_ablation,
 };

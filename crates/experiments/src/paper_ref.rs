@@ -55,7 +55,11 @@ pub const TABLE7_ML100K: Table7Block = [
     ),
     (
         "Bandwagon",
-        [(0.0011, 0.0011, 0.0011), (0.0, 0.0021, 0.0006), (0.0, 0.0, 0.0)],
+        [
+            (0.0011, 0.0011, 0.0011),
+            (0.0, 0.0021, 0.0006),
+            (0.0, 0.0, 0.0),
+        ],
     ),
     (
         "Popular",
@@ -80,7 +84,11 @@ pub const TABLE7_ML1M: Table7Block = [
     ("None", [(0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)]),
     (
         "Random",
-        [(0.0, 0.0, 0.0), (0.0002, 0.0002, 0.0001), (0.0002, 0.0005, 0.0002)],
+        [
+            (0.0, 0.0, 0.0),
+            (0.0002, 0.0002, 0.0001),
+            (0.0002, 0.0005, 0.0002),
+        ],
     ),
     (
         "Bandwagon",

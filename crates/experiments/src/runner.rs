@@ -150,7 +150,11 @@ mod tests {
         let (train, test) = leave_one_out(&full, 5);
         let spec = spec_base(&train, &test);
         let out = run_experiment(&spec);
-        assert!(out.er10 < 0.1, "cold target exposed without attack: {}", out.er10);
+        assert!(
+            out.er10 < 0.1,
+            "cold target exposed without attack: {}",
+            out.er10
+        );
         assert!(out.hr10 > 0.1, "model failed to learn: HR {}", out.hr10);
     }
 

@@ -57,7 +57,14 @@ fn effective_xi(scale: Scale, xi: f64) -> f64 {
 pub fn table2_datasets(scale: Scale, seed: u64) -> Table {
     let mut t = Table::new(
         "Table II: sizes of datasets",
-        vec!["Dataset", "#users", "#items", "#interactions", "Avg.", "sparsity"],
+        vec![
+            "Dataset",
+            "#users",
+            "#items",
+            "#interactions",
+            "Avg.",
+            "sparsity",
+        ],
     );
     for (i, id) in DatasetId::ALL.iter().enumerate() {
         let data = scale.dataset(*id, None, seed);
@@ -184,7 +191,11 @@ pub fn table7_effectiveness(scale: Scale, seed: u64) -> Table {
         AttackMethod::FedRecAttack,
     ];
     let blocks: [(&str, DatasetId, &paper_ref::Table7Block); 3] = [
-        ("MovieLens-100K", DatasetId::Ml100k, &paper_ref::TABLE7_ML100K),
+        (
+            "MovieLens-100K",
+            DatasetId::Ml100k,
+            &paper_ref::TABLE7_ML100K,
+        ),
         ("MovieLens-1M", DatasetId::Ml1m, &paper_ref::TABLE7_ML1M),
         ("Steam-200K", DatasetId::Steam200k, &paper_ref::TABLE7_STEAM),
     ];
@@ -264,10 +275,7 @@ pub fn table9_ablation(scale: Scale, seed: u64) -> Table {
     for (i, id) in DatasetId::ALL.iter().enumerate() {
         let (train, test, targets) = prepare(scale, *id, seed);
         let (_, p5, p10, pn) = paper_ref::TABLE9_XI1[i];
-        for &(xi, paper_vals) in &[
-            (0.01, Some((p5, p10, pn))),
-            (0.0, Some((0.0, 0.0, 0.0))),
-        ] {
+        for &(xi, paper_vals) in &[(0.01, Some((p5, p10, pn))), (0.0, Some((0.0, 0.0, 0.0)))] {
             let mut spec = base_spec(&train, &test, &targets, scale, seed);
             spec.xi = if xi == 0.0 {
                 0.0
@@ -314,10 +322,7 @@ pub fn extension_defenses(scale: Scale, seed: u64) -> Table {
                 assumed_byzantine: num_malicious,
             }),
         ),
-        (
-            "trimmed-mean",
-            Box::new(TrimmedMean { trim_fraction: 0.1 }),
-        ),
+        ("trimmed-mean", Box::new(TrimmedMean { trim_fraction: 0.1 })),
         ("median", Box::new(CoordinateMedian)),
         ("norm-bound", Box::new(NormBound { factor: 3.0 })),
     ];

@@ -31,8 +31,12 @@ pub trait Adversary {
     /// Produce the upload of every selected malicious client for this
     /// round. Must return exactly `ctx.selected_malicious.len()` gradients
     /// (empty `SparseGrad`s are allowed and mean "upload nothing").
-    fn poison(&mut self, items: &Matrix, ctx: &RoundCtx<'_>, rng: &mut SeededRng)
-        -> Vec<SparseGrad>;
+    fn poison(
+        &mut self,
+        items: &Matrix,
+        ctx: &RoundCtx<'_>,
+        rng: &mut SeededRng,
+    ) -> Vec<SparseGrad>;
 
     /// Short name for reports ("fedrecattack", "random", ...).
     fn name(&self) -> &'static str;

@@ -19,6 +19,28 @@ pub struct ClientUpdate {
     pub loss: f32,
 }
 
+/// Reusable per-worker buffers for the round loop.
+///
+/// One `RoundScratch` lives on each worker thread of the simulation's
+/// round engine; every client the worker processes borrows it, so a
+/// steady-state epoch performs no heap allocation in the client hot path
+/// (pair list, BPR gradient buffers — the uploaded gradient itself comes
+/// from the simulation's update pool).
+#[derive(Debug, Clone, Default)]
+pub struct RoundScratch {
+    /// Sampled `(positive, negative)` training pairs (Eq. 4 workspace).
+    pairs: Vec<(u32, u32)>,
+    /// BPR gradient buffers (`∇u_i` accumulator, `v_j − v_k` difference).
+    bpr: bpr::GradScratch,
+}
+
+impl RoundScratch {
+    /// Fresh scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A benign federated client.
 #[derive(Debug, Clone)]
 pub struct BenignClient {
@@ -76,6 +98,10 @@ impl BenignClient {
     /// `clip_norm` is `C`, `noise_scale` is `µ` (noise std is `µ·C` per
     /// Eq. 5). Returns `None` for users with no interactions or no
     /// available negatives — they have nothing to train on.
+    ///
+    /// Convenience wrapper over [`BenignClient::local_round_into`] that
+    /// allocates fresh buffers per call; the simulation's round engine
+    /// uses the pooled variant instead.
     pub fn local_round(
         &mut self,
         items: &Matrix,
@@ -84,35 +110,106 @@ impl BenignClient {
         clip_norm: f32,
         noise_scale: f32,
     ) -> Option<ClientUpdate> {
+        let mut scratch = RoundScratch::new();
+        let mut out = SparseGrad::new(items.cols());
+        let loss = self.local_round_into(
+            items,
+            lr,
+            l2_reg,
+            clip_norm,
+            noise_scale,
+            &mut scratch,
+            &mut out,
+        )?;
+        Some(ClientUpdate {
+            item_grads: out,
+            loss,
+        })
+    }
+
+    /// Allocation-free core of [`BenignClient::local_round`]: computes
+    /// into `scratch`, writes the clipped-and-noised upload into `out`
+    /// (cleared first) and returns the local loss.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_round_into(
+        &mut self,
+        items: &Matrix,
+        lr: f32,
+        l2_reg: f32,
+        clip_norm: f32,
+        noise_scale: f32,
+        scratch: &mut RoundScratch,
+        out: &mut SparseGrad,
+    ) -> Option<f32> {
         if self.positives.is_empty() || self.positives.len() >= self.num_items {
             return None;
         }
-        // Sample one negative per positive: V_i of Eq. 4.
-        let pairs: Vec<(u32, u32)> = {
-            let mut out = Vec::with_capacity(self.positives.len());
+        self.sample_pairs(&mut scratch.pairs);
+        let loss = bpr::user_round_grads_into(
+            &self.user_vec,
+            items,
+            &scratch.pairs,
+            l2_reg,
+            &mut scratch.bpr,
+            out,
+        );
+        // Local private update of u_i (Eq. 6) happens with the *raw*
+        // gradient; clipping/noise only protect what leaves the device.
+        vector::axpy(-lr, &scratch.bpr.grad_user, &mut self.user_vec);
+        out.clip_rows(clip_norm);
+        out.add_gaussian_noise(noise_scale * clip_norm, &mut self.rng);
+        Some(loss)
+    }
+
+    /// Sample one negative per positive (the `V_i` of Eq. 4) into `pairs`.
+    ///
+    /// Sparse users (at most half the catalog interacted) keep the classic
+    /// rejection loop — its expected retry count is below 2, and keeping
+    /// its draw sequence unchanged means the dense-user fast path below
+    /// alters no sparse user's stream. Dense users would degrade toward
+    /// `O(num_items)` retries per draw, so beyond the half-way point each
+    /// negative is drawn with a *single* uniform index into the sorted
+    /// complement of the positive set, mapped through a binary search.
+    fn sample_pairs(&mut self, pairs: &mut Vec<(u32, u32)>) {
+        pairs.clear();
+        pairs.reserve(self.positives.len());
+        let complement = self.num_items - self.positives.len();
+        if self.positives.len() > self.num_items / 2 {
+            for &p in &self.positives {
+                let r = self.rng.below(complement);
+                let v = complement_select(&self.positives, r);
+                pairs.push((p, v));
+            }
+        } else {
             for &p in &self.positives {
                 loop {
                     let v = self.rng.below(self.num_items) as u32;
                     if self.positives.binary_search(&v).is_err() {
-                        out.push((p, v));
+                        pairs.push((p, v));
                         break;
                     }
                 }
             }
-            out
-        };
-        let mut g = bpr::user_round_grads(&self.user_vec, items, &pairs, l2_reg);
-        // Local private update of u_i (Eq. 6) happens with the *raw*
-        // gradient; clipping/noise only protect what leaves the device.
-        vector::axpy(-lr, &g.grad_user, &mut self.user_vec);
-        g.grad_items.clip_rows(clip_norm);
-        g.grad_items
-            .add_gaussian_noise(noise_scale * clip_norm, &mut self.rng);
-        Some(ClientUpdate {
-            item_grads: g.grad_items,
-            loss: g.loss,
-        })
+        }
     }
+}
+
+/// The `r`-th (0-based) item id *not* present in the sorted `positives`.
+///
+/// The answer `v` satisfies `v = r + |{q ∈ positives : q ≤ v}|`; the count
+/// is found by binary-searching the invariant `positives[idx] − idx ≤ r`,
+/// which is monotone in `idx`.
+fn complement_select(positives: &[u32], r: usize) -> u32 {
+    let (mut lo, mut hi) = (0usize, positives.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if positives[mid] as usize - mid <= r {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (r + lo) as u32
 }
 
 #[cfg(test)]
@@ -193,6 +290,64 @@ mod tests {
             clean.item_grads.get(1).unwrap(),
             noisy.item_grads.get(1).unwrap()
         );
+    }
+
+    #[test]
+    fn complement_select_enumerates_absent_items() {
+        let positives = [2u32, 5, 6, 9];
+        let absent: Vec<u32> = (0..12u32).filter(|v| !positives.contains(v)).collect();
+        for (r, &want) in absent.iter().enumerate() {
+            assert_eq!(complement_select(&positives, r), want);
+        }
+        assert_eq!(complement_select(&[], 4), 4);
+        assert_eq!(complement_select(&[0, 1, 2], 0), 3);
+    }
+
+    #[test]
+    fn dense_client_negatives_come_from_the_complement() {
+        // 15 of 16 items are positives → the dense path runs and the only
+        // legal negative is item 15, which must therefore carry gradient.
+        let v = items(4, 16);
+        let mut rng = SeededRng::new(3);
+        let mut c = BenignClient::new(0, (0..15u32).collect(), 16, 4, &mut rng);
+        let up = c.local_round(&v, 0.01, 0.0, 10.0, 0.0).unwrap();
+        assert_eq!(up.item_grads.nnz_rows(), 16);
+        assert!(up.item_grads.get(15).is_some());
+    }
+
+    #[test]
+    fn dense_clients_are_deterministic_per_seed() {
+        let v = items(4, 20);
+        let mk = || {
+            let mut rng = SeededRng::new(5);
+            BenignClient::new(2, (0..15u32).collect(), 20, 4, &mut rng)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let ua = a.local_round(&v, 0.01, 0.0, 1.0, 0.1).unwrap();
+        let ub = b.local_round(&v, 0.01, 0.0, 1.0, 0.1).unwrap();
+        assert_eq!(ua.item_grads, ub.item_grads);
+    }
+
+    #[test]
+    fn pooled_round_matches_allocating_round() {
+        let v = items(4, 20);
+        let mk = || {
+            let mut rng = SeededRng::new(9);
+            BenignClient::new(1, vec![2, 5, 9], 20, 4, &mut rng)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut scratch = RoundScratch::new();
+        let mut out = SparseGrad::new(4);
+        // The same scratch and output slot serve consecutive rounds; state
+        // must not leak between calls.
+        for _ in 0..3 {
+            let up = a.local_round(&v, 0.05, 0.01, 1.0, 0.1).unwrap();
+            let loss = b
+                .local_round_into(&v, 0.05, 0.01, 1.0, 0.1, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(up.item_grads, out);
+            assert_eq!(up.loss, loss);
+        }
     }
 
     #[test]

@@ -25,11 +25,9 @@ pub struct SumAggregator;
 
 impl Aggregator for SumAggregator {
     fn aggregate(&self, updates: &[SparseGrad], _num_items: usize, k: usize) -> SparseGrad {
-        let mut total = SparseGrad::new(k);
-        for u in updates {
-            total.add_assign(u);
-        }
-        total
+        // Two-phase scatter-add: merge the sorted id lists once, then
+        // fused axpy per row — same result, no per-row insert shifting.
+        SparseGrad::sum_all(updates, k)
     }
 
     fn name(&self) -> &'static str {

@@ -3,17 +3,44 @@
 //! [`Simulation`] wires together the server (shared `V`), the benign
 //! clients (private `u_i`, `V_i⁺`), the adversary (malicious client slots
 //! appended after the benign ones) and an aggregator, and runs the round
-//! loop of §III-B. The observable sequence of a run is deterministic in
-//! the [`FedConfig::seed`] regardless of the thread count: client work is
-//! computed in parallel but always aggregated in client-id order.
+//! loop of §III-B.
+//!
+//! # The round engine
+//!
+//! With [`FedConfig::threads`] > 1 the selected benign clients are split
+//! into contiguous id-ordered shards, one per scoped worker thread
+//! (`std::thread::scope`); each worker owns a reusable
+//! [`RoundScratch`](crate::client::RoundScratch) and writes every client's
+//! upload into that client's pre-assigned slot of a pooled update buffer.
+//! Because the slots are indexed by selection order and every client owns
+//! its private RNG stream, the observable sequence of a run is
+//! deterministic in the [`FedConfig::seed`] and **bit-identical for any
+//! thread count**: client work is computed in parallel but losses are
+//! summed and uploads aggregated in client-id order. The upload pool, the
+//! per-worker scratches and the selection mask are all reused across
+//! epochs, so a steady-state round performs no per-client heap
+//! allocation.
 
 use crate::adversary::{Adversary, RoundCtx};
-use crate::client::BenignClient;
+use crate::client::{BenignClient, RoundScratch};
 use crate::config::FedConfig;
 use crate::history::TrainingHistory;
 use crate::server::{Aggregator, Server, SumAggregator};
 use fedrec_data::Dataset;
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+/// Pooled state of the parallel round engine, reused across epochs.
+#[derive(Debug, Default)]
+struct RoundEngine {
+    /// One scratch per worker thread.
+    scratches: Vec<RoundScratch>,
+    /// Upload slot per selected client (benign prefix, then malicious).
+    outs: Vec<SparseGrad>,
+    /// Loss slot per selected benign client; `None` = nothing to train on.
+    losses: Vec<Option<f32>>,
+    /// Selection mask over all benign clients.
+    picked: Vec<bool>,
+}
 
 /// A read-only view of the federation state handed to evaluation hooks.
 pub struct Snapshot<'a> {
@@ -42,6 +69,7 @@ pub struct Simulation {
     cfg: FedConfig,
     rng: SeededRng,
     adv_rng: SeededRng,
+    engine: RoundEngine,
 }
 
 impl Simulation {
@@ -92,6 +120,7 @@ impl Simulation {
             cfg,
             rng,
             adv_rng,
+            engine: RoundEngine::default(),
         }
     }
 
@@ -165,7 +194,7 @@ impl Simulation {
             .map(|s| s - self.clients.len())
             .collect();
 
-        let (mut updates, loss) = self.benign_updates(&benign_sel);
+        let (mut total, loss) = self.benign_updates(&benign_sel);
 
         if !malicious_sel.is_empty() {
             let ctx = RoundCtx {
@@ -182,74 +211,108 @@ impl Simulation {
                 malicious_sel.len(),
                 "adversary must answer for every selected malicious client"
             );
-            updates.extend(poisoned);
+            for g in poisoned {
+                if total < self.engine.outs.len() {
+                    self.engine.outs[total] = g;
+                } else {
+                    self.engine.outs.push(g);
+                }
+                total += 1;
+            }
         }
 
-        let aggregate =
-            self.aggregator
-                .aggregate(&updates, self.server.items().rows(), self.cfg.k);
+        let aggregate = self.aggregator.aggregate(
+            &self.engine.outs[..total],
+            self.server.items().rows(),
+            self.cfg.k,
+        );
         self.server.apply(&aggregate);
         loss
     }
 
-    /// Compute the selected benign clients' updates (possibly in
-    /// parallel); returns them in client-id order plus the summed loss.
-    fn benign_updates(&mut self, benign_sel: &[usize]) -> (Vec<SparseGrad>, f32) {
+    /// Compute the selected benign clients' updates (in parallel when
+    /// configured), leaving them compacted into the first slots of the
+    /// engine's upload pool in client-id order. Returns the number of
+    /// produced updates and the summed loss (also in client-id order, so
+    /// the total is bit-identical for any thread count).
+    fn benign_updates(&mut self, benign_sel: &[usize]) -> (usize, f32) {
         let cfg = self.cfg;
-        let items = self.server.items();
-        let mut picked: Vec<bool> = vec![false; self.clients.len()];
-        for &b in benign_sel {
-            picked[b] = true;
+        let n = benign_sel.len();
+        let engine = &mut self.engine;
+        while engine.outs.len() < n {
+            engine.outs.push(SparseGrad::new(cfg.k));
         }
+        engine.losses.clear();
+        engine.losses.resize(n, None);
+
+        // Small batches aren't worth the spawn overhead; the result is
+        // identical either way.
+        let threads = if n < 2 * cfg.threads { 1 } else { cfg.threads };
+        while engine.scratches.len() < threads.max(1) {
+            engine.scratches.push(RoundScratch::new());
+        }
+
+        engine.picked.clear();
+        engine.picked.resize(self.clients.len(), false);
+        for &b in benign_sel {
+            engine.picked[b] = true;
+        }
+        let picked = &engine.picked;
         let mut refs: Vec<&mut BenignClient> = self
             .clients
             .iter_mut()
             .filter(|c| picked[c.user_id()])
             .collect();
 
-        let run_one = |c: &mut BenignClient| {
-            c.local_round(items, cfg.lr, cfg.l2_reg, cfg.clip_norm, cfg.noise_scale)
+        let items = self.server.items();
+        let run_one = |c: &mut BenignClient, scratch: &mut RoundScratch, out: &mut SparseGrad| {
+            c.local_round_into(
+                items,
+                cfg.lr,
+                cfg.l2_reg,
+                cfg.clip_norm,
+                cfg.noise_scale,
+                scratch,
+                out,
+            )
         };
 
-        let mut results: Vec<(usize, Option<crate::client::ClientUpdate>)> =
-            if cfg.threads <= 1 || refs.len() < 2 * cfg.threads {
-                refs.iter_mut()
-                    .map(|c| (c.user_id(), run_one(c)))
-                    .collect()
-            } else {
-                let chunk = refs.len().div_ceil(cfg.threads);
-                let mut out = Vec::with_capacity(refs.len());
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = refs
-                        .chunks_mut(chunk)
-                        .map(|chunk_refs| {
-                            scope.spawn(move |_| {
-                                chunk_refs
-                                    .iter_mut()
-                                    .map(|c| (c.user_id(), run_one(c)))
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    for h in handles {
-                        out.extend(h.join().expect("client worker panicked"));
-                    }
-                })
-                .expect("crossbeam scope failed");
-                out
-            };
+        if threads <= 1 {
+            let scratch = &mut engine.scratches[0];
+            for (i, c) in refs.iter_mut().enumerate() {
+                engine.losses[i] = run_one(c, scratch, &mut engine.outs[i]);
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (((shard, outs), losses), scratch) in refs
+                    .chunks_mut(chunk)
+                    .zip(engine.outs[..n].chunks_mut(chunk))
+                    .zip(engine.losses.chunks_mut(chunk))
+                    .zip(engine.scratches.iter_mut())
+                {
+                    scope.spawn(|| {
+                        for ((c, out), loss) in shard.iter_mut().zip(outs).zip(losses) {
+                            *loss = run_one(c, scratch, out);
+                        }
+                    });
+                }
+            });
+        }
 
-        // Aggregation order must not depend on thread scheduling.
-        results.sort_by_key(|(id, _)| *id);
-        let mut updates = Vec::with_capacity(results.len());
+        // Compact produced uploads to the front of the pool; slots stay in
+        // client-id order because the shards were contiguous id-ordered
+        // chunks written back by index.
+        let mut produced = 0usize;
         let mut loss = 0.0f32;
-        for (_, r) in results {
-            if let Some(up) = r {
-                loss += up.loss;
-                updates.push(up.item_grads);
+        for i in 0..n {
+            if let Some(l) = engine.losses[i] {
+                loss += l;
+                engine.outs.swap(produced, i);
+                produced += 1;
             }
         }
-        (updates, loss)
+        (produced, loss)
     }
 }
 

@@ -45,6 +45,57 @@ proptest! {
         prop_assert_eq!(v1, vt);
     }
 
+    /// The parallel engine's full observable output — every recorded
+    /// series of the `TrainingHistory` plus the final `V` — is
+    /// byte-identical across 1, 2 and 8 worker threads, under partial
+    /// participation and DP noise (the stress case for slot bookkeeping:
+    /// rounds where some clients skip and buffers are recompacted).
+    #[test]
+    fn history_and_items_identical_for_1_2_8_threads(
+        seed in 0u64..200,
+        frac in 0.2f64..1.0,
+        noise in 0.0f32..0.2,
+    ) {
+        let data = tiny_data(seed ^ 0x77);
+        let run = |t: usize| {
+            let cfg = FedConfig {
+                threads: t,
+                client_fraction: frac,
+                noise_scale: noise,
+                ..tiny_cfg(seed)
+            };
+            let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 3);
+            let mut hook = |snap: &fedrec_federated::simulation::Snapshot<'_>,
+                            hist: &mut fedrec_federated::history::TrainingHistory| {
+                // Record a V-derived series so the hook-visible state is
+                // part of the comparison too.
+                hist.hr_at_10.push(snap.epoch, snap.items.frobenius_norm() as f64);
+            };
+            let h = sim.run(Some(&mut hook));
+            (h, sim.items().clone())
+        };
+        let (h1, v1) = run(1);
+        for t in [2usize, 8] {
+            let (ht, vt) = run(t);
+            // Byte-identical histories: compare the raw bit patterns, not
+            // just float equality.
+            let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&h1.losses), bits(&ht.losses), "losses differ at t={}", t);
+            prop_assert_eq!(&h1.hr_at_10.epochs, &ht.hr_at_10.epochs);
+            let fbits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(
+                fbits(&h1.hr_at_10.values),
+                fbits(&ht.hr_at_10.values),
+                "hook series differ at t={}", t
+            );
+            prop_assert_eq!(
+                bits(v1.as_slice()),
+                bits(vt.as_slice()),
+                "final V differs at t={}", t
+            );
+        }
+    }
+
     /// Losses are finite, non-negative and (weakly) improving from the
     /// first epoch to the last under clean training.
     #[test]

@@ -108,7 +108,9 @@ impl Matrix {
     /// ℓ2 norm of every row; used by the attack's filler-item selection
     /// probabilities (Eq. 22) and by detection heuristics.
     pub fn row_norms(&self) -> Vec<f32> {
-        (0..self.rows).map(|i| vector::l2_norm(self.row(i))).collect()
+        (0..self.rows)
+            .map(|i| vector::l2_norm(self.row(i)))
+            .collect()
     }
 
     /// Frobenius norm of the whole matrix.

@@ -5,59 +5,100 @@
 //! Eq. 22, synthetic dataset generation) draws from a [`SeededRng`] so that
 //! experiments are reproducible from a single `u64` seed.
 //!
-//! The Gaussian sampler (Box–Muller) and the Zipf sampler are implemented
-//! here rather than pulled from `rand_distr`, keeping the dependency surface
-//! to the `rand` core crate only (see DESIGN.md §5).
-
-use rand::rngs::Xoshiro256PlusPlus;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+//! The generator itself (xoshiro256++), the Gaussian sampler (Box–Muller)
+//! and the Zipf sampler are implemented here rather than pulled from
+//! `rand`/`rand_distr`: the workspace builds fully offline, and fifteen
+//! lines of xoshiro are cheaper to audit than a dependency (see
+//! DESIGN.md §5).
 
 /// A deterministic RNG with the sampling helpers the reproduction needs.
 ///
-/// Backed by `Xoshiro256++`, which is `Clone` (clients snapshot their
-/// stream), portable across platforms, and fast enough that sampling never
-/// shows up in training profiles.
+/// Backed by an inline `xoshiro256++`, which is `Clone` (clients snapshot
+/// their stream), portable across platforms, and fast enough that sampling
+/// never shows up in training profiles.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: Xoshiro256PlusPlus,
+    /// xoshiro256++ state; never all-zero by construction.
+    s: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     gauss_spare: Option<f64>,
 }
 
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SeededRng {
     /// Create a generator from a `u64` seed.
+    ///
+    /// The four state words are expanded from the seed with splitmix64
+    /// (the initialization the xoshiro authors recommend), so the state is
+    /// never all-zero and nearby seeds yield uncorrelated streams.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             gauss_spare: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child generator; used to give each client /
     /// experiment arm its own stream without correlating them.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::new(s)
     }
 
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
-        self.inner.random::<f32>()
+        // Top 24 bits → all f32 values j/2^24 are exactly representable.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Widening-multiply range reduction (Lemire). The bias is at most
+    /// `bound / 2^64`, far below anything the simulations can resolve, and
+    /// the method is branch-free — this sits inside the negative-sampling
+    /// hot loop.
     #[inline]
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below: empty range");
-        self.inner.random_range(0..bound)
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
     }
 
     /// Standard-normal sample via the Box–Muller transform.
@@ -66,11 +107,11 @@ impl SeededRng {
             return z;
         }
         // Draw u1 in (0, 1] to keep ln(u1) finite.
-        let mut u1 = self.inner.random::<f64>();
+        let mut u1 = self.uniform_f64();
         if u1 <= f64::MIN_POSITIVE {
             u1 = f64::MIN_POSITIVE;
         }
-        let u2 = self.inner.random::<f64>();
+        let u2 = self.uniform_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.gauss_spare = Some(r * theta.sin());
@@ -85,7 +126,10 @@ impl SeededRng {
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        xs.shuffle(&mut self.inner);
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
     }
 
     /// Sample `count` distinct indices uniformly from `[0, n)`.

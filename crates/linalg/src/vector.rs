@@ -3,6 +3,16 @@
 //! These are the primitives every hand-derived gradient in the workspace is
 //! written in terms of. All functions panic if slice lengths differ, which
 //! always indicates a programming error (mismatched latent dimension `k`).
+//!
+//! The reduction kernels (`dot`, `l2_norm_sq`) and the fused-update kernels
+//! (`axpy`, `scale`) are written as fixed-width chunked loops: an 8-lane
+//! body over `chunks_exact` plus a scalar tail. The fixed trip count and
+//! the absence of cross-lane dependencies let the autovectorizer lift the
+//! body to SIMD without `-ffast-math`-style reassociation flags; results
+//! are still deterministic because the lane split is part of the kernel's
+//! definition, not of the target CPU.
+
+const LANES: usize = 8;
 
 /// Dot product `a · b`.
 ///
@@ -11,8 +21,16 @@
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b.iter()) {
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ac).zip(&mut bc) {
+        for i in 0..LANES {
+            lanes[i] += xa[i] * xb[i];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
         acc += x * y;
     }
     acc
@@ -22,7 +40,14 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact_mut(LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        for i in 0..LANES {
+            ys[i] += alpha * xs[i];
+        }
+    }
+    for (xi, yi) in xc.remainder().iter().zip(yc.into_remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -30,7 +55,13 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 /// `y ← alpha * y`.
 #[inline]
 pub fn scale(alpha: f32, y: &mut [f32]) {
-    for yi in y.iter_mut() {
+    let mut yc = y.chunks_exact_mut(LANES);
+    for ys in &mut yc {
+        for v in ys.iter_mut() {
+            *v *= alpha;
+        }
+    }
+    for yi in yc.into_remainder() {
         *yi *= alpha;
     }
 }
@@ -38,8 +69,15 @@ pub fn scale(alpha: f32, y: &mut [f32]) {
 /// Squared ℓ2 norm `‖a‖²`.
 #[inline]
 pub fn l2_norm_sq(a: &[f32]) -> f32 {
-    let mut acc = 0.0f32;
-    for x in a {
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    for xs in &mut ac {
+        for i in 0..LANES {
+            lanes[i] += xs[i] * xs[i];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for x in ac.remainder() {
         acc += x * x;
     }
     acc

@@ -146,8 +146,7 @@ impl NcfModel {
         *dtheta.b2_mut() = coeff;
         // ∂/∂W1[h,:] = d_pre[h] * z ; ∂/∂b1 = d_pre ; dz = W1^T d_pre
         let mut dz = vec![0.0f32; 2 * k];
-        for hrow in 0..hdim {
-            let dp = d_pre[hrow];
+        for (hrow, &dp) in d_pre.iter().enumerate().take(hdim) {
             dtheta.b1_mut()[hrow] = dp;
             if dp != 0.0 {
                 vector::axpy(dp, &fwd.z, dtheta.w1_row_mut(hrow));
@@ -237,7 +236,11 @@ mod tests {
             let num = (NcfModel::forward_vec(&theta, &up, &v).score
                 - NcfModel::forward_vec(&theta, &dn, &v).score)
                 / (2.0 * EPS);
-            assert!((b.du[dim] - num).abs() < 1e-2, "du[{dim}]: {} vs {num}", b.du[dim]);
+            assert!(
+                (b.du[dim] - num).abs() < 1e-2,
+                "du[{dim}]: {} vs {num}",
+                b.du[dim]
+            );
 
             let mut vp = v.clone();
             vp[dim] += EPS;
@@ -246,7 +249,11 @@ mod tests {
             let num = (NcfModel::forward_vec(&theta, &u, &vp).score
                 - NcfModel::forward_vec(&theta, &u, &vn).score)
                 / (2.0 * EPS);
-            assert!((b.dv[dim] - num).abs() < 1e-2, "dv[{dim}]: {} vs {num}", b.dv[dim]);
+            assert!(
+                (b.dv[dim] - num).abs() < 1e-2,
+                "dv[{dim}]: {} vs {num}",
+                b.dv[dim]
+            );
         }
     }
 
@@ -318,8 +325,8 @@ mod tests {
         let m = NcfModel::init(2, 5, 3, 4, &mut rng);
         let mut out = vec![0.0f32; 5];
         NcfModel::scores_for_vector(&m.theta, &m.item_factors, m.user_factors.row(1), &mut out);
-        for item in 0..5 {
-            assert!((out[item] - m.predict(1, item)).abs() < 1e-6);
+        for (item, &score) in out.iter().enumerate() {
+            assert!((score - m.predict(1, item)).abs() < 1e-6);
         }
     }
 }

@@ -228,8 +228,7 @@ impl NcfSimulation {
         let mut malicious_sel = Vec::new();
         for s in selected {
             if s < self.clients.len() {
-                if let Some(up) = self.clients[s].local_round(&self.items, &self.theta, &self.cfg)
-                {
+                if let Some(up) = self.clients[s].local_round(&self.items, &self.theta, &self.cfg) {
                     loss += up.loss;
                     item_agg.add_assign(&up.item_grads);
                     theta_agg.axpy(1.0, &up.theta_grad);
@@ -270,7 +269,7 @@ impl NcfSimulation {
         let mut acc = MetricsAccumulator::new();
         let mut rng = SeededRng::new(seed);
         let mut scores = vec![0.0f32; train.num_items()];
-        for u in 0..train.num_users() {
+        for (u, t) in test.iter().enumerate() {
             NcfModel::scores_for_vector(
                 &model.theta,
                 &model.item_factors,
@@ -278,7 +277,7 @@ impl NcfSimulation {
                 &mut scores,
             );
             acc.push_user_attack(&scores, train.user_items(u), targets);
-            if let Some(test_item) = test[u] {
+            if let Some(test_item) = *t {
                 let pos = train.user_items(u);
                 let available = train.num_items().saturating_sub(pos.len() + 1);
                 let want = 99.min(available);
@@ -326,8 +325,7 @@ mod tests {
     fn run_is_deterministic() {
         let data = SyntheticConfig::smoke().generate(2);
         let go = || {
-            let mut sim =
-                NcfSimulation::new(&data, NcfConfig::smoke(), Box::new(NcfNoAttack), 3);
+            let mut sim = NcfSimulation::new(&data, NcfConfig::smoke(), Box::new(NcfNoAttack), 3);
             let l = sim.run();
             (l, sim.theta().clone())
         };

@@ -29,49 +29,95 @@ pub struct UserRoundGrads {
     pub grad_items: SparseGrad,
 }
 
+/// Reusable buffers for [`user_round_grads_into`].
+///
+/// One scratch per worker thread lets thousands of client rounds per epoch
+/// run without a single heap allocation: the user-gradient and difference
+/// vectors are `k`-wide and persist across calls.
+#[derive(Debug, Clone, Default)]
+pub struct GradScratch {
+    /// `∇u_i` accumulator; sized/zeroed per call.
+    pub grad_user: Vec<f32>,
+    /// `v_j − v_k` workspace.
+    diff: Vec<f32>,
+}
+
+impl GradScratch {
+    /// Fresh (empty) scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, k: usize) {
+        self.grad_user.clear();
+        self.grad_user.resize(k, 0.0);
+        self.diff.clear();
+        self.diff.resize(k, 0.0);
+    }
+}
+
 /// Compute loss and gradients for a user vector `u` over `(pos, neg)` item
 /// pairs against the item matrix `items`.
 ///
 /// This is exactly the computation a federated client performs locally in
-/// each round (§III-B); the centralized trainer reuses it too.
+/// each round (§III-B); the centralized trainer reuses it too. This
+/// convenience wrapper allocates fresh buffers per call; the round loop
+/// uses [`user_round_grads_into`] with pooled buffers instead.
 pub fn user_round_grads(
     u: &[f32],
     items: &Matrix,
     pairs: &[(u32, u32)],
     l2_reg: f32,
 ) -> UserRoundGrads {
+    let mut scratch = GradScratch::new();
+    let mut grad_items = SparseGrad::with_capacity(items.cols(), pairs.len() * 2);
+    let loss = user_round_grads_into(u, items, pairs, l2_reg, &mut scratch, &mut grad_items);
+    UserRoundGrads {
+        loss,
+        grad_user: std::mem::take(&mut scratch.grad_user),
+        grad_items,
+    }
+}
+
+/// Allocation-free core of [`user_round_grads`]: writes `∇u_i` into
+/// `scratch.grad_user` and `∇V_i` into `grad_items` (cleared first, `k`
+/// preserved), returning the loss.
+pub fn user_round_grads_into(
+    u: &[f32],
+    items: &Matrix,
+    pairs: &[(u32, u32)],
+    l2_reg: f32,
+    scratch: &mut GradScratch,
+    grad_items: &mut SparseGrad,
+) -> f32 {
     let k = items.cols();
     assert_eq!(u.len(), k, "user vector dimension mismatch");
+    assert_eq!(grad_items.k(), k, "grad_items dimension mismatch");
+    scratch.reset(k);
+    grad_items.clear();
     let mut loss = 0.0f32;
-    let mut grad_user = vec![0.0f32; k];
-    let mut grad_items = SparseGrad::with_capacity(k, pairs.len() * 2);
-    let mut diff = vec![0.0f32; k];
 
     for &(pos, neg) in pairs {
         let vj = items.row(pos as usize);
         let vk = items.row(neg as usize);
-        vector::sub(vj, vk, &mut diff);
-        let d = vector::dot(u, &diff);
+        vector::sub(vj, vk, &mut scratch.diff);
+        let d = vector::dot(u, &scratch.diff);
         loss += -vector::log_sigmoid(d);
         // coeff = ∂L/∂d = -σ(-d)
         let coeff = -vector::sigmoid(-d);
-        vector::axpy(coeff, &diff, &mut grad_user);
+        vector::axpy(coeff, &scratch.diff, &mut scratch.grad_user);
         grad_items.accumulate(pos, coeff, u);
         grad_items.accumulate(neg, -coeff, u);
         if l2_reg > 0.0 {
             loss += 0.5
                 * l2_reg
                 * (vector::l2_norm_sq(u) + vector::l2_norm_sq(vj) + vector::l2_norm_sq(vk));
-            vector::axpy(l2_reg, u, &mut grad_user);
+            vector::axpy(l2_reg, u, &mut scratch.grad_user);
             grad_items.accumulate(pos, l2_reg, vj);
             grad_items.accumulate(neg, l2_reg, vk);
         }
     }
-    UserRoundGrads {
-        loss,
-        grad_user,
-        grad_items,
-    }
+    loss
 }
 
 /// The BPR loss alone (no gradients), for evaluation curves (Fig. 3 plots
@@ -126,9 +172,8 @@ mod tests {
                 up[dim] += EPS;
                 let mut dn = u.clone();
                 dn[dim] -= EPS;
-                let num =
-                    (loss_at(&up, &items, &pairs, l2) - loss_at(&dn, &items, &pairs, l2))
-                        / (2.0 * EPS);
+                let num = (loss_at(&up, &items, &pairs, l2) - loss_at(&dn, &items, &pairs, l2))
+                    / (2.0 * EPS);
                 assert!(
                     (g.grad_user[dim] - num).abs() < 2e-2,
                     "l2={l2} dim={dim}: analytic {} vs numeric {}",
@@ -145,18 +190,16 @@ mod tests {
             let (u, items, pairs) = setup(11);
             let g = user_round_grads(&u, &items, &pairs, l2);
             for (item, row) in g.grad_items.iter() {
-                for dim in 0..u.len() {
+                for (dim, &analytic) in row.iter().enumerate() {
                     let mut up = items.clone();
                     up.row_mut(item as usize)[dim] += EPS;
                     let mut dn = items.clone();
                     dn.row_mut(item as usize)[dim] -= EPS;
-                    let num = (loss_at(&u, &up, &pairs, l2) - loss_at(&u, &dn, &pairs, l2))
-                        / (2.0 * EPS);
+                    let num =
+                        (loss_at(&u, &up, &pairs, l2) - loss_at(&u, &dn, &pairs, l2)) / (2.0 * EPS);
                     assert!(
-                        (row[dim] - num).abs() < 2e-2,
-                        "l2={l2} item={item} dim={dim}: analytic {} vs numeric {}",
-                        row[dim],
-                        num
+                        (analytic - num).abs() < 2e-2,
+                        "l2={l2} item={item} dim={dim}: analytic {analytic} vs numeric {num}",
                     );
                 }
             }

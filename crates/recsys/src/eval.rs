@@ -42,9 +42,10 @@ impl Evaluator {
         targets.sort_unstable();
         targets.dedup();
         let mut rng = SeededRng::new(seed);
+        assert_eq!(test.len(), train.num_users(), "test set size mismatch");
         let mut hr_negatives = Vec::with_capacity(train.num_users());
-        for u in 0..train.num_users() {
-            match test[u] {
+        for (u, t) in test.iter().enumerate() {
+            match *t {
                 Some(test_item) => {
                     let pos = train.user_items(u);
                     let mut negs = Vec::with_capacity(HR_NUM_NEGATIVES);
@@ -54,10 +55,7 @@ impl Evaluator {
                     let want = HR_NUM_NEGATIVES.min(available);
                     while negs.len() < want {
                         let v = rng.below(train.num_items()) as u32;
-                        if v != test_item
-                            && pos.binary_search(&v).is_err()
-                            && !negs.contains(&v)
-                        {
+                        if v != test_item && pos.binary_search(&v).is_err() && !negs.contains(&v) {
                             negs.push(v);
                         }
                     }
@@ -80,12 +78,13 @@ impl Evaluator {
     /// Evaluate a model snapshot.
     pub fn evaluate(&self, model: &MfModel, train: &Dataset, test: &TestSet) -> EvalReport {
         assert_eq!(model.num_users(), train.num_users());
+        assert_eq!(test.len(), train.num_users(), "test set size mismatch");
         let mut acc = MetricsAccumulator::new();
         let mut scores = vec![0.0f32; model.num_items()];
-        for u in 0..train.num_users() {
+        for (u, t) in test.iter().enumerate() {
             model.scores_for_user(u, &mut scores);
             acc.push_user_attack(&scores, train.user_items(u), &self.targets);
-            if let Some(test_item) = test[u] {
+            if let Some(test_item) = *t {
                 acc.push_user_hr(&scores, test_item, &self.hr_negatives[u]);
             }
         }
@@ -114,8 +113,8 @@ mod tests {
     #[test]
     fn negatives_avoid_positives_and_test_item() {
         let (train, test, eval) = setup();
-        for u in 0..train.num_users() {
-            if let Some(t) = test[u] {
+        for (u, held) in test.iter().enumerate() {
+            if let Some(t) = *held {
                 let negs = &eval.hr_negatives[u];
                 let available = train.num_items() - train.user_degree(u) - 1;
                 assert_eq!(negs.len(), HR_NUM_NEGATIVES.min(available));

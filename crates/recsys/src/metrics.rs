@@ -225,12 +225,9 @@ mod tests {
         // scores: test item = 0.5; negatives above/below.
         let mut scores = vec![0.0f32; 20];
         scores[0] = 0.5;
-        for i in 1..=9 {
-            scores[i] = 1.0; // nine better negatives -> rank 9 -> hit at k=10
-        }
-        for i in 10..20 {
-            scores[i] = 0.1;
-        }
+        // nine better negatives -> rank 9 -> hit at k=10
+        scores[1..=9].fill(1.0);
+        scores[10..20].fill(0.1);
         let negs: Vec<u32> = (1..20).collect();
         assert!(hit_user(&scores, 0, &negs, 10));
         // one more better negative pushes it out.

@@ -107,7 +107,9 @@ pub fn read_matrix(r: &mut impl Read) -> Result<Matrix, PersistError> {
         .ok_or_else(|| PersistError::Corrupt("dimension overflow".into()))?;
     // Sanity cap: refuse absurd headers instead of allocating blindly.
     if n > (1 << 31) {
-        return Err(PersistError::Corrupt(format!("implausible size {rows}x{cols}")));
+        return Err(PersistError::Corrupt(format!(
+            "implausible size {rows}x{cols}"
+        )));
     }
     let mut data = vec![0.0f32; n];
     let mut buf = [0u8; 4];

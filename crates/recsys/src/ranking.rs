@@ -113,8 +113,16 @@ pub fn dashboard<'a>(
         }
     }
     RankingDashboard {
-        precision: if judged == 0 { 0.0 } else { prec_sum / judged as f64 },
-        recall: if judged == 0 { 0.0 } else { rec_sum / judged as f64 },
+        precision: if judged == 0 {
+            0.0
+        } else {
+            prec_sum / judged as f64
+        },
+        recall: if judged == 0 {
+            0.0
+        } else {
+            rec_sum / judged as f64
+        },
         coverage: catalog_coverage(&counts),
         gini: gini_index(&counts),
     }

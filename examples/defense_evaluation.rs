@@ -43,7 +43,10 @@ fn main() {
                 assumed_byzantine: num_malicious,
             }),
         ),
-        ("trimmed-mean 10%", Box::new(TrimmedMean { trim_fraction: 0.1 })),
+        (
+            "trimmed-mean 10%",
+            Box::new(TrimmedMean { trim_fraction: 0.1 }),
+        ),
         ("median", Box::new(CoordinateMedian)),
         ("norm-bound 3x", Box::new(NormBound { factor: 3.0 })),
     ];
@@ -80,8 +83,7 @@ fn main() {
     }
     let benign_count = uploads.len();
     let public = PublicView::sample(&train, 0.05, 2);
-    let mut attack =
-        FedRecAttack::new(AttackConfig::new(targets.clone()), public, num_malicious);
+    let mut attack = FedRecAttack::new(AttackConfig::new(targets.clone()), public, num_malicious);
     let selected: Vec<usize> = (0..num_malicious).collect();
     let ctx = RoundCtx {
         round: 0,

@@ -84,7 +84,11 @@ fn fedrecattack_respects_kappa_and_clip_every_round() {
     let mut sim = Simulation::new(&train, fed, Box::new(auditor), malicious);
     sim.run(None);
 
-    assert_eq!(*rounds.borrow(), 30, "full participation poisons each round");
+    assert_eq!(
+        *rounds.borrow(),
+        30,
+        "full participation poisons each round"
+    );
     let v = violations.borrow();
     assert!(v.is_empty(), "constraint violations: {v:?}");
 }

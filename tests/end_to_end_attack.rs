@@ -41,7 +41,10 @@ fn headline_attack_effectiveness() {
     let (er10, _, _) = run(&train, &test, &targets, Box::new(attack), malicious, 60, 1);
     let (er_none, _, _) = run(&train, &test, &targets, Box::new(NoAttack), 0, 60, 1);
     assert!(er10 > 0.55, "attack ER@10 too low: {er10}");
-    assert!(er_none < 0.05, "cold target should start unexposed: {er_none}");
+    assert!(
+        er_none < 0.05,
+        "cold target should start unexposed: {er_none}"
+    );
 }
 
 /// Claim 2 (§V-D): side effects are small — HR under attack within a few

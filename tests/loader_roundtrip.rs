@@ -67,7 +67,11 @@ fn steam_format_roundtrip() {
     let original = SyntheticConfig::smoke_sparse().generate(5);
     let mut content = String::new();
     for (u, v) in original.iter() {
-        content.push_str(&format!("{},Game Number {v},play,{}.0,0\n", u + 10_000, v + 1));
+        content.push_str(&format!(
+            "{},Game Number {v},play,{}.0,0\n",
+            u + 10_000,
+            v + 1
+        ));
     }
     let path = write_temp("roundtrip-steam.csv", &content);
     let loaded = fedrecattack::data::loader::load_steam_200k(&path).expect("load");
