@@ -37,6 +37,22 @@ pub enum AttackMethod {
 }
 
 impl AttackMethod {
+    /// Every method, in the paper's table order. The scenario-matrix
+    /// runner and CLI parse `"all"` into this list.
+    pub const ALL: [AttackMethod; 11] = [
+        AttackMethod::None,
+        AttackMethod::Random,
+        AttackMethod::Bandwagon,
+        AttackMethod::Popular,
+        AttackMethod::ExplicitBoost,
+        AttackMethod::PipAttack,
+        AttackMethod::P3,
+        AttackMethod::P4,
+        AttackMethod::P1,
+        AttackMethod::P2,
+        AttackMethod::FedRecAttack,
+    ];
+
     /// Display name used in reports (matches the paper's tables).
     pub fn label(&self) -> &'static str {
         match self {
@@ -196,19 +212,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_all_labels() {
-        for m in [
-            AttackMethod::None,
-            AttackMethod::Random,
-            AttackMethod::Bandwagon,
-            AttackMethod::Popular,
-            AttackMethod::ExplicitBoost,
-            AttackMethod::PipAttack,
-            AttackMethod::P3,
-            AttackMethod::P4,
-            AttackMethod::P1,
-            AttackMethod::P2,
-            AttackMethod::FedRecAttack,
-        ] {
+        for m in AttackMethod::ALL {
             assert_eq!(AttackMethod::parse(m.label()), Some(m), "{}", m.label());
         }
         assert_eq!(AttackMethod::parse("garbage"), None);
@@ -228,19 +232,7 @@ mod tests {
             k: 8,
             seed: 3,
         };
-        for m in [
-            AttackMethod::None,
-            AttackMethod::Random,
-            AttackMethod::Bandwagon,
-            AttackMethod::Popular,
-            AttackMethod::ExplicitBoost,
-            AttackMethod::PipAttack,
-            AttackMethod::P3,
-            AttackMethod::P4,
-            AttackMethod::P1,
-            AttackMethod::P2,
-            AttackMethod::FedRecAttack,
-        ] {
+        for m in AttackMethod::ALL {
             let adv = build_adversary(m, &env);
             assert!(!adv.name().is_empty());
         }

@@ -1,0 +1,83 @@
+//! Throughput of the scenario-matrix fan-out: a fixed attack×defense×ρ
+//! grid run through `run_matrix_collect` (the IO-free path, so the bench
+//! measures simulation + defense + evaluation, not disk) at increasing
+//! worker counts, plus the single-cell baselines that bound it. Measured
+//! numbers are recorded in BENCH_scenario_matrix.json at the repository
+//! root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_baselines::registry::AttackMethod;
+use fedrec_experiments::matrix::{run_cell, run_matrix_collect, CellSpec, DefenseKind};
+use fedrec_experiments::{MatrixConfig, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// 3 attacks × 3 defenses × 2 ρ = 18 cells at 4 epochs each.
+fn grid(workers: usize) -> MatrixConfig {
+    MatrixConfig {
+        attacks: vec![
+            AttackMethod::None,
+            AttackMethod::Random,
+            AttackMethod::FedRecAttack,
+        ],
+        defenses: vec![
+            DefenseKind::None,
+            DefenseKind::TrimmedMean,
+            DefenseKind::DetectorGated,
+        ],
+        rhos: vec![0.0, 0.05],
+        eval_every: 2,
+        epochs: Some(4),
+        workers,
+        ..MatrixConfig::new(Scale::Smoke, 5)
+    }
+}
+
+fn bench_matrix_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_matrix");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize];
+    for t in [2, 4, 8] {
+        if t <= hw && !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    for &w in &counts {
+        let cfg = grid(w);
+        g.bench_function(format!("grid18/workers/{w}"), |b| {
+            b.iter(|| black_box(run_matrix_collect(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// Per-cell cost of the two extreme arms: the undefended baseline and the
+/// detector-gated pipeline (detection is O(n²) cosine in the similarity
+/// case, so this bounds what the gate adds per round).
+fn bench_single_cells(c: &mut Criterion) {
+    let cfg = grid(1);
+    let mut g = c.benchmark_group("scenario_cell");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(5));
+    for (name, defense) in [
+        ("undefended", DefenseKind::None),
+        ("detector_gated", DefenseKind::DetectorGated),
+    ] {
+        let cell = CellSpec {
+            attack: AttackMethod::FedRecAttack,
+            defense,
+            rho: 0.05,
+        };
+        g.bench_function(name, |b| b.iter(|| black_box(run_cell(&cfg, &cell))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix_fanout, bench_single_cells);
+criterion_main!(benches);

@@ -245,6 +245,62 @@ mod tests {
         assert!((5.8..6.4).contains(&got), "got {got}");
     }
 
+    /// With `n <= f + 2` the neighbor count clamps to 1 instead of
+    /// underflowing; Krum degrades to nearest-neighbor selection but must
+    /// stay well-defined and deterministic.
+    #[test]
+    fn krum_tiny_population_clamps_neighbor_count() {
+        let updates = vec![
+            grad(2, &[(0, 1.0)]),
+            grad(2, &[(0, 1.1)]),
+            grad(2, &[(0, 50.0)]),
+        ];
+        let krum = Krum {
+            assumed_byzantine: 2, // n = 3 <= f + 2 = 4
+        };
+        let idx = krum.select(&updates).unwrap();
+        assert!(idx < 2, "nearest-neighbor fallback picked the outlier");
+        let agg = krum.aggregate(&updates, 4, 2);
+        assert!(agg.get(0).unwrap().iter().all(|x| x.is_finite()));
+        // Scaled by n = 3, honest value ~1.0.
+        assert!((2.8..3.5).contains(&agg.get(0).unwrap()[0]));
+    }
+
+    #[test]
+    fn krum_two_updates_selects_deterministically() {
+        // n = 2: each update's only neighbor is the other, so both score
+        // identically; the strict `<` comparison must keep the first.
+        let updates = vec![grad(2, &[(0, 1.0)]), grad(2, &[(0, 2.0)])];
+        let krum = Krum {
+            assumed_byzantine: 3,
+        };
+        assert_eq!(krum.select(&updates), Some(0));
+    }
+
+    /// All-identical updates score identically everywhere; selection must
+    /// break the tie to the first index every time (no ordering
+    /// nondeterminism), and Multi-Krum's stable sort must preserve index
+    /// order so its average equals the plain sum.
+    #[test]
+    fn krum_identical_updates_tie_break_is_first_index() {
+        let updates = vec![grad(2, &[(3, 1.5)]); 5];
+        let krum = Krum {
+            assumed_byzantine: 1,
+        };
+        for _ in 0..10 {
+            assert_eq!(krum.select(&updates), Some(0));
+        }
+        let agg = krum.aggregate(&updates, 4, 2);
+        // One identical update scaled by n = 5 == the sum of all five.
+        assert!((agg.get(3).unwrap()[0] - 7.5).abs() < 1e-5);
+        let mk = MultiKrum {
+            assumed_byzantine: 1,
+            keep: 3,
+        };
+        let agg = mk.aggregate(&updates, 4, 2);
+        assert!((agg.get(3).unwrap()[0] - 7.5).abs() < 1e-5);
+    }
+
     #[test]
     fn krum_handles_empty_and_single() {
         let krum = Krum {

@@ -11,56 +11,46 @@
 //! * [`SimilarityDetector`] — flags groups of clients uploading unusually
 //!   *similar* updates (coordinated malicious clients pushing the same
 //!   target rows look alike; honest clients rarely do).
+//!
+//! Both implement the round loop's
+//! [`Detector`](fedrec_federated::defense::Detector) trait, so either can
+//! be attached to a [`DefensePipeline`](fedrec_federated::DefensePipeline)
+//! and run *inside* federated training. In-loop, a flagged client's
+//! upload is excluded **from that round's aggregation onward** (gated
+//! mode), which feeds back into every later round — unlike offline
+//! scoring, where the same detector merely grades a captured round of
+//! traffic after the fact and training is unaffected. The
+//! [`DetectionReport`] type itself lives in `fedrec-federated` (the round
+//! loop records one per round) and is re-exported here.
 
+pub use fedrec_federated::defense::{DetectionReport, Detector};
 use fedrec_linalg::{stats, SparseGrad};
 
-/// Per-round detection outcome.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DetectionReport {
-    /// Per-client anomaly score (higher = more suspicious).
-    pub scores: Vec<f32>,
-    /// Indices flagged by the detector's threshold.
-    pub flagged: Vec<usize>,
-}
-
-impl DetectionReport {
-    /// Fraction of the given (ground-truth malicious) indices that were
-    /// flagged — the detector's recall.
-    pub fn recall(&self, malicious: &[usize]) -> f64 {
-        if malicious.is_empty() {
-            return 0.0;
-        }
-        let hit = malicious
-            .iter()
-            .filter(|m| self.flagged.contains(m))
-            .count();
-        hit as f64 / malicious.len() as f64
-    }
-
-    /// Fraction of flagged clients that are actually malicious — the
-    /// detector's precision (1.0 when nothing is flagged).
-    pub fn precision(&self, malicious: &[usize]) -> f64 {
-        if self.flagged.is_empty() {
-            return 1.0;
-        }
-        let hit = self
-            .flagged
-            .iter()
-            .filter(|f| malicious.contains(f))
-            .count();
-        hit as f64 / self.flagged.len() as f64
-    }
-}
-
-/// Flags clients whose update Frobenius norm deviates from the round mean
-/// by more than `z_threshold` standard deviations.
+/// Flags clients whose update Frobenius norm is an outlier for the round.
+///
+/// By default only the *high* side is flagged (`z > z_threshold`):
+/// poisoning has to inject signal, so attack uploads sit at or above the
+/// benign norm range, while unusually *small* norms are ordinary honest
+/// users with few interactions (or a quiet round) — flagging them is a
+/// guaranteed false positive. Set [`two_sided`](Self::two_sided) to also
+/// flag the low side (`|z| > z_threshold`), the historical behavior.
 #[derive(Debug, Clone, Copy)]
 pub struct NormDetector {
     /// Z-score threshold (e.g. 3.0).
     pub z_threshold: f32,
+    /// Flag `|z| > z_threshold` instead of `z > z_threshold`.
+    pub two_sided: bool,
 }
 
 impl NormDetector {
+    /// One-sided (high-norm) detector with the given threshold.
+    pub fn new(z_threshold: f32) -> Self {
+        Self {
+            z_threshold,
+            two_sided: false,
+        }
+    }
+
     /// Score one round of uploads.
     pub fn inspect(&self, updates: &[SparseGrad]) -> DetectionReport {
         let norms: Vec<f32> = updates
@@ -69,7 +59,17 @@ impl NormDetector {
             .collect();
         let mean = stats::mean(&norms);
         let sd = stats::std_dev(&norms).max(1e-9);
-        let scores: Vec<f32> = norms.iter().map(|n| ((n - mean) / sd).abs()).collect();
+        let scores: Vec<f32> = norms
+            .iter()
+            .map(|n| {
+                let z = (n - mean) / sd;
+                if self.two_sided {
+                    z.abs()
+                } else {
+                    z
+                }
+            })
+            .collect();
         let flagged = scores
             .iter()
             .enumerate()
@@ -77,6 +77,22 @@ impl NormDetector {
             .map(|(i, _)| i)
             .collect();
         DetectionReport { scores, flagged }
+    }
+}
+
+impl Default for NormDetector {
+    fn default() -> Self {
+        Self::new(3.0)
+    }
+}
+
+impl Detector for NormDetector {
+    fn inspect(&self, updates: &[SparseGrad]) -> DetectionReport {
+        NormDetector::inspect(self, updates)
+    }
+
+    fn name(&self) -> &'static str {
+        "norm"
     }
 }
 
@@ -124,6 +140,16 @@ impl SimilarityDetector {
     }
 }
 
+impl Detector for SimilarityDetector {
+    fn inspect(&self, updates: &[SparseGrad]) -> DetectionReport {
+        SimilarityDetector::inspect(self, updates)
+    }
+
+    fn name(&self) -> &'static str {
+        "similarity"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,7 +168,7 @@ mod tests {
             .map(|i| grad(2, &[(i, 1.0 + 0.05 * i as f32)]))
             .collect();
         updates.push(grad(2, &[(0, 500.0)]));
-        let rep = NormDetector { z_threshold: 2.5 }.inspect(&updates);
+        let rep = NormDetector::new(2.5).inspect(&updates);
         assert_eq!(rep.flagged, vec![10]);
         assert_eq!(rep.recall(&[10]), 1.0);
         assert_eq!(rep.precision(&[10]), 1.0);
@@ -151,7 +177,7 @@ mod tests {
     #[test]
     fn norm_detector_passes_homogeneous_round() {
         let updates: Vec<SparseGrad> = (0..8).map(|i| grad(2, &[(i, 1.0)])).collect();
-        let rep = NormDetector { z_threshold: 3.0 }.inspect(&updates);
+        let rep = NormDetector::new(3.0).inspect(&updates);
         assert!(rep.flagged.is_empty());
     }
 
@@ -163,8 +189,45 @@ mod tests {
             .map(|i| grad(2, &[(i, 1.0 + 0.05 * i as f32)]))
             .collect();
         updates.push(grad(2, &[(0, 1.02)])); // the "attack"
-        let rep = NormDetector { z_threshold: 2.5 }.inspect(&updates);
+        let rep = NormDetector::new(2.5).inspect(&updates);
         assert_eq!(rep.recall(&[10]), 0.0, "clipped attack should evade");
+    }
+
+    /// Regression test for the one-sidedness fix: a low-interaction honest
+    /// client uploads a tiny-but-normal gradient. The old `.abs()` z-score
+    /// flagged it as an attacker; the one-sided default must not.
+    #[test]
+    fn norm_detector_spares_low_interaction_honest_client() {
+        // Eleven ordinary clients near norm ~1.4, one honest client with a
+        // single interaction (norm ~0.014).
+        let mut updates: Vec<SparseGrad> = (0..11).map(|i| grad(2, &[(i, 1.0)])).collect();
+        updates.push(grad(2, &[(11, 0.01)]));
+        let one_sided = NormDetector::new(3.0);
+        let rep = one_sided.inspect(&updates);
+        assert!(
+            rep.flagged.is_empty(),
+            "low-norm honest client must not be flagged: {:?}",
+            rep.flagged
+        );
+        // The historical two-sided variant exhibits the bug: the small
+        // norm is a >3σ *downward* outlier and gets flagged.
+        let two_sided = NormDetector {
+            two_sided: true,
+            ..one_sided
+        };
+        let rep = two_sided.inspect(&updates);
+        assert_eq!(
+            rep.flagged,
+            vec![11],
+            "two-sided variant should flag the low side"
+        );
+    }
+
+    #[test]
+    fn norm_detector_default_is_one_sided() {
+        let d = NormDetector::default();
+        assert!(!d.two_sided);
+        assert_eq!(d.z_threshold, 3.0);
     }
 
     #[test]
@@ -203,12 +266,36 @@ mod tests {
         };
         assert_eq!(rep.precision(&[1]), 0.5);
         assert_eq!(rep.recall(&[1, 2]), 0.5);
-        assert_eq!(rep.recall(&[]), 0.0);
+    }
+
+    /// Regression test for the empty-set convention fix: with zero
+    /// malicious clients there is nothing to miss, so recall is vacuously
+    /// perfect (mirroring precision's empty-flagged convention). The old
+    /// 0.0 dragged down every `ρ = 0` baseline row of grid averages.
+    #[test]
+    fn recall_is_vacuously_perfect_without_malicious_clients() {
+        let rep = DetectionReport {
+            scores: vec![0.0; 4],
+            flagged: vec![2],
+        };
+        assert_eq!(rep.recall(&[]), 1.0);
+    }
+
+    /// The sorted-lookup rewrite must not care about input order.
+    #[test]
+    fn metrics_are_order_insensitive() {
+        let rep = DetectionReport {
+            scores: vec![0.0; 6],
+            flagged: vec![5, 1, 3],
+        };
+        assert_eq!(rep.precision(&[3, 5, 0]), rep.precision(&[0, 5, 3]));
+        assert_eq!(rep.recall(&[5, 0]), 0.5);
+        assert_eq!(rep.precision(&[1, 3, 5]), 1.0);
     }
 
     #[test]
     fn empty_round_is_clean() {
-        let rep = NormDetector { z_threshold: 3.0 }.inspect(&[]);
+        let rep = NormDetector::new(3.0).inspect(&[]);
         assert!(rep.flagged.is_empty());
         let rep = SimilarityDetector {
             cosine_threshold: 0.9,
@@ -217,5 +304,16 @@ mod tests {
         .inspect(&[]);
         assert!(rep.flagged.is_empty());
         assert_eq!(rep.precision(&[]), 1.0);
+    }
+
+    #[test]
+    fn detectors_expose_trait_names() {
+        let n: &dyn Detector = &NormDetector::new(3.0);
+        let s: &dyn Detector = &SimilarityDetector {
+            cosine_threshold: 0.9,
+            min_pairs: 2,
+        };
+        assert_eq!(n.name(), "norm");
+        assert_eq!(s.name(), "similarity");
     }
 }

@@ -4,15 +4,38 @@
 //! byzantine-robust aggregation (Krum, trimmed mean, median — citing Yin
 //! et al. \[52\]) and poisoned-gradient detection \[51\]. This crate
 //! implements both so the repository can *measure* how FedRecAttack fares
-//! against them (the `ablation_defenses` bench and the
-//! `defense_evaluation` example):
+//! against them (the `repro matrix` scenario grid, the
+//! `ablation_defenses` bench and the `defense_evaluation` example):
 //!
 //! * [`aggregation`] — [`aggregation::Krum`], [`aggregation::MultiKrum`],
 //!   [`aggregation::TrimmedMean`], [`aggregation::CoordinateMedian`] and
 //!   [`aggregation::NormBound`], all implementing the federated server's
 //!   [`fedrec_federated::server::Aggregator`] trait.
 //! * [`detection`] — gradient-norm and cosine-similarity anomaly scoring
-//!   over per-client uploads.
+//!   over per-client uploads, implementing the round loop's
+//!   [`fedrec_federated::defense::Detector`] trait.
+//!
+//! # In-loop exclusion vs. offline scoring
+//!
+//! Every detector here can be used two ways, and the results mean
+//! different things:
+//!
+//! * **Offline scoring** — capture one round of uploads, call
+//!   `inspect`, read precision/recall. Training is untouched; this
+//!   measures the detector's *signal* in isolation (the `repro detection`
+//!   table).
+//! * **In-loop exclusion** — attach the detector to a
+//!   [`DefensePipeline`] in gated mode and hand that to
+//!   [`fedrec_federated::Simulation::with_defense`]. Now a flag in round
+//!   `t` removes that upload before aggregation, which changes
+//!   `V^{t+1}` and therefore everything the detector (and the attacker)
+//!   sees in round `t+1`. False positives stop being cosmetic: each one
+//!   deletes a benign client's contribution for the round, trading
+//!   recommendation accuracy for robustness. The per-round
+//!   [`fedrec_federated::RoundDefense`] records in the training history
+//!   capture exactly that trajectory. A pipeline in *monitored* mode
+//!   records the same trajectory without excluding anyone, so a run can
+//!   be graded without being perturbed.
 //!
 //! A practical subtlety the paper calls out (§V-D, §VI): in federated
 //! *recommendation* the honest gradients themselves vary wildly across
@@ -28,4 +51,5 @@ pub mod aggregation;
 pub mod detection;
 
 pub use aggregation::{CoordinateMedian, Krum, MultiKrum, NormBound, TrimmedMean};
-pub use detection::{DetectionReport, NormDetector, SimilarityDetector};
+pub use detection::{DetectionReport, Detector, NormDetector, SimilarityDetector};
+pub use fedrec_federated::defense::DefensePipeline;

@@ -171,7 +171,12 @@ macro_rules! float_range_strategy {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
-                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // The unit draw is < 1.0 in f64, but the cast (and the
+                // multiply) can round up far enough to land exactly on
+                // the exclusive upper bound; fold that measure-zero edge
+                // back into the range.
+                if v < self.end { v } else { self.start }
             }
         }
     )*};

@@ -1,22 +1,39 @@
-//! `repro` — regenerate any table or figure of the paper.
+//! `repro` — regenerate any table or figure of the paper, or run the
+//! defended attack×defense×ρ scenario matrix.
 //!
 //! ```text
 //! repro <experiment> [--scale smoke|paper] [--seed N] [--dataset ml100k|ml1m|steam]
 //!       [--eval-every N] [--csv] [--out FILE]
 //!
 //! experiments: table2 table3 table4 table5 table6 table7 table8 table9
-//!              fig3 defenses all
+//!              fig3 defenses detection all
+//!
+//! repro matrix [--attacks a,b,..|all] [--defenses d,e,..|all] [--rhos r1,r2,..]
+//!       [--out-dir DIR] [--workers N] [--epochs N] [--scale ...] [--seed N]
+//!       [--dataset ...] [--eval-every N] [--smoke]
+//! repro cell --attack A --defense D --rho R [--epochs N] [--scale ...]
+//!       [--seed N] [--dataset ...] [--eval-every N] [--out FILE]
+//! repro report --dir DIR [--csv] [--out FILE]
 //! ```
 //!
 //! `--scale smoke` (default) runs in seconds on miniature datasets;
 //! `--scale paper` reproduces the full §V-A protocol (much slower).
+//! `matrix --smoke` runs a tiny fixed grid, checks every record's schema
+//! and reruns one cell standalone to assert byte-identical output — the
+//! CI determinism gate.
 
+use fedrec_baselines::registry::AttackMethod;
+use fedrec_experiments::matrix::{
+    self, matrix_report, matrix_report_from, run_cell_into, run_matrix, CellSpec, DefenseKind,
+    MatrixConfig,
+};
 use fedrec_experiments::{
     fig3_side_effects, table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
     table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation,
     DatasetId, Scale, Table,
 };
 use std::io::Write;
+use std::path::PathBuf;
 
 struct Args {
     experiment: String,
@@ -26,13 +43,29 @@ struct Args {
     eval_every: usize,
     csv: bool,
     out: Option<String>,
+    // matrix / cell / report options
+    attacks: Option<Vec<AttackMethod>>,
+    defenses: Option<Vec<DefenseKind>>,
+    rhos: Option<Vec<f64>>,
+    attack: Option<AttackMethod>,
+    defense: Option<DefenseKind>,
+    rho: Option<f64>,
+    epochs: Option<usize>,
+    workers: Option<usize>,
+    out_dir: Option<PathBuf>,
+    dir: Option<PathBuf>,
+    smoke: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table2|table3|table4|table5|table6|table7|table8|table9|fig3|defenses|detection|all>\n\
          \x20      [--scale smoke|paper] [--seed N] [--dataset ml100k|ml1m|steam]\n\
-         \x20      [--eval-every N] [--csv] [--out FILE]"
+         \x20      [--eval-every N] [--csv] [--out FILE]\n\
+         \x20 repro matrix [--attacks a,b|all] [--defenses d,e|all] [--rhos r1,r2]\n\
+         \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [shared flags]\n\
+         \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
+         \x20 repro report --dir DIR [--csv] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -46,6 +79,17 @@ fn parse_args() -> Args {
         eval_every: 10,
         csv: false,
         out: None,
+        attacks: None,
+        defenses: None,
+        rhos: None,
+        attack: None,
+        defense: None,
+        rho: None,
+        epochs: None,
+        workers: None,
+        out_dir: None,
+        dir: None,
+        smoke: false,
     };
     let mut it = std::env::args().skip(1);
     match it.next() {
@@ -53,29 +97,203 @@ fn parse_args() -> Args {
         None => usage(),
     }
     while let Some(flag) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--scale" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.scale = Scale::parse(&v).unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.seed = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--dataset" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.dataset = DatasetId::parse(&v).unwrap_or_else(|| usage());
-            }
-            "--eval-every" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.eval_every = v.parse().unwrap_or_else(|_| usage());
-            }
+            "--scale" => args.scale = Scale::parse(&next()).unwrap_or_else(|| usage()),
+            "--seed" => args.seed = next().parse().unwrap_or_else(|_| usage()),
+            "--dataset" => args.dataset = DatasetId::parse(&next()).unwrap_or_else(|| usage()),
+            "--eval-every" => args.eval_every = next().parse().unwrap_or_else(|_| usage()),
             "--csv" => args.csv = true,
-            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => args.out = Some(next()),
+            "--attacks" => args.attacks = Some(parse_attacks(&next())),
+            "--defenses" => args.defenses = Some(parse_defenses(&next())),
+            "--rhos" => args.rhos = Some(parse_rhos(&next())),
+            "--attack" => {
+                args.attack = Some(AttackMethod::parse(&next()).unwrap_or_else(|| usage()))
+            }
+            "--defense" => {
+                args.defense = Some(DefenseKind::parse(&next()).unwrap_or_else(|| usage()))
+            }
+            "--rho" => args.rho = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--epochs" => args.epochs = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--workers" => args.workers = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--out-dir" => args.out_dir = Some(PathBuf::from(next())),
+            "--dir" => args.dir = Some(PathBuf::from(next())),
+            "--smoke" => args.smoke = true,
             _ => usage(),
         }
     }
     args
+}
+
+fn parse_attacks(s: &str) -> Vec<AttackMethod> {
+    if s.eq_ignore_ascii_case("all") {
+        return AttackMethod::ALL.to_vec();
+    }
+    s.split(',')
+        .map(|a| AttackMethod::parse(a.trim()).unwrap_or_else(|| usage()))
+        .collect()
+}
+
+fn parse_defenses(s: &str) -> Vec<DefenseKind> {
+    if s.eq_ignore_ascii_case("all") {
+        return DefenseKind::ALL.to_vec();
+    }
+    s.split(',')
+        .map(|d| DefenseKind::parse(d.trim()).unwrap_or_else(|| usage()))
+        .collect()
+}
+
+fn parse_rhos(s: &str) -> Vec<f64> {
+    s.split(',')
+        .map(|r| r.trim().parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+fn matrix_config(args: &Args) -> MatrixConfig {
+    let mut cfg = if args.smoke {
+        MatrixConfig::smoke(args.seed)
+    } else {
+        MatrixConfig::new(args.scale, args.seed)
+    };
+    cfg.dataset = args.dataset;
+    if !args.smoke {
+        cfg.eval_every = args.eval_every;
+    }
+    if let Some(a) = &args.attacks {
+        cfg.attacks = a.clone();
+    }
+    if let Some(d) = &args.defenses {
+        cfg.defenses = d.clone();
+    }
+    if let Some(r) = &args.rhos {
+        cfg.rhos = r.clone();
+    }
+    if let Some(e) = args.epochs {
+        cfg.epochs = Some(e);
+    }
+    if let Some(w) = args.workers {
+        cfg.workers = w.max(1);
+    }
+    cfg
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(1);
+}
+
+fn cmd_matrix(args: &Args) {
+    let cfg = matrix_config(args);
+    let out_dir = args.out_dir.clone().unwrap_or_else(|| {
+        PathBuf::from(if args.smoke {
+            "target/matrix-smoke"
+        } else {
+            "matrix-out"
+        })
+    });
+    if args.smoke {
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+    let started = std::time::Instant::now();
+    let outcomes =
+        run_matrix(&cfg, &out_dir).unwrap_or_else(|e| fail(&format!("matrix run failed: {e}")));
+    let records: usize = outcomes.iter().map(|o| o.records).sum();
+    eprintln!(
+        "ran {} cells ({} records) into {} with {} workers in {:.1}s",
+        outcomes.len(),
+        records,
+        out_dir.display(),
+        cfg.workers,
+        started.elapsed().as_secs_f64()
+    );
+    if args.smoke {
+        smoke_checks(&cfg, &outcomes);
+    } else {
+        // Report over exactly the cells this run wrote — the directory
+        // may hold files from earlier runs with other grids.
+        let paths: Vec<std::path::PathBuf> = outcomes.iter().map(|o| o.path.clone()).collect();
+        let table =
+            matrix_report_from(&paths).unwrap_or_else(|e| fail(&format!("report failed: {e}")));
+        print!(
+            "{}",
+            if args.csv {
+                table.to_csv()
+            } else {
+                table.to_markdown()
+            }
+        );
+    }
+}
+
+/// The CI gate behind `matrix --smoke`: every record parses against the
+/// schema, and one cell rerun standalone reproduces its file bytes.
+fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
+    let mut checked = 0usize;
+    for o in outcomes {
+        let text = std::fs::read_to_string(&o.path)
+            .unwrap_or_else(|e| fail(&format!("read {}: {e}", o.path.display())));
+        for line in text.lines() {
+            matrix::validate_record(line).unwrap_or_else(|e| fail(&format!("schema: {e}")));
+            checked += 1;
+        }
+    }
+    let probe = outcomes
+        .last()
+        .unwrap_or_else(|| fail("smoke grid produced no cells"));
+    let rerun = matrix::run_cell(cfg, &probe.cell).join("\n") + "\n";
+    let original = std::fs::read_to_string(&probe.path)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", probe.path.display())));
+    if rerun != original {
+        fail(&format!(
+            "determinism: standalone rerun of cell {} diverged from its file",
+            probe.cell.id()
+        ));
+    }
+    println!(
+        "smoke OK: {checked} records schema-valid, cell {} byte-identical on standalone rerun",
+        probe.cell.id()
+    );
+}
+
+fn cmd_cell(args: &Args) {
+    let (Some(attack), Some(defense), Some(rho)) = (args.attack, args.defense, args.rho) else {
+        usage()
+    };
+    let cfg = matrix_config(args);
+    let cell = CellSpec {
+        attack,
+        defense,
+        rho,
+    };
+    match &args.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
+            let mut w = std::io::BufWriter::new(file);
+            let n = run_cell_into(&cfg, &cell, &mut w)
+                .unwrap_or_else(|e| fail(&format!("cell failed: {e}")));
+            w.flush().unwrap_or_else(|e| fail(&format!("flush: {e}")));
+            eprintln!("wrote {n} records for cell {} to {path}", cell.id());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            run_cell_into(&cfg, &cell, &mut w)
+                .unwrap_or_else(|e| fail(&format!("cell failed: {e}")));
+        }
+    }
+}
+
+fn cmd_report(args: &Args) {
+    let dir = args.dir.clone().unwrap_or_else(|| usage());
+    let table = matrix_report(&dir).unwrap_or_else(|e| fail(&format!("report failed: {e}")));
+    let rendered = if args.csv {
+        format!("# {}\n{}\n", table.title, table.to_csv())
+    } else {
+        format!("{}\n", table.to_markdown())
+    };
+    emit(&rendered, args, 1);
 }
 
 fn run_one(name: &str, args: &Args) -> Vec<Table> {
@@ -121,8 +339,25 @@ fn run_one(name: &str, args: &Args) -> Vec<Table> {
     }
 }
 
+fn emit(rendered: &str, args: &Args, tables: usize) {
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).expect("create output file");
+            f.write_all(rendered.as_bytes()).expect("write output");
+            eprintln!("wrote {tables} table(s) to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
+    match args.experiment.as_str() {
+        "matrix" => return cmd_matrix(&args),
+        "cell" => return cmd_cell(&args),
+        "report" => return cmd_report(&args),
+        _ => {}
+    }
     let started = std::time::Instant::now();
     let tables = run_one(&args.experiment, &args);
     let rendered: String = tables
@@ -135,23 +370,10 @@ fn main() {
             }
         })
         .collect();
-    match &args.out {
-        Some(path) => {
-            let mut f = std::fs::File::create(path).expect("create output file");
-            f.write_all(rendered.as_bytes()).expect("write output");
-            eprintln!(
-                "wrote {} table(s) to {path} in {:.1}s",
-                tables.len(),
-                started.elapsed().as_secs_f64()
-            );
-        }
-        None => {
-            print!("{rendered}");
-            eprintln!(
-                "({} table(s) in {:.1}s)",
-                tables.len(),
-                started.elapsed().as_secs_f64()
-            );
-        }
-    }
+    emit(&rendered, &args, tables.len());
+    eprintln!(
+        "({} table(s) in {:.1}s)",
+        tables.len(),
+        started.elapsed().as_secs_f64()
+    );
 }

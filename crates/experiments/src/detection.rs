@@ -88,7 +88,7 @@ pub fn extension_detection(scale: Scale, seed: u64) -> Table {
             "similarity precision",
         ],
     );
-    let norm = NormDetector { z_threshold: 3.0 };
+    let norm = NormDetector::new(3.0);
     let sim = SimilarityDetector {
         cosine_threshold: 0.9,
         min_pairs: 2,

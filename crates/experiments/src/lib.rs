@@ -27,6 +27,7 @@
 
 pub mod detection;
 pub mod fig3;
+pub mod matrix;
 pub mod paper_ref;
 pub mod report;
 pub mod runner;
@@ -35,6 +36,10 @@ pub mod tables;
 
 pub use detection::extension_detection;
 pub use fig3::fig3_side_effects;
+pub use matrix::{
+    matrix_report, matrix_report_from, run_cell, run_matrix, run_matrix_collect, CellSpec,
+    DefenseKind, MatrixConfig,
+};
 pub use report::Table;
 pub use runner::{run_experiment, ExperimentSpec, Outcome};
 pub use scale::{DatasetId, Scale};

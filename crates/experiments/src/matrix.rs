@@ -1,0 +1,871 @@
+//! The scenario matrix: every attack × every defense × every ρ, in
+//! parallel, streamed as JSONL.
+//!
+//! The paper evaluates attacks one table at a time; the §V-D/§VI question
+//! — *how much do standard FL defenses see of each attack, and at what
+//! accuracy cost?* — needs the full grid. This module fans the grid out
+//! across scoped worker threads (the same engine pattern as the federated
+//! round loop: a shared atomic cursor over an id-ordered work list, no
+//! shared mutable state between cells) and streams one JSONL record per
+//! cell per eval epoch into a run directory, one file per cell.
+//!
+//! # Determinism contract
+//!
+//! Every cell derives its RNG seed from the master seed and the cell's
+//! identity alone ([`CellSpec::cell_seed`]), never from scheduling: a
+//! cell rerun standalone (`repro cell`) reproduces its JSONL records
+//! **byte-identically**, regardless of worker count or which other cells
+//! ran. `repro matrix --smoke` asserts exactly that on a tiny grid.
+
+use crate::report::Table;
+use crate::runner::{default_targets, malicious_count, snapshot_model};
+use crate::scale::{DatasetId, Scale};
+use fedrec_baselines::registry::{build_adversary, AttackEnv, AttackMethod};
+use fedrec_data::split::{leave_one_out, TestSet};
+use fedrec_data::{Dataset, PublicView};
+use fedrec_defense::{Krum, NormBound, NormDetector, SimilarityDetector, TrimmedMean};
+use fedrec_federated::defense::{DefensePipeline, Detector};
+use fedrec_federated::history::{RoundDefense, TrainingHistory};
+use fedrec_federated::server::SumAggregator;
+use fedrec_federated::simulation::Snapshot;
+use fedrec_federated::Simulation;
+use fedrec_recsys::eval::{EvalReport, Evaluator};
+use fedrec_recsys::MfModel;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The defense arm of a scenario cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseKind {
+    /// Plain summation — the undefended baseline the paper attacks.
+    None,
+    /// Whole-update norm filtering ([`NormBound`], 3× the median norm).
+    NormClip,
+    /// Krum selection with `f` = the cell's malicious count.
+    Krum,
+    /// Coordinate-wise 10 % trimmed mean.
+    TrimmedMean,
+    /// Similarity-detector-gated sum: flagged uploads are excluded from
+    /// aggregation inside the round loop.
+    DetectorGated,
+}
+
+impl DefenseKind {
+    /// Every defense arm, in report order.
+    pub const ALL: [DefenseKind; 5] = [
+        DefenseKind::None,
+        DefenseKind::NormClip,
+        DefenseKind::Krum,
+        DefenseKind::TrimmedMean,
+        DefenseKind::DetectorGated,
+    ];
+
+    /// Display name (also the JSONL `defense` field and filename part).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::None => "none",
+            DefenseKind::NormClip => "norm-clip",
+            DefenseKind::Krum => "krum",
+            DefenseKind::TrimmedMean => "trimmed-mean",
+            DefenseKind::DetectorGated => "detector-gated",
+        }
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "none" | "sum" => DefenseKind::None,
+            "norm-clip" | "normclip" | "norm-bound" => DefenseKind::NormClip,
+            "krum" => DefenseKind::Krum,
+            "trimmed-mean" | "trimmedmean" | "trim" => DefenseKind::TrimmedMean,
+            "detector-gated" | "detector" | "gated" => DefenseKind::DetectorGated,
+            _ => return None,
+        })
+    }
+
+    /// Build the cell's [`DefensePipeline`]. Aggregation-only defenses
+    /// carry a one-sided norm detector in *monitor* mode so every cell
+    /// records detection trajectories without perturbing training; only
+    /// [`DefenseKind::DetectorGated`] actually excludes flagged uploads.
+    pub fn build(&self, num_malicious: usize) -> DefensePipeline {
+        let monitor = || Box::new(NormDetector::new(3.0)) as Box<dyn Detector>;
+        match self {
+            DefenseKind::None => DefensePipeline::monitored(monitor(), Box::new(SumAggregator)),
+            DefenseKind::NormClip => {
+                DefensePipeline::monitored(monitor(), Box::new(NormBound { factor: 3.0 }))
+            }
+            DefenseKind::Krum => DefensePipeline::monitored(
+                monitor(),
+                Box::new(Krum {
+                    assumed_byzantine: num_malicious.max(1),
+                }),
+            ),
+            DefenseKind::TrimmedMean => {
+                DefensePipeline::monitored(monitor(), Box::new(TrimmedMean { trim_fraction: 0.1 }))
+            }
+            DefenseKind::DetectorGated => DefensePipeline::gated(
+                Box::new(SimilarityDetector {
+                    cosine_threshold: 0.9,
+                    min_pairs: 2,
+                }),
+                Box::new(SumAggregator),
+            ),
+        }
+    }
+}
+
+/// One cell of the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Attack arm.
+    pub attack: AttackMethod,
+    /// Defense arm.
+    pub defense: DefenseKind,
+    /// Malicious-client ratio ρ.
+    pub rho: f64,
+}
+
+impl CellSpec {
+    /// Stable, filename-safe identity, e.g. `fedrecattack_krum_rho0.05`.
+    /// ρ is rendered with `f64`'s shortest-roundtrip formatting so
+    /// distinct ratios can never collide in the id (and therefore in the
+    /// derived seed or the output filename).
+    pub fn id(&self) -> String {
+        format!(
+            "{}_{}_rho{}",
+            self.attack.label().to_ascii_lowercase(),
+            self.defense.label(),
+            self.rho
+        )
+    }
+
+    /// The cell's own seed: a hash of the master seed and the cell
+    /// identity. Independent of grid composition, worker count and run
+    /// order — the heart of the standalone-rerun byte-identity promise.
+    pub fn cell_seed(&self, master: u64) -> u64 {
+        let mut h = mix64(master ^ 0x5EED_CE11);
+        for b in self.id().bytes() {
+            h = mix64(h ^ b as u64);
+        }
+        h
+    }
+}
+
+/// `splitmix64` finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Experiment scale (dataset sizes, epochs, k).
+    pub scale: Scale,
+    /// Which dataset the grid runs on.
+    pub dataset: DatasetId,
+    /// Master seed; every cell seed derives from it.
+    pub seed: u64,
+    /// Attack arms.
+    pub attacks: Vec<AttackMethod>,
+    /// Defense arms.
+    pub defenses: Vec<DefenseKind>,
+    /// Malicious ratios ρ.
+    pub rhos: Vec<f64>,
+    /// Emit one JSONL record every this many epochs (0 = final only).
+    pub eval_every: usize,
+    /// Override the scale's epoch count (None = scale default).
+    pub epochs: Option<usize>,
+    /// Worker threads fanning out over cells.
+    pub workers: usize,
+    /// Public-interaction proportion ξ (FedRecAttack's knowledge).
+    pub xi: f64,
+    /// Row budget κ.
+    pub kappa: usize,
+}
+
+impl MatrixConfig {
+    /// Default grid at the given scale: a representative attack subset,
+    /// every defense, ρ ∈ {0, 5 %}.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            scale,
+            dataset: DatasetId::Ml100k,
+            seed,
+            attacks: vec![
+                AttackMethod::None,
+                AttackMethod::Random,
+                AttackMethod::Popular,
+                AttackMethod::FedRecAttack,
+            ],
+            defenses: DefenseKind::ALL.to_vec(),
+            rhos: vec![0.0, 0.05],
+            eval_every: 10,
+            epochs: None,
+            workers: default_workers(),
+            xi: 0.05,
+            kappa: 60,
+        }
+    }
+
+    /// The tiny grid behind `repro matrix --smoke` and CI: 2 attacks ×
+    /// 2 defenses × 2 ρ at 8 epochs.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            attacks: vec![AttackMethod::None, AttackMethod::FedRecAttack],
+            defenses: vec![DefenseKind::None, DefenseKind::DetectorGated],
+            rhos: vec![0.0, 0.05],
+            eval_every: 4,
+            epochs: Some(8),
+            workers: 2,
+            ..Self::new(Scale::Smoke, seed)
+        }
+    }
+
+    /// The grid's cells, in deterministic (attack, defense, ρ) order.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out =
+            Vec::with_capacity(self.attacks.len() * self.defenses.len() * self.rhos.len());
+        for &attack in &self.attacks {
+            for &defense in &self.defenses {
+                for &rho in &self.rhos {
+                    out.push(CellSpec {
+                        attack,
+                        defense,
+                        rho,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Keys every JSONL record carries, in emission order.
+pub const RECORD_KEYS: [&str; 19] = [
+    "cell",
+    "attack",
+    "defense",
+    "rho",
+    "seed",
+    "epoch",
+    "final",
+    "loss",
+    "er5",
+    "er10",
+    "ndcg10",
+    "hr10",
+    "det_inspected",
+    "det_flagged",
+    "det_excluded",
+    "det_precision",
+    "det_recall",
+    "excluded_total",
+    "malicious",
+];
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The identity fields every record of a cell shares.
+struct CellIdentity<'a> {
+    cell: &'a CellSpec,
+    id: &'a str,
+    seed: u64,
+}
+
+fn render_line(
+    ident: &CellIdentity<'_>,
+    epoch: usize,
+    is_final: bool,
+    loss: f32,
+    rep: &EvalReport,
+    det: Option<&RoundDefense>,
+    excluded_total: usize,
+) -> String {
+    let CellIdentity { cell, id, seed } = *ident;
+    let (inspected, flagged, excluded, precision, recall, malicious) = match det {
+        Some(d) => (
+            d.inspected,
+            d.flagged,
+            d.excluded,
+            d.precision,
+            d.recall,
+            d.malicious,
+        ),
+        None => (0, 0, 0, 1.0, 1.0, 0),
+    };
+    format!(
+        "{{\"cell\":\"{id}\",\"attack\":\"{}\",\"defense\":\"{}\",\"rho\":{},\"seed\":{seed},\
+         \"epoch\":{epoch},\"final\":{is_final},\"loss\":{},\"er5\":{},\"er10\":{},\
+         \"ndcg10\":{},\"hr10\":{},\"det_inspected\":{inspected},\"det_flagged\":{flagged},\
+         \"det_excluded\":{excluded},\"det_precision\":{},\"det_recall\":{},\
+         \"excluded_total\":{excluded_total},\"malicious\":{malicious}}}",
+        cell.attack.label(),
+        cell.defense.label(),
+        num(cell.rho),
+        num(loss as f64),
+        num(rep.attack.er_at_5),
+        num(rep.attack.er_at_10),
+        num(rep.attack.ndcg_at_10),
+        num(rep.hr_at_10),
+        num(precision),
+        num(recall),
+    )
+}
+
+/// The grid-constant world every cell shares: dataset, split, targets.
+/// Derived from the *master* seed only, so it is built once per matrix
+/// run and borrowed by every worker — and a standalone cell rerun
+/// rebuilds the identical world from the same config.
+struct GridWorld {
+    train: Dataset,
+    test: TestSet,
+    targets: Vec<u32>,
+}
+
+impl GridWorld {
+    fn build(cfg: &MatrixConfig) -> Self {
+        let full = cfg.scale.synthetic(cfg.dataset).generate(cfg.seed ^ 0xDA7A);
+        let (train, test) = leave_one_out(&full, cfg.seed ^ 0x10);
+        let targets = default_targets(&train, 1);
+        Self {
+            train,
+            test,
+            targets,
+        }
+    }
+}
+
+/// Run one cell, streaming one JSONL record per eval epoch (plus a final
+/// record) into `sink`. Returns the number of records written.
+///
+/// Everything stochastic derives from `cfg.seed` and the cell identity,
+/// so repeated calls — in any process, under any worker count — produce
+/// byte-identical output.
+pub fn run_cell_into<W: Write>(
+    cfg: &MatrixConfig,
+    cell: &CellSpec,
+    sink: &mut W,
+) -> io::Result<usize> {
+    run_cell_in(cfg, &GridWorld::build(cfg), cell, sink)
+}
+
+fn run_cell_in<W: Write>(
+    cfg: &MatrixConfig,
+    world: &GridWorld,
+    cell: &CellSpec,
+    sink: &mut W,
+) -> io::Result<usize> {
+    let GridWorld {
+        train,
+        test,
+        targets,
+    } = world;
+    let cseed = cell.cell_seed(cfg.seed);
+    let mut fed = cfg.scale.fed_config(cseed);
+    if let Some(epochs) = cfg.epochs {
+        fed.epochs = epochs;
+    }
+    let num_malicious = malicious_count(train.num_users(), cell.rho);
+    let public = PublicView::sample(train, cfg.xi, cseed ^ 0xD1);
+    let env = AttackEnv {
+        full_data: train,
+        public: &public,
+        targets,
+        num_malicious,
+        kappa: cfg.kappa,
+        k: fed.k,
+        seed: cseed ^ 0xA7,
+    };
+    let adversary = build_adversary(cell.attack, &env);
+    let pipeline = cell.defense.build(num_malicious);
+    let mut sim = Simulation::with_defense(train, fed, adversary, num_malicious, pipeline);
+    let evaluator = Evaluator::new(train, test, targets, cseed ^ 0xE7);
+
+    let id = cell.id();
+    let ident = CellIdentity {
+        cell,
+        id: id.as_str(),
+        seed: cseed,
+    };
+    let mut written = 0usize;
+    let mut write_err: Option<io::Error> = None;
+    let history = {
+        let sink = &mut *sink;
+        let written = &mut written;
+        let write_err = &mut write_err;
+        let evaluator = &evaluator;
+        let ident = &ident;
+        let epochs = fed.epochs;
+        let every = cfg.eval_every;
+        let mut hook = move |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
+            let done = snap.epoch + 1;
+            // The final epoch is covered by the summary record below.
+            if every == 0 || !done.is_multiple_of(every) || done == epochs {
+                return;
+            }
+            if write_err.is_some() {
+                return;
+            }
+            let model = snapshot_model(snap);
+            let rep = evaluator.evaluate(&model, train, test);
+            let line = render_line(
+                ident,
+                done,
+                false,
+                snap.loss,
+                &rep,
+                hist.defense.last(),
+                hist.total_excluded(),
+            );
+            match writeln!(sink, "{line}") {
+                Ok(()) => *written += 1,
+                Err(e) => *write_err = Some(e),
+            }
+        };
+        sim.run(Some(&mut hook))
+    };
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+
+    let model = MfModel::from_factors(sim.user_factors(), sim.items().clone());
+    let rep = evaluator.evaluate(&model, train, test);
+    let line = render_line(
+        &ident,
+        sim.config().epochs,
+        true,
+        history.losses.last().copied().unwrap_or(0.0),
+        &rep,
+        history.defense.last(),
+        history.total_excluded(),
+    );
+    writeln!(sink, "{line}")?;
+    Ok(written + 1)
+}
+
+/// Run one cell into memory; the returned lines match what
+/// [`run_matrix`] writes to the cell's file, byte for byte.
+pub fn run_cell(cfg: &MatrixConfig, cell: &CellSpec) -> Vec<String> {
+    cell_lines(cfg, &GridWorld::build(cfg), cell)
+}
+
+fn cell_lines(cfg: &MatrixConfig, world: &GridWorld, cell: &CellSpec) -> Vec<String> {
+    let mut buf = Vec::new();
+    run_cell_in(cfg, world, cell, &mut buf).expect("in-memory sink cannot fail");
+    let text = String::from_utf8(buf).expect("records are UTF-8");
+    text.lines().map(String::from).collect()
+}
+
+/// Fan `cells` out across `workers` scoped threads with a shared atomic
+/// cursor; results come back in cell order.
+fn fan_out<T, F>(cells: &[CellSpec], workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &CellSpec) -> T + Sync,
+{
+    let workers = workers.clamp(1, cells.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(cells.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let out = run(i, cell);
+                slots.lock().expect("worker panicked").push((i, out));
+            });
+        }
+    });
+    let mut slots = slots.into_inner().expect("worker panicked");
+    slots.sort_by_key(|(i, _)| *i);
+    slots.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Run the whole grid in memory (no IO): one `Vec` of JSONL lines per
+/// cell, in cell order. Used by tests and the throughput bench.
+pub fn run_matrix_collect(cfg: &MatrixConfig) -> Vec<(CellSpec, Vec<String>)> {
+    let world = GridWorld::build(cfg);
+    let cells = cfg.cells();
+    let lines = fan_out(&cells, cfg.workers, |_, cell| cell_lines(cfg, &world, cell));
+    cells.into_iter().zip(lines).collect()
+}
+
+/// One written cell of a matrix run.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell.
+    pub cell: CellSpec,
+    /// Its JSONL file.
+    pub path: PathBuf,
+    /// Records written.
+    pub records: usize,
+}
+
+/// Run the whole grid across worker threads, streaming each cell into
+/// `<out_dir>/<cell-id>.jsonl`. Returns the outcomes in cell order.
+pub fn run_matrix(cfg: &MatrixConfig, out_dir: &Path) -> io::Result<Vec<CellOutcome>> {
+    std::fs::create_dir_all(out_dir)?;
+    let world = GridWorld::build(cfg);
+    let cells = cfg.cells();
+    let results = fan_out(&cells, cfg.workers, |_, cell| -> io::Result<CellOutcome> {
+        let path = out_dir.join(format!("{}.jsonl", cell.id()));
+        let file = std::fs::File::create(&path)?;
+        let mut sink = BufWriter::new(file);
+        let records = run_cell_in(cfg, &world, cell, &mut sink)?;
+        sink.flush()?;
+        Ok(CellOutcome {
+            cell: *cell,
+            path,
+            records,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Parse one JSONL record emitted by this module into `(key, value)`
+/// pairs (string values unquoted, everything else verbatim). This is a
+/// deliberately minimal parser for the flat, escape-free objects
+/// [`run_cell_into`] writes — not a general JSON parser.
+pub fn parse_record(line: &str) -> Option<Vec<(String, String)>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut pairs = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+        rest = rest.strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..].strip_prefix(':')?;
+        if let Some(after_quote) = rest.strip_prefix('"') {
+            let end = after_quote.find('"')?;
+            pairs.push((key, after_quote[..end].to_string()));
+            rest = &after_quote[end + 1..];
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            if end == 0 {
+                return None;
+            }
+            pairs.push((key, rest[..end].to_string()));
+            rest = &rest[end..];
+        }
+    }
+    Some(pairs)
+}
+
+/// Validate one record line: parseable, carries every [`RECORD_KEYS`]
+/// key, and its metric fields are numbers in range.
+pub fn validate_record(line: &str) -> Result<(), String> {
+    let pairs = parse_record(line).ok_or_else(|| format!("unparseable record: {line}"))?;
+    let get = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    for key in RECORD_KEYS {
+        if get(key).is_none() {
+            return Err(format!("record missing key {key:?}: {line}"));
+        }
+    }
+    for key in [
+        "er5",
+        "er10",
+        "ndcg10",
+        "hr10",
+        "det_precision",
+        "det_recall",
+    ] {
+        let raw = get(key).expect("checked above");
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("{key} is not a number ({raw:?}): {line}"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{key} out of range ({v}): {line}"));
+        }
+    }
+    match get("final") {
+        Some("true") | Some("false") => Ok(()),
+        other => Err(format!("final is not a bool ({other:?}): {line}")),
+    }
+}
+
+/// Render the defended paper table from a matrix run directory: one row
+/// per cell from its final record, over **every** `.jsonl` file in the
+/// directory — including cells left over from earlier runs with other
+/// grids. To report on exactly one run's cells, use
+/// [`matrix_report_from`] with that run's outcome paths.
+pub fn matrix_report(dir: &Path) -> io::Result<Table> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    entries.sort();
+    matrix_report_from(&entries)
+}
+
+/// Render the defended paper table from specific cell files (one row per
+/// file, from its final record).
+pub fn matrix_report_from(paths: &[PathBuf]) -> io::Result<Table> {
+    let mut rows: Vec<(String, String, f64, Vec<String>)> = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path)?;
+        let finals: Vec<Vec<(String, String)>> = text
+            .lines()
+            .filter_map(parse_record)
+            .filter(|pairs| pairs.iter().any(|(k, v)| k == "final" && v == "true"))
+            .collect();
+        let Some(pairs) = finals.last() else { continue };
+        let get = |key: &str| -> String {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let fmt = |key: &str| -> String {
+            get(key)
+                .parse::<f64>()
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|_| "?".to_string())
+        };
+        rows.push((
+            get("attack"),
+            get("defense"),
+            get("rho").parse().unwrap_or(f64::NAN),
+            vec![
+                get("attack"),
+                get("defense"),
+                get("rho"),
+                fmt("er10"),
+                fmt("hr10"),
+                fmt("det_precision"),
+                fmt("det_recall"),
+                get("excluded_total"),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| {
+        (a.0.as_str(), a.1.as_str())
+            .cmp(&(b.0.as_str(), b.1.as_str()))
+            .then(a.2.total_cmp(&b.2))
+    });
+    let mut t = Table::new(
+        "Scenario matrix: attack x defense x rho (final epoch)",
+        vec![
+            "Attack",
+            "Defense",
+            "rho",
+            "ER@10",
+            "HR@10",
+            "det precision",
+            "det recall",
+            "excluded",
+        ],
+    );
+    for (_, _, _, row) in rows {
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64) -> MatrixConfig {
+        MatrixConfig {
+            attacks: vec![AttackMethod::None, AttackMethod::Random],
+            defenses: vec![DefenseKind::None, DefenseKind::DetectorGated],
+            rhos: vec![0.0, 0.05],
+            eval_every: 2,
+            epochs: Some(4),
+            workers: 2,
+            ..MatrixConfig::new(Scale::Smoke, seed)
+        }
+    }
+
+    #[test]
+    fn defense_kind_parse_roundtrips() {
+        for d in DefenseKind::ALL {
+            assert_eq!(DefenseKind::parse(d.label()), Some(d), "{}", d.label());
+        }
+        assert_eq!(DefenseKind::parse("garbage"), None);
+    }
+
+    #[test]
+    fn cell_ids_are_unique_and_filename_safe() {
+        // Include near-identical rhos that a fixed-precision format would
+        // collapse onto the same id (and therefore the same seed + file).
+        let cells = MatrixConfig {
+            rhos: vec![0.0, 0.0001, 0.0004, 0.001, 0.0014, 0.05],
+            ..MatrixConfig::new(Scale::Smoke, 1)
+        }
+        .cells();
+        let mut ids: Vec<String> = cells.iter().map(CellSpec::id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate cell ids");
+        for id in &ids {
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+                "unsafe filename: {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let cells = MatrixConfig::new(Scale::Smoke, 7).cells();
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.cell_seed(7)).collect();
+        assert_eq!(
+            seeds,
+            cells.iter().map(|c| c.cell_seed(7)).collect::<Vec<_>>()
+        );
+        seeds.sort_unstable();
+        let before = seeds.len();
+        seeds.dedup();
+        assert_eq!(seeds.len(), before, "cell seed collision");
+        // A different master seed moves every cell.
+        assert_ne!(cells[0].cell_seed(7), cells[0].cell_seed(8));
+    }
+
+    #[test]
+    fn records_parse_and_validate() {
+        let cfg = tiny_cfg(3);
+        let cell = CellSpec {
+            attack: AttackMethod::Random,
+            defense: DefenseKind::DetectorGated,
+            rho: 0.05,
+        };
+        let lines = run_cell(&cfg, &cell);
+        // 4 epochs, eval every 2, final epoch folded into the summary
+        // record: epochs 2 (hook) and 4 (final).
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            validate_record(line).unwrap();
+        }
+        let last = parse_record(lines.last().unwrap()).unwrap();
+        let get = |k: &str| {
+            last.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("final"), "true");
+        assert_eq!(get("attack"), "Random");
+        assert_eq!(get("defense"), "detector-gated");
+        assert_eq!(get("epoch"), "4");
+    }
+
+    /// The acceptance criterion: rerunning any single cell standalone
+    /// reproduces its records byte-identically.
+    #[test]
+    fn standalone_cell_rerun_is_byte_identical() {
+        let cfg = tiny_cfg(11);
+        let all = run_matrix_collect(&cfg);
+        assert_eq!(all.len(), 8);
+        for (cell, lines) in &all {
+            let rerun = run_cell(&cfg, cell);
+            assert_eq!(&rerun, lines, "cell {} diverged on rerun", cell.id());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let base = tiny_cfg(13);
+        let one = run_matrix_collect(&MatrixConfig {
+            workers: 1,
+            ..base.clone()
+        });
+        let three = run_matrix_collect(&MatrixConfig { workers: 3, ..base });
+        let flat = |v: &[(CellSpec, Vec<String>)]| -> Vec<String> {
+            v.iter().flat_map(|(_, l)| l.clone()).collect()
+        };
+        assert_eq!(flat(&one), flat(&three));
+    }
+
+    #[test]
+    fn matrix_writes_files_and_report_renders() {
+        let dir =
+            std::env::temp_dir().join(format!("fedrec-matrix-test-{}-report", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = tiny_cfg(17);
+        cfg.attacks = vec![AttackMethod::None, AttackMethod::Random];
+        cfg.defenses = vec![DefenseKind::None];
+        cfg.rhos = vec![0.05];
+        let outcomes = run_matrix(&cfg, &dir).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.path.is_file());
+            assert_eq!(o.records, 2);
+            let text = std::fs::read_to_string(&o.path).unwrap();
+            let rerun = run_cell(&cfg, &o.cell).join("\n") + "\n";
+            assert_eq!(text, rerun, "file bytes differ from standalone rerun");
+        }
+        let table = matrix_report(&dir).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.header.len(), 8);
+        assert!(table.to_markdown().contains("Random"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rho_zero_keeps_vacuous_detection_metrics() {
+        // Regression guard for the recall convention fix: the rho = 0
+        // baseline row must report perfect (vacuous) recall, not 0.0.
+        let cfg = tiny_cfg(19);
+        let cell = CellSpec {
+            attack: AttackMethod::None,
+            defense: DefenseKind::None,
+            rho: 0.0,
+        };
+        let lines = run_cell(&cfg, &cell);
+        for line in &lines {
+            let pairs = parse_record(line).unwrap();
+            let get = |k: &str| {
+                pairs
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap()
+            };
+            assert_eq!(get("malicious"), "0");
+            let recall: f64 = get("det_recall").parse().unwrap();
+            assert_eq!(recall, 1.0, "vacuous recall must be 1.0: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_record_handles_shapes() {
+        let pairs = parse_record("{\"a\":\"x\",\"b\":1.5,\"c\":true}").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_string(), "x".to_string()),
+                ("b".to_string(), "1.5".to_string()),
+                ("c".to_string(), "true".to_string()),
+            ]
+        );
+        assert!(parse_record("not json").is_none());
+        assert!(parse_record("{\"a\":}").is_none());
+    }
+}

@@ -63,7 +63,7 @@ pub fn default_targets(train: &Dataset, count: usize) -> Vec<u32> {
     train.coldest_items(count)
 }
 
-fn snapshot_model(snap: &Snapshot<'_>) -> MfModel {
+pub(crate) fn snapshot_model(snap: &Snapshot<'_>) -> MfModel {
     let k = snap.items.cols();
     let mut users = Matrix::zeros(snap.clients.len(), k);
     for (i, c) in snap.clients.iter().enumerate() {

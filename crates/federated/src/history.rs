@@ -3,7 +3,10 @@
 //! The paper's stealthiness analysis (§V-D) plots training loss and HR@10
 //! per epoch under attack and without. The simulation records the loss
 //! series itself; accuracy/exposure series are appended by evaluation
-//! hooks at whatever cadence the experiment wants.
+//! hooks at whatever cadence the experiment wants. When a defense
+//! pipeline with a detector is attached, the simulation also records one
+//! [`RoundDefense`] per round, so experiments can plot detector
+//! precision/recall trajectories next to ER@K/HR@K.
 
 /// A metric series sampled at specific epochs.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -37,6 +40,32 @@ impl Series {
     }
 }
 
+/// One round's outcome of the in-loop defense pipeline, scored against
+/// the simulation's ground truth (which upload slots were malicious).
+/// Recorded only when a detector is attached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundDefense {
+    /// Round (epoch) index, 0-based.
+    pub epoch: usize,
+    /// Number of uploads the detector inspected this round.
+    pub inspected: usize,
+    /// Number of uploads the detector flagged.
+    pub flagged: usize,
+    /// Number of uploads actually excluded from aggregation (0 in
+    /// monitor-only pipelines).
+    pub excluded: usize,
+    /// Number of ground-truth malicious uploads this round.
+    pub malicious: usize,
+    /// Flagged uploads that really were malicious.
+    pub true_positives: usize,
+    /// Detector precision this round (vacuously 1.0 when nothing was
+    /// flagged).
+    pub precision: f64,
+    /// Detector recall this round (vacuously 1.0 when no malicious
+    /// upload participated).
+    pub recall: f64,
+}
+
 /// Everything a simulation run records.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingHistory {
@@ -47,6 +76,9 @@ pub struct TrainingHistory {
     /// ER@10 per evaluated epoch (attack progress, used by extension
     /// analyses).
     pub er_at_10: Series,
+    /// One record per round when the defense pipeline has a detector,
+    /// in round order; empty otherwise.
+    pub defense: Vec<RoundDefense>,
 }
 
 impl TrainingHistory {
@@ -54,6 +86,26 @@ impl TrainingHistory {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Mean per-round detector precision, if any rounds were recorded.
+    pub fn mean_detector_precision(&self) -> Option<f64> {
+        mean(self.defense.iter().map(|d| d.precision))
+    }
+
+    /// Mean per-round detector recall, if any rounds were recorded.
+    pub fn mean_detector_recall(&self) -> Option<f64> {
+        mean(self.defense.iter().map(|d| d.recall))
+    }
+
+    /// Total uploads excluded from aggregation over the whole run.
+    pub fn total_excluded(&self) -> usize {
+        self.defense.iter().map(|d| d.excluded).sum()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (sum, n) = values.fold((0.0f64, 0usize), |(s, n), v| (s + v, n + 1));
+    (n > 0).then(|| sum / n as f64)
 }
 
 #[cfg(test)]
@@ -78,5 +130,35 @@ mod tests {
         assert!(h.losses.is_empty());
         assert!(h.hr_at_10.is_empty());
         assert!(h.er_at_10.is_empty());
+        assert!(h.defense.is_empty());
+        assert_eq!(h.mean_detector_precision(), None);
+        assert_eq!(h.mean_detector_recall(), None);
+        assert_eq!(h.total_excluded(), 0);
+    }
+
+    #[test]
+    fn defense_summaries_average_rounds() {
+        let mut h = TrainingHistory::new();
+        let base = RoundDefense {
+            epoch: 0,
+            inspected: 10,
+            flagged: 2,
+            excluded: 2,
+            malicious: 1,
+            true_positives: 1,
+            precision: 0.5,
+            recall: 1.0,
+        };
+        h.defense.push(base);
+        h.defense.push(RoundDefense {
+            epoch: 1,
+            precision: 1.0,
+            recall: 0.0,
+            excluded: 3,
+            ..base
+        });
+        assert_eq!(h.mean_detector_precision(), Some(0.75));
+        assert_eq!(h.mean_detector_recall(), Some(0.5));
+        assert_eq!(h.total_excluded(), 5);
     }
 }

@@ -11,7 +11,9 @@
 //! Attacks plug in through the [`adversary::Adversary`] trait: malicious
 //! clients are extra client slots whose uploads are produced by the
 //! adversary instead of by local training. Defenses plug in through the
-//! [`server::Aggregator`] trait.
+//! [`defense::DefensePipeline`] round stage (detector → flagged-client
+//! exclusion → robust aggregation); a bare [`server::Aggregator`] is the
+//! detector-less special case.
 //!
 //! # Example
 //!
@@ -31,10 +33,13 @@
 pub mod adversary;
 pub mod client;
 pub mod config;
+pub mod defense;
 pub mod history;
 pub mod server;
 pub mod simulation;
 
 pub use adversary::{Adversary, NoAttack};
 pub use config::FedConfig;
+pub use defense::{DefensePipeline, DetectionReport, Detector};
+pub use history::RoundDefense;
 pub use simulation::Simulation;

@@ -24,7 +24,8 @@
 use crate::adversary::{Adversary, RoundCtx};
 use crate::client::{BenignClient, RoundScratch};
 use crate::config::FedConfig;
-use crate::history::TrainingHistory;
+use crate::defense::DefensePipeline;
+use crate::history::{RoundDefense, TrainingHistory};
 use crate::server::{Aggregator, Server, SumAggregator};
 use fedrec_data::Dataset;
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
@@ -59,13 +60,14 @@ pub struct Snapshot<'a> {
 /// curves (Fig. 3) without the simulation knowing about metrics.
 pub type EvalHook<'h> = dyn FnMut(&Snapshot<'_>, &mut TrainingHistory) + 'h;
 
-/// A federated recommendation deployment under (possible) attack.
+/// A federated recommendation deployment under (possible) attack and
+/// (possible) defense.
 pub struct Simulation {
     server: Server,
     clients: Vec<BenignClient>,
     adversary: Box<dyn Adversary>,
     num_malicious: usize,
-    aggregator: Box<dyn Aggregator>,
+    defense: DefensePipeline,
     cfg: FedConfig,
     rng: SeededRng,
     adv_rng: SeededRng,
@@ -85,13 +87,33 @@ impl Simulation {
     }
 
     /// Like [`Simulation::new`] but with a custom (e.g. byzantine-robust)
-    /// aggregator.
+    /// aggregator and no detector.
     pub fn with_aggregator(
         data: &Dataset,
         cfg: FedConfig,
         adversary: Box<dyn Adversary>,
         num_malicious: usize,
         aggregator: Box<dyn Aggregator>,
+    ) -> Self {
+        Self::with_defense(
+            data,
+            cfg,
+            adversary,
+            num_malicious,
+            DefensePipeline::plain(aggregator),
+        )
+    }
+
+    /// Like [`Simulation::new`] but with a full in-loop defense pipeline
+    /// (detector → flagged-client exclusion → robust aggregator). When the
+    /// pipeline carries a detector, every round records a
+    /// [`RoundDefense`] into the run's [`TrainingHistory`].
+    pub fn with_defense(
+        data: &Dataset,
+        cfg: FedConfig,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+        defense: DefensePipeline,
     ) -> Self {
         cfg.validate();
         let mut rng = SeededRng::new(cfg.seed);
@@ -116,7 +138,7 @@ impl Simulation {
             clients,
             adversary,
             num_malicious,
-            aggregator,
+            defense,
             cfg,
             rng,
             adv_rng,
@@ -155,13 +177,24 @@ impl Simulation {
         m
     }
 
+    /// The defense pipeline in use.
+    pub fn defense(&self) -> &DefensePipeline {
+        &self.defense
+    }
+
     /// Run the full training loop; `hook` (if given) fires after every
-    /// epoch to record evaluation series into the returned history.
+    /// epoch to record evaluation series into the returned history. The
+    /// round's [`RoundDefense`] (if a detector is attached) is pushed
+    /// *before* the hook fires, so hooks can read
+    /// `history.defense.last()` for the round they observe.
     pub fn run(&mut self, mut hook: Option<&mut EvalHook<'_>>) -> TrainingHistory {
         let mut history = TrainingHistory::new();
         for epoch in 0..self.cfg.epochs {
-            let loss = self.step(epoch);
+            let (loss, defense) = self.step_recorded(epoch);
             history.losses.push(loss);
+            if let Some(d) = defense {
+                history.defense.push(d);
+            }
             if let Some(h) = hook.as_deref_mut() {
                 let snap = Snapshot {
                     epoch,
@@ -177,6 +210,12 @@ impl Simulation {
 
     /// Execute one round (epoch); returns the total benign loss.
     pub fn step(&mut self, epoch: usize) -> f32 {
+        self.step_recorded(epoch).0
+    }
+
+    /// Execute one round; returns the total benign loss plus the round's
+    /// defense record when the pipeline carries a detector.
+    pub fn step_recorded(&mut self, epoch: usize) -> (f32, Option<RoundDefense>) {
         let total_slots = self.clients.len() + self.num_malicious;
         let batch = ((total_slots as f64) * self.cfg.client_fraction).ceil() as usize;
         let batch = batch.clamp(1, total_slots);
@@ -194,7 +233,8 @@ impl Simulation {
             .map(|s| s - self.clients.len())
             .collect();
 
-        let (mut total, loss) = self.benign_updates(&benign_sel);
+        let (benign_produced, loss) = self.benign_updates(&benign_sel);
+        let mut total = benign_produced;
 
         if !malicious_sel.is_empty() {
             let ctx = RoundCtx {
@@ -221,13 +261,18 @@ impl Simulation {
             }
         }
 
-        let aggregate = self.aggregator.aggregate(
-            &self.engine.outs[..total],
+        // Defense stage: detection (over uploads in client-id order, so
+        // the report is thread-count-invariant), optional exclusion, then
+        // aggregation of the survivors.
+        let (aggregate, record) = self.defense.process(
+            &mut self.engine.outs[..total],
+            benign_produced,
+            epoch,
             self.server.items().rows(),
             self.cfg.k,
         );
         self.server.apply(&aggregate);
-        loss
+        (loss, record)
     }
 
     /// Compute the selected benign clients' updates (in parallel when

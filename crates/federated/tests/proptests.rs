@@ -96,6 +96,47 @@ proptest! {
         }
     }
 
+    /// A *defended* simulation — similarity detector gating a trimmed-mean
+    /// aggregator, the stress case where flagged uploads are excluded
+    /// mid-round — is byte-identical across 1, 2 and 8 worker threads:
+    /// losses, final `V`, and every per-round `RoundDefense` record.
+    #[test]
+    fn defended_history_identical_for_1_2_8_threads(
+        seed in 0u64..200,
+        frac in 0.2f64..1.0,
+    ) {
+        use fedrec_defense::{DefensePipeline, SimilarityDetector, TrimmedMean};
+
+        let data = tiny_data(seed ^ 0x3D);
+        let run = |t: usize| {
+            let cfg = FedConfig {
+                threads: t,
+                client_fraction: frac,
+                ..tiny_cfg(seed)
+            };
+            let pipeline = DefensePipeline::gated(
+                Box::new(SimilarityDetector { cosine_threshold: 0.9, min_pairs: 2 }),
+                Box::new(TrimmedMean { trim_fraction: 0.1 }),
+            );
+            let mut sim = Simulation::with_defense(&data, cfg, Box::new(NoAttack), 4, pipeline);
+            let h = sim.run(None);
+            (h, sim.items().clone())
+        };
+        let (h1, v1) = run(1);
+        prop_assert_eq!(h1.defense.len(), 4, "one defense record per round");
+        for t in [2usize, 8] {
+            let (ht, vt) = run(t);
+            let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&h1.losses), bits(&ht.losses), "losses differ at t={}", t);
+            prop_assert_eq!(&h1.defense, &ht.defense, "defense records differ at t={}", t);
+            prop_assert_eq!(
+                bits(v1.as_slice()),
+                bits(vt.as_slice()),
+                "final V differs at t={}", t
+            );
+        }
+    }
+
     /// Losses are finite, non-negative and (weakly) improving from the
     /// first epoch to the last under clean training.
     #[test]

@@ -38,8 +38,17 @@ pub fn exposure_ratio_user(recommended: &[u32], user_pos: &[u32], targets: &[u32
 /// Per-user NDCG@K of the target items within the top-K list.
 ///
 /// Relevance is 1 for target items, 0 otherwise; the ideal list places all
-/// exposable targets first.
-pub fn ndcg_user(recommended: &[u32], user_pos: &[u32], targets: &[u32]) -> f64 {
+/// exposable targets first. `k` is the K of "NDCG@K": the IDCG normalizes
+/// against an ideal *K-slot* list, not against however many candidates
+/// were actually available — when a small catalog or a large exclusion
+/// set leaves `recommended` shorter than `k`, normalizing by the short
+/// list length would inflate the score.
+pub fn ndcg_user(recommended: &[u32], user_pos: &[u32], targets: &[u32], k: usize) -> f64 {
+    debug_assert!(
+        recommended.len() <= k,
+        "top-K list longer than K: {} > {k}",
+        recommended.len()
+    );
     let exposable = targets
         .iter()
         .filter(|&&t| user_pos.binary_search(&t).is_err())
@@ -53,7 +62,7 @@ pub fn ndcg_user(recommended: &[u32], user_pos: &[u32], targets: &[u32]) -> f64 
             dcg += 1.0 / ((rank as f64 + 2.0).log2());
         }
     }
-    let ideal_hits = exposable.min(recommended.len().max(1));
+    let ideal_hits = exposable.min(k.max(1));
     let idcg: f64 = (0..ideal_hits)
         .map(|i| 1.0 / ((i as f64 + 2.0).log2()))
         .sum();
@@ -127,7 +136,7 @@ impl MetricsAccumulator {
         let top5 = &top10[..top10.len().min(5)];
         self.er5_sum += exposure_ratio_user(top5, user_pos, targets);
         self.er10_sum += exposure_ratio_user(&top10, user_pos, targets);
-        self.ndcg10_sum += ndcg_user(&top10, user_pos, targets);
+        self.ndcg10_sum += ndcg_user(&top10, user_pos, targets, 10);
         self.users += 1;
     }
 
@@ -203,21 +212,44 @@ mod tests {
 
     #[test]
     fn ndcg_perfect_when_targets_lead_the_list() {
-        let n = ndcg_user(&[7, 8, 1, 2], &[], &[7, 8]);
+        let n = ndcg_user(&[7, 8, 1, 2], &[], &[7, 8], 4);
         assert!((n - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn ndcg_decreases_with_worse_rank() {
-        let high = ndcg_user(&[7, 1, 2, 3], &[], &[7]);
-        let low = ndcg_user(&[1, 2, 3, 7], &[], &[7]);
+        let high = ndcg_user(&[7, 1, 2, 3], &[], &[7], 4);
+        let low = ndcg_user(&[1, 2, 3, 7], &[], &[7], 4);
         assert!(high > low);
         assert!(low > 0.0);
     }
 
     #[test]
     fn ndcg_zero_when_no_target_recommended() {
-        assert_eq!(ndcg_user(&[1, 2], &[], &[9]), 0.0);
+        assert_eq!(ndcg_user(&[1, 2], &[], &[9], 10), 0.0);
+    }
+
+    /// Regression test for the IDCG normalization fix: when fewer than K
+    /// candidates exist (tiny catalog, huge exclusion set), the ideal
+    /// list still has K slots. The old code normalized by the *actual*
+    /// list length, scoring a 3-item list holding 3 of 5 targets as a
+    /// perfect 1.0.
+    #[test]
+    fn ndcg_short_candidate_list_does_not_inflate() {
+        let targets = [1, 2, 3, 4, 5];
+        let n = ndcg_user(&[1, 2, 3], &[], &targets, 10);
+        // DCG over ranks 0..2, IDCG over the 5 exposable targets an ideal
+        // 10-slot list would hold.
+        let dcg: f64 = (0..3).map(|r| 1.0 / ((r as f64 + 2.0).log2())).sum();
+        let idcg: f64 = (0..5).map(|r| 1.0 / ((r as f64 + 2.0).log2())).sum();
+        assert!((n - dcg / idcg).abs() < 1e-12);
+        assert!(
+            n < 0.75,
+            "3 of 5 targets in a short list must not score near-perfect: {n}"
+        );
+        // A genuinely full ideal list still scores 1.0.
+        let full = ndcg_user(&[1, 2, 3, 4, 5], &[], &targets, 5);
+        assert!((full - 1.0).abs() < 1e-12);
     }
 
     #[test]

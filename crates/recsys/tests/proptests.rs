@@ -102,7 +102,7 @@ proptest! {
             .map(|x| x as u32)
             .collect();
         let er = metrics::exposure_ratio_user(&recommended, &[], &targets);
-        let ndcg = metrics::ndcg_user(&recommended, &[], &targets);
+        let ndcg = metrics::ndcg_user(&recommended, &[], &targets, 10);
         prop_assert!((0.0..=1.0).contains(&er));
         prop_assert!((0.0..=1.0).contains(&ndcg));
         // Adding every target to the list yields ER = 1.

@@ -20,7 +20,7 @@
 //! | [`baselines`] | `fedrec-baselines` | Random/Bandwagon/Popular, EB, PipAttack, P1–P4 |
 //! | [`defense`] | `fedrec-defense` | Krum, trimmed mean, median, norm bound, detectors |
 //! | [`ncf`] | `fedrec-ncf` | neural CF extension: learnable Θ, federated MLP, V-/Θ-poisoning |
-//! | [`experiments`] | `fedrec-experiments` | Table II–IX and Fig. 3 runners, `repro` CLI |
+//! | [`experiments`] | `fedrec-experiments` | Table II–IX and Fig. 3 runners, the attack×defense×ρ scenario matrix, `repro` CLI |
 //!
 //! ## Quickstart
 //!
@@ -70,8 +70,11 @@ pub mod prelude {
     pub use fedrec_data::split::leave_one_out;
     pub use fedrec_data::synthetic::SyntheticConfig;
     pub use fedrec_data::{Dataset, PublicView};
-    pub use fedrec_defense::{CoordinateMedian, Krum, NormBound, TrimmedMean};
-    pub use fedrec_federated::{Adversary, FedConfig, NoAttack, Simulation};
+    pub use fedrec_defense::{
+        CoordinateMedian, DefensePipeline, DetectionReport, Detector, Krum, NormBound,
+        NormDetector, SimilarityDetector, TrimmedMean,
+    };
+    pub use fedrec_federated::{Adversary, FedConfig, NoAttack, RoundDefense, Simulation};
     pub use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
     pub use fedrec_recsys::eval::Evaluator;
     pub use fedrec_recsys::MfModel;
