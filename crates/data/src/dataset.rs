@@ -6,6 +6,49 @@
 //! to implicit feedback and duplicates dropped, exactly as the paper's
 //! preprocessing does.
 
+/// Read access to a population of per-user interaction sets.
+///
+/// The federated layers only ever need three questions answered — how many
+/// users, how many items, which items has user `u` interacted with — so
+/// they are written against this trait instead of the concrete [`Dataset`].
+/// That lets the same round loop run over an eager CSR matrix (small
+/// datasets) or a sharded, lazily-generated population
+/// ([`crate::scalefree::ScaleFreeDataset`]) where a million-user
+/// interaction set never exists as one allocation.
+pub trait InteractionSource {
+    /// Number of users `n`.
+    fn num_users(&self) -> usize;
+
+    /// Number of items `m`.
+    fn num_items(&self) -> usize;
+
+    /// Sorted item ids user `u` has interacted with (`V_u⁺`).
+    fn user_items(&self, u: usize) -> &[u32];
+
+    /// Number of interactions of user `u` (`|V_u⁺|`).
+    fn user_degree(&self, u: usize) -> usize {
+        self.user_items(u).len()
+    }
+}
+
+impl InteractionSource for Dataset {
+    fn num_users(&self) -> usize {
+        Dataset::num_users(self)
+    }
+
+    fn num_items(&self) -> usize {
+        Dataset::num_items(self)
+    }
+
+    fn user_items(&self, u: usize) -> &[u32] {
+        Dataset::user_items(self, u)
+    }
+
+    fn user_degree(&self, u: usize) -> usize {
+        Dataset::user_degree(self, u)
+    }
+}
+
 /// A deduplicated implicit-feedback dataset in CSR layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dataset {

@@ -37,8 +37,10 @@ pub mod dataset;
 pub mod loader;
 pub mod negative;
 pub mod public;
+pub mod scalefree;
 pub mod split;
 pub mod synthetic;
 
-pub use dataset::{Dataset, DatasetStats};
+pub use dataset::{Dataset, DatasetStats, InteractionSource};
 pub use public::PublicView;
+pub use scalefree::{ScaleFreeConfig, ScaleFreeDataset};

@@ -14,6 +14,9 @@
 //! repro cell --attack A --defense D --rho R [--epochs N] [--scale ...]
 //!       [--seed N] [--dataset ...] [--eval-every N] [--out FILE]
 //! repro report --dir DIR [--csv] [--out FILE]
+//! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
+//!       [--workers N] [--eval-users N] [--backend dense|sharded]
+//!       [--shard-rows N] [--seed N] [--out FILE]
 //! ```
 //!
 //! `--scale smoke` (default) runs in seconds on miniature datasets;
@@ -21,6 +24,13 @@
 //! `matrix --smoke` runs a tiny fixed grid, checks every record's schema
 //! and reruns one cell standalone to assert byte-identical output — the
 //! CI determinism gate.
+//!
+//! `scale` runs a scale-free population through the sharded client store
+//! (defaults: 1M users / 100k items, ~500 participants per round).
+//! `scale --smoke` is the 50k-user CI gate: it asserts the lazy store
+//! materialized no more client rows than participants were touched, and
+//! that dense and sharded backends are byte-identical across thread
+//! counts.
 
 use fedrec_baselines::registry::AttackMethod;
 use fedrec_experiments::matrix::{
@@ -28,10 +38,11 @@ use fedrec_experiments::matrix::{
     MatrixConfig,
 };
 use fedrec_experiments::{
-    fig3_side_effects, table2_datasets, table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep,
-    table6_data_poisoning, table7_effectiveness, table8_model_poisoning, table9_ablation,
-    DatasetId, Scale, Table,
+    fig3_side_effects, run_scale, scale_smoke, table2_datasets, table3_xi_sweep, table4_rho_sweep,
+    table5_kappa_sweep, table6_data_poisoning, table7_effectiveness, table8_model_poisoning,
+    table9_ablation, DatasetId, Scale, ScaleSpec, Table,
 };
+use fedrec_federated::StoreBackend;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -55,6 +66,13 @@ struct Args {
     out_dir: Option<PathBuf>,
     dir: Option<PathBuf>,
     smoke: bool,
+    // scale options
+    users: Option<usize>,
+    items: Option<usize>,
+    fraction: Option<f64>,
+    eval_users: Option<usize>,
+    backend_dense: bool,
+    shard_rows: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -65,7 +83,10 @@ fn usage() -> ! {
          \x20 repro matrix [--attacks a,b|all] [--defenses d,e|all] [--rhos r1,r2]\n\
          \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [shared flags]\n\
          \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
-         \x20 repro report --dir DIR [--csv] [--out FILE]"
+         \x20 repro report --dir DIR [--csv] [--out FILE]\n\
+         \x20 repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]\n\
+         \x20      [--workers N] [--eval-users N] [--backend dense|sharded]\n\
+         \x20      [--shard-rows N] [--seed N] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -90,6 +111,12 @@ fn parse_args() -> Args {
         out_dir: None,
         dir: None,
         smoke: false,
+        users: None,
+        items: None,
+        fraction: None,
+        eval_users: None,
+        backend_dense: false,
+        shard_rows: None,
     };
     let mut it = std::env::args().skip(1);
     match it.next() {
@@ -120,6 +147,22 @@ fn parse_args() -> Args {
             "--out-dir" => args.out_dir = Some(PathBuf::from(next())),
             "--dir" => args.dir = Some(PathBuf::from(next())),
             "--smoke" => args.smoke = true,
+            "--users" => args.users = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--items" => args.items = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--fraction" => args.fraction = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--eval-users" => args.eval_users = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--backend" => match next().to_ascii_lowercase().as_str() {
+                "dense" => args.backend_dense = true,
+                "sharded" => args.backend_dense = false,
+                _ => usage(),
+            },
+            "--shard-rows" => {
+                let v: usize = next().parse().unwrap_or_else(|_| usage());
+                if v == 0 {
+                    usage()
+                }
+                args.shard_rows = Some(v);
+            }
             _ => usage(),
         }
     }
@@ -285,6 +328,75 @@ fn cmd_cell(args: &Args) {
     }
 }
 
+fn cmd_scale(args: &Args) {
+    if args.smoke {
+        match scale_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => fail(&format!("scale smoke failed: {e}")),
+        }
+        return;
+    }
+    let mut spec = ScaleSpec::million();
+    if let Some(u) = args.users {
+        if u == 0 {
+            fail("--users must be positive");
+        }
+        spec.data.num_users = u;
+    }
+    if let Some(m) = args.items {
+        // The generator needs room for negatives (max_degree <= m/2) and
+        // at least min_degree items below the cap.
+        if m / 2 < spec.data.min_degree {
+            fail(&format!(
+                "--items {m} too small: need at least {} items for min degree {}",
+                2 * spec.data.min_degree,
+                spec.data.min_degree
+            ));
+        }
+        spec.data.num_items = m;
+        spec.data.max_degree = spec.data.max_degree.min(m / 2);
+    }
+    if let Some(e) = args.epochs {
+        spec.epochs = e;
+    }
+    if let Some(f) = args.fraction {
+        spec.client_fraction = f;
+    }
+    if let Some(w) = args.workers {
+        spec.threads = w.max(1);
+    }
+    if let Some(e) = args.eval_users {
+        spec.eval_users = e;
+    }
+    if let Some(s) = args.shard_rows {
+        spec.data.shard_rows = s;
+    }
+    spec.seed = args.seed;
+    let backend = if args.backend_dense {
+        StoreBackend::Dense
+    } else {
+        StoreBackend::Sharded {
+            shard_rows: args.shard_rows.unwrap_or(StoreBackend::DEFAULT_SHARD_ROWS),
+        }
+    };
+    let started = std::time::Instant::now();
+    let report = run_scale(&spec, backend);
+    let rendered = format!("{}\n", report.to_json());
+    emit(&rendered, args, 1);
+    eprintln!(
+        "scale run: {} users, {} rounds, {} participants touched, {} rows materialized \
+         ({:.1}s build, {:.1}s train, {:.1}s eval, {:.1}s total)",
+        report.users,
+        report.epochs,
+        report.participants_touched,
+        report.rows_materialized,
+        report.build_secs,
+        report.train_secs,
+        report.eval_secs,
+        started.elapsed().as_secs_f64()
+    );
+}
+
 fn cmd_report(args: &Args) {
     let dir = args.dir.clone().unwrap_or_else(|| usage());
     let table = matrix_report(&dir).unwrap_or_else(|e| fail(&format!("report failed: {e}")));
@@ -356,6 +468,7 @@ fn main() {
         "matrix" => return cmd_matrix(&args),
         "cell" => return cmd_cell(&args),
         "report" => return cmd_report(&args),
+        "scale" => return cmd_scale(&args),
         _ => {}
     }
     let started = std::time::Instant::now();

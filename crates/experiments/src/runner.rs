@@ -65,9 +65,10 @@ pub fn default_targets(train: &Dataset, count: usize) -> Vec<u32> {
 
 pub(crate) fn snapshot_model(snap: &Snapshot<'_>) -> MfModel {
     let k = snap.items.cols();
-    let mut users = Matrix::zeros(snap.clients.len(), k);
-    for (i, c) in snap.clients.iter().enumerate() {
-        users.row_mut(i).copy_from_slice(c.user_vec());
+    let n = snap.users.num_users();
+    let mut users = Matrix::zeros(n, k);
+    for u in 0..n {
+        snap.users.write_user_row(u, users.row_mut(u));
     }
     MfModel::from_factors(users, snap.items.clone())
 }

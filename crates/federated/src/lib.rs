@@ -37,9 +37,11 @@ pub mod defense;
 pub mod history;
 pub mod server;
 pub mod simulation;
+pub mod store;
 
 pub use adversary::{Adversary, NoAttack};
 pub use config::FedConfig;
 pub use defense::{DefensePipeline, DetectionReport, Detector};
 pub use history::RoundDefense;
 pub use simulation::Simulation;
+pub use store::{ClientStore, DenseStore, ShardedStore, StoreBackend};

@@ -16,10 +16,21 @@
 //! its private RNG stream, the observable sequence of a run is
 //! deterministic in the [`FedConfig::seed`] and **bit-identical for any
 //! thread count**: client work is computed in parallel but losses are
-//! summed and uploads aggregated in client-id order. The upload pool, the
-//! per-worker scratches and the selection mask are all reused across
-//! epochs, so a steady-state round performs no per-client heap
-//! allocation.
+//! summed and uploads aggregated in client-id order. The upload pool and
+//! the per-worker scratches are reused across epochs, so a steady-state
+//! round performs no per-client heap allocation.
+//!
+//! # The client store
+//!
+//! The benign population lives behind a [`ClientStore`]: the eager
+//! [`DenseStore`] (every client built at
+//! construction — the right call at MovieLens scale) or the lazily
+//! materialized [`ShardedStore`], where a
+//! client's state is only ever built on its first participation and an
+//! untouched user's vector is *derived* for reads instead of stored.
+//! Per-round work is `O(|U'|)` either way — the engine asks the store for
+//! exactly the selected ids, never scanning the population — and the two
+//! backends are bit-identical for any thread count.
 
 use crate::adversary::{Adversary, RoundCtx};
 use crate::client::{BenignClient, RoundScratch};
@@ -27,8 +38,11 @@ use crate::config::FedConfig;
 use crate::defense::DefensePipeline;
 use crate::history::{RoundDefense, TrainingHistory};
 use crate::server::{Aggregator, Server, SumAggregator};
-use fedrec_data::Dataset;
+use crate::store::{ClientStore, DenseStore, ShardedStore, StoreBackend};
+use fedrec_data::InteractionSource;
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+use fedrec_recsys::UserRowSource;
+use std::sync::Arc;
 
 /// Pooled state of the parallel round engine, reused across epochs.
 #[derive(Debug, Default)]
@@ -39,8 +53,6 @@ struct RoundEngine {
     outs: Vec<SparseGrad>,
     /// Loss slot per selected benign client; `None` = nothing to train on.
     losses: Vec<Option<f32>>,
-    /// Selection mask over all benign clients.
-    picked: Vec<bool>,
 }
 
 /// A read-only view of the federation state handed to evaluation hooks.
@@ -49,9 +61,10 @@ pub struct Snapshot<'a> {
     pub epoch: usize,
     /// The shared item matrix `V` after this epoch's update.
     pub items: &'a Matrix,
-    /// All benign clients (their `u_i` are readable for *measurement*;
-    /// the simulated server never looks at them).
-    pub clients: &'a [BenignClient],
+    /// Current benign user rows (readable for *measurement*; the simulated
+    /// server never looks at them). Reading derives untouched lazy rows
+    /// without materializing them.
+    pub users: &'a dyn UserRowSource,
     /// Total benign loss of this epoch.
     pub loss: f32,
 }
@@ -64,7 +77,7 @@ pub type EvalHook<'h> = dyn FnMut(&Snapshot<'_>, &mut TrainingHistory) + 'h;
 /// (possible) defense.
 pub struct Simulation {
     server: Server,
-    clients: Vec<BenignClient>,
+    store: Box<dyn ClientStore>,
     adversary: Box<dyn Adversary>,
     num_malicious: usize,
     defense: DefensePipeline,
@@ -72,13 +85,18 @@ pub struct Simulation {
     rng: SeededRng,
     adv_rng: SeededRng,
     engine: RoundEngine,
+    /// Which benign clients have ever been selected, plus their count —
+    /// the "participants touched" side of the `materialized ≤ touched`
+    /// scale invariant.
+    touched: Vec<bool>,
+    touched_count: usize,
 }
 
 impl Simulation {
     /// Build a simulation over `data` with `num_malicious` malicious
     /// client slots controlled by `adversary` and plain sum aggregation.
-    pub fn new(
-        data: &Dataset,
+    pub fn new<D: InteractionSource + ?Sized>(
+        data: &D,
         cfg: FedConfig,
         adversary: Box<dyn Adversary>,
         num_malicious: usize,
@@ -88,8 +106,8 @@ impl Simulation {
 
     /// Like [`Simulation::new`] but with a custom (e.g. byzantine-robust)
     /// aggregator and no detector.
-    pub fn with_aggregator(
-        data: &Dataset,
+    pub fn with_aggregator<D: InteractionSource + ?Sized>(
+        data: &D,
         cfg: FedConfig,
         adversary: Box<dyn Adversary>,
         num_malicious: usize,
@@ -108,8 +126,11 @@ impl Simulation {
     /// (detector → flagged-client exclusion → robust aggregator). When the
     /// pipeline carries a detector, every round records a
     /// [`RoundDefense`] into the run's [`TrainingHistory`].
-    pub fn with_defense(
-        data: &Dataset,
+    ///
+    /// Uses the eager [`DenseStore`]; million-user populations should go
+    /// through [`Simulation::with_store`] and a sharded backend instead.
+    pub fn with_defense<D: InteractionSource + ?Sized>(
+        data: &D,
         cfg: FedConfig,
         adversary: Box<dyn Adversary>,
         num_malicious: usize,
@@ -121,21 +142,55 @@ impl Simulation {
             Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng),
             cfg.lr,
         );
-        let clients: Vec<BenignClient> = (0..data.num_users())
-            .map(|u| {
-                BenignClient::new(
-                    u,
-                    data.user_items(u).to_vec(),
-                    data.num_items(),
-                    cfg.k,
-                    &mut rng,
-                )
-            })
-            .collect();
+        let store = Box::new(DenseStore::build(data, cfg.k, &mut rng));
+        Self::assemble(server, store, adversary, num_malicious, defense, cfg, rng)
+    }
+
+    /// Build a simulation over a shared interaction source with an
+    /// explicit client-state backend.
+    ///
+    /// With [`StoreBackend::Sharded`] the population is never built up
+    /// front: a client materializes on first participation, round cost is
+    /// `O(|U'|)`, and the run is bit-identical to the dense backend for
+    /// any thread count (the construction RNG stream is checkpointed and
+    /// replayed per user).
+    pub fn with_store(
+        data: Arc<dyn InteractionSource + Send + Sync>,
+        cfg: FedConfig,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+        defense: DefensePipeline,
+        backend: StoreBackend,
+    ) -> Self {
+        cfg.validate();
+        let mut rng = SeededRng::new(cfg.seed);
+        let server = Server::new(
+            Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng),
+            cfg.lr,
+        );
+        let store: Box<dyn ClientStore> = match backend {
+            StoreBackend::Dense => Box::new(DenseStore::build(&*data, cfg.k, &mut rng)),
+            StoreBackend::Sharded { shard_rows } => {
+                Box::new(ShardedStore::build(data, cfg.k, &mut rng, shard_rows))
+            }
+        };
+        Self::assemble(server, store, adversary, num_malicious, defense, cfg, rng)
+    }
+
+    fn assemble(
+        server: Server,
+        store: Box<dyn ClientStore>,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+        defense: DefensePipeline,
+        cfg: FedConfig,
+        mut rng: SeededRng,
+    ) -> Self {
         let adv_rng = rng.fork(0xADBE);
+        let touched = vec![false; store.num_users()];
         Self {
             server,
-            clients,
+            store,
             adversary,
             num_malicious,
             defense,
@@ -143,6 +198,8 @@ impl Simulation {
             rng,
             adv_rng,
             engine: RoundEngine::default(),
+            touched,
+            touched_count: 0,
         }
     }
 
@@ -153,7 +210,7 @@ impl Simulation {
 
     /// Number of benign clients.
     pub fn num_benign(&self) -> usize {
-        self.clients.len()
+        self.store.num_users()
     }
 
     /// Number of malicious client slots.
@@ -166,13 +223,33 @@ impl Simulation {
         self.server.items()
     }
 
+    /// Benign clients whose state is currently materialized in memory
+    /// (always `n` for the dense backend; exactly the ever-selected
+    /// clients for the sharded one).
+    pub fn rows_materialized(&self) -> usize {
+        self.store.materialized()
+    }
+
+    /// Distinct benign clients selected in at least one round so far.
+    pub fn participants_touched(&self) -> usize {
+        self.touched_count
+    }
+
+    /// The population's current user rows as a streaming source —
+    /// measurement-only, and reading never materializes lazy state.
+    pub fn user_rows(&self) -> &dyn UserRowSource {
+        self.store.as_user_rows()
+    }
+
     /// Assemble the (measurement-only) global user matrix `U` from the
-    /// benign clients' private vectors.
+    /// benign clients' private vectors. `O(n·k)` memory by definition —
+    /// million-user runs should stream [`Simulation::user_rows`] instead.
     pub fn user_factors(&self) -> Matrix {
         let k = self.cfg.k;
-        let mut m = Matrix::zeros(self.clients.len(), k);
-        for (i, c) in self.clients.iter().enumerate() {
-            m.row_mut(i).copy_from_slice(c.user_vec());
+        let n = self.store.num_users();
+        let mut m = Matrix::zeros(n, k);
+        for u in 0..n {
+            self.store.write_user_row(u, m.row_mut(u));
         }
         m
     }
@@ -199,7 +276,7 @@ impl Simulation {
                 let snap = Snapshot {
                     epoch,
                     items: self.server.items(),
-                    clients: &self.clients,
+                    users: self.store.as_user_rows(),
                     loss,
                 };
                 h(&snap, &mut history);
@@ -216,7 +293,8 @@ impl Simulation {
     /// Execute one round; returns the total benign loss plus the round's
     /// defense record when the pipeline carries a detector.
     pub fn step_recorded(&mut self, epoch: usize) -> (f32, Option<RoundDefense>) {
-        let total_slots = self.clients.len() + self.num_malicious;
+        let num_benign = self.store.num_users();
+        let total_slots = num_benign + self.num_malicious;
         let batch = ((total_slots as f64) * self.cfg.client_fraction).ceil() as usize;
         let batch = batch.clamp(1, total_slots);
         let mut selected = self.rng.sample_indices(total_slots, batch);
@@ -224,14 +302,20 @@ impl Simulation {
         let benign_sel: Vec<usize> = selected
             .iter()
             .copied()
-            .filter(|&s| s < self.clients.len())
+            .filter(|&s| s < num_benign)
             .collect();
         let malicious_sel: Vec<usize> = selected
             .iter()
             .copied()
-            .filter(|&s| s >= self.clients.len())
-            .map(|s| s - self.clients.len())
+            .filter(|&s| s >= num_benign)
+            .map(|s| s - num_benign)
             .collect();
+        for &b in &benign_sel {
+            if !self.touched[b] {
+                self.touched[b] = true;
+                self.touched_count += 1;
+            }
+        }
 
         let (benign_produced, loss) = self.benign_updates(&benign_sel);
         let mut total = benign_produced;
@@ -297,17 +381,9 @@ impl Simulation {
             engine.scratches.push(RoundScratch::new());
         }
 
-        engine.picked.clear();
-        engine.picked.resize(self.clients.len(), false);
-        for &b in benign_sel {
-            engine.picked[b] = true;
-        }
-        let picked = &engine.picked;
-        let mut refs: Vec<&mut BenignClient> = self
-            .clients
-            .iter_mut()
-            .filter(|c| picked[c.user_id()])
-            .collect();
+        // The store hands back exactly the selected clients in id order,
+        // materializing lazily-stored ones — O(|U'|), no population scan.
+        let mut refs: Vec<&mut BenignClient> = self.store.selected_mut(benign_sel);
 
         let items = self.server.items();
         let run_one = |c: &mut BenignClient, scratch: &mut RoundScratch, out: &mut SparseGrad| {

@@ -1,8 +1,9 @@
 //! Property-based tests for the federated simulation layer.
 
 use fedrec_data::synthetic::SyntheticConfig;
-use fedrec_federated::{FedConfig, NoAttack, Simulation};
+use fedrec_federated::{FedConfig, NoAttack, Simulation, StoreBackend};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn tiny_cfg(seed: u64) -> FedConfig {
     FedConfig {
@@ -133,6 +134,91 @@ proptest! {
                 bits(v1.as_slice()),
                 bits(vt.as_slice()),
                 "final V differs at t={}", t
+            );
+        }
+    }
+
+    /// Dense and sharded client stores are interchangeable: the complete
+    /// observable output of a run — every loss, every hook-recorded
+    /// series, every per-round `RoundDefense`, the final `V` and the
+    /// assembled user factors — is **byte-identical** between the two
+    /// backends, for 1, 2 and 8 worker threads, with and without an
+    /// in-loop defense pipeline, under partial participation (the case
+    /// the sharded store exists for: most users never materialize).
+    #[test]
+    fn dense_and_sharded_stores_byte_identical_for_1_2_8_threads(
+        seed in 0u64..150,
+        frac in 0.1f64..0.9,
+        shard_rows in 1usize..40,
+        defended_bit in 0usize..2,
+    ) {
+        let defended = defended_bit == 1;
+        use fedrec_defense::{DefensePipeline as Pipeline, NormDetector, TrimmedMean};
+        use fedrec_federated::DefensePipeline;
+        use fedrec_federated::server::SumAggregator;
+
+        let data = tiny_data(seed ^ 0x51AB);
+        let pipeline = || -> DefensePipeline {
+            if defended {
+                Pipeline::gated(
+                    Box::new(NormDetector { z_threshold: 2.0, two_sided: false }),
+                    Box::new(TrimmedMean { trim_fraction: 0.1 }),
+                )
+            } else {
+                DefensePipeline::plain(Box::new(SumAggregator))
+            }
+        };
+        let run = |backend: StoreBackend, threads: usize| {
+            let cfg = FedConfig {
+                threads,
+                client_fraction: frac,
+                ..tiny_cfg(seed)
+            };
+            let mut sim = Simulation::with_store(
+                Arc::new(data.clone()),
+                cfg,
+                Box::new(NoAttack),
+                3,
+                pipeline(),
+                backend,
+            );
+            let h = sim.run(None);
+            let users = sim.user_factors();
+            (h, sim.items().clone(), users, sim.rows_materialized())
+        };
+        let (h0, v0, u0, _) = run(StoreBackend::Dense, 1);
+        // The legacy constructor and the dense backend must agree too.
+        let mut legacy = Simulation::with_defense(
+            &data,
+            FedConfig { client_fraction: frac, ..tiny_cfg(seed) },
+            Box::new(NoAttack),
+            3,
+            pipeline(),
+        );
+        let hl = legacy.run(None);
+        prop_assert_eq!(&h0.losses, &hl.losses, "with_defense vs with_store(Dense)");
+
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for threads in [1usize, 2, 8] {
+            let (ht, vt, ut, materialized) =
+                run(StoreBackend::Sharded { shard_rows }, threads);
+            prop_assert_eq!(
+                bits(&h0.losses), bits(&ht.losses),
+                "losses differ (sharded, t={})", threads
+            );
+            prop_assert_eq!(&h0.defense, &ht.defense, "defense records differ (t={})", threads);
+            prop_assert_eq!(
+                h0.defense.is_empty(), !defended,
+                "defended runs must record one RoundDefense per round"
+            );
+            prop_assert_eq!(bits(v0.as_slice()), bits(vt.as_slice()), "final V differs (t={})", threads);
+            prop_assert_eq!(
+                bits(u0.as_slice()), bits(ut.as_slice()),
+                "user factors differ (t={})", threads
+            );
+            prop_assert!(
+                materialized <= data.num_users(),
+                "sharded store over-materialized"
             );
         }
     }

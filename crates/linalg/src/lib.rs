@@ -26,10 +26,12 @@
 
 pub mod matrix;
 pub mod rng;
+pub mod rowstore;
 pub mod sparse;
 pub mod stats;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use rng::SeededRng;
+pub use rng::{SeededRng, StreamCheckpoints};
+pub use rowstore::{RowInit, RowShards, SeededGaussianInit, ShardedMatrix};
 pub use sparse::SparseGrad;

@@ -76,6 +76,33 @@ impl SeededRng {
         Self::new(s)
     }
 
+    /// Snapshot the raw xoshiro state words.
+    ///
+    /// Together with [`SeededRng::from_state`] this lets callers replay a
+    /// generator's `next_u64` stream from a saved position — the basis of
+    /// the lazily-materialized client stores, which must reproduce the
+    /// exact fork seeds an eager construction loop would have drawn. The
+    /// snapshot deliberately excludes the cached Box–Muller spare: forks
+    /// and integer draws never consume it, and a restored generator is
+    /// only ever used for those.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restore a generator from a [`SeededRng::state`] snapshot.
+    ///
+    /// The restored generator emits the same `next_u64` sequence the
+    /// snapshotted one would have; the Gaussian spare starts empty (see
+    /// [`SeededRng::state`]).
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self {
+            s,
+            gauss_spare: None,
+        }
+    }
+
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
@@ -256,6 +283,72 @@ impl ZipfTable {
     }
 }
 
+/// Checkpointed replay of a [`SeededRng`] output stream.
+///
+/// An eager construction loop consumes one parent `next_u64` per row
+/// (`rng.fork(row)` for row `0..len`). A lazily-materialized store must be
+/// able to reproduce the `i`-th of those outputs — and the child stream
+/// forked from it — without having run the first `i` draws. Recording the
+/// generator state every `stride` outputs makes that an `O(stride)` replay
+/// from the nearest checkpoint instead of an `O(i)` walk from the start,
+/// at `32 / stride` bytes of overhead per row.
+#[derive(Debug, Clone)]
+pub struct StreamCheckpoints {
+    stride: usize,
+    len: usize,
+    /// `states[j]` is the generator state immediately before output
+    /// `j * stride` is drawn.
+    states: Vec<[u64; 4]>,
+}
+
+impl StreamCheckpoints {
+    /// Record checkpoints while advancing `rng` by exactly `len` outputs.
+    ///
+    /// The parent generator ends in the same state an eager loop of `len`
+    /// forks would have left it in, so everything drawn from it afterwards
+    /// (e.g. an adversary stream) is byte-identical either way.
+    pub fn record(rng: &mut SeededRng, len: usize, stride: usize) -> Self {
+        assert!(stride > 0, "checkpoint stride must be positive");
+        let mut states = Vec::with_capacity(len.div_ceil(stride));
+        for i in 0..len {
+            if i % stride == 0 {
+                states.push(rng.state());
+            }
+            rng.next_u64();
+        }
+        Self {
+            stride,
+            len,
+            states,
+        }
+    }
+
+    /// Number of outputs covered by the recording.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the recording covers no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A generator positioned so that its next `next_u64` is output `i` of
+    /// the recorded stream. `O(stride)` worst case.
+    pub fn rng_at(&self, i: usize) -> SeededRng {
+        assert!(
+            i < self.len,
+            "output {i} out of recorded range {}",
+            self.len
+        );
+        let mut rng = SeededRng::from_state(self.states[i / self.stride]);
+        for _ in 0..(i % self.stride) {
+            rng.next_u64();
+        }
+        rng
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +483,53 @@ mod tests {
             let p = c as f64 / 80_000.0;
             assert!((p - 0.25).abs() < 0.02, "p={p}");
         }
+    }
+
+    #[test]
+    fn state_roundtrip_replays_stream() {
+        let mut a = SeededRng::new(31);
+        for _ in 0..7 {
+            a.next_u64();
+        }
+        let snap = a.state();
+        let ahead: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let mut b = SeededRng::from_state(snap);
+        let replay: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(ahead, replay);
+    }
+
+    #[test]
+    fn checkpoints_replay_every_output_and_fork() {
+        // Eager: record the parent outputs and forked child draws.
+        let mut eager = SeededRng::new(55);
+        let eager_children: Vec<u32> = (0..23)
+            .map(|u| eager.fork(u as u64).uniform().to_bits())
+            .collect();
+        let eager_tail = eager.next_u64();
+
+        // Lazy: checkpoint the same parent stream, then replay rows out of
+        // order.
+        let mut lazy = SeededRng::new(55);
+        let ckpt = StreamCheckpoints::record(&mut lazy, 23, 5);
+        assert_eq!(ckpt.len(), 23);
+        assert!(!ckpt.is_empty());
+        assert_eq!(
+            lazy.next_u64(),
+            eager_tail,
+            "parent stream must end at the same position"
+        );
+        for u in [22usize, 0, 7, 4, 19, 5] {
+            let child = ckpt.rng_at(u).fork(u as u64).uniform().to_bits();
+            assert_eq!(child, eager_children[u], "row {u} fork diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of recorded range")]
+    fn checkpoints_reject_out_of_range() {
+        let mut rng = SeededRng::new(1);
+        let ckpt = StreamCheckpoints::record(&mut rng, 4, 2);
+        let _ = ckpt.rng_at(4);
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Sharded, lazily-materialized row storage.
+//!
+//! The federated simulation's population is dense (`n` users exist) but
+//! its *workload* is sparse: a round only ever touches the sampled
+//! participant set, and evaluation can stream one shard of users at a
+//! time. The types here let the upper layers pay memory for what the
+//! workload touches instead of for the whole population:
+//!
+//! * [`RowShards`] — a fixed-stride array of optional slots whose backing
+//!   shards are allocated on first touch. The unit of allocation is the
+//!   shard (`shard_rows` slots), the unit of occupancy is the row.
+//! * [`RowInit`] — a deterministic per-row initializer, so an untouched
+//!   row's contents are *derived on demand* rather than stored.
+//! * [`SeededGaussianInit`] — the initializer matching the eager per-row
+//!   construction loop (`parent.fork(row)` then `cols` Gaussian draws),
+//!   built on [`StreamCheckpoints`] so any row replays in `O(stride)`.
+//! * [`ShardedMatrix`] — `RowShards` + `RowInit` glued into a lazy `f32`
+//!   matrix that is byte-identical to its eager counterpart row for row.
+
+use crate::rng::{SeededRng, StreamCheckpoints};
+
+/// Fixed-stride sharded storage of optional row slots.
+///
+/// Logical indices run over `0..len`; physically the slots live in
+/// `ceil(len / shard_rows)` shards, each allocated only when one of its
+/// slots is first occupied. Untouched shards cost one pointer.
+#[derive(Debug, Clone)]
+pub struct RowShards<T> {
+    len: usize,
+    shard_rows: usize,
+    shards: Vec<Option<Box<[Option<T>]>>>,
+    occupied: usize,
+}
+
+impl<T> RowShards<T> {
+    /// Empty store of `len` logical slots in shards of `shard_rows`.
+    pub fn new(len: usize, shard_rows: usize) -> Self {
+        assert!(shard_rows > 0, "shard_rows must be positive");
+        Self {
+            len,
+            shard_rows,
+            shards: (0..len.div_ceil(shard_rows)).map(|_| None).collect(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of logical slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the store has no logical slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows per shard.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Number of occupied slots — the store-level counter the scale
+    /// assertions check (`materialized ≤ participants touched`).
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of shards whose backing allocation exists.
+    pub fn shards_allocated(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Size of a shard's slot array: `shard_rows` except for a short tail.
+    fn shard_len(&self, shard: usize) -> usize {
+        (self.len - shard * self.shard_rows).min(self.shard_rows)
+    }
+
+    /// Borrow slot `i` if occupied.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        debug_assert!(i < self.len, "slot {i} out of {}", self.len);
+        self.shards[i / self.shard_rows]
+            .as_ref()
+            .and_then(|s| s[i % self.shard_rows].as_ref())
+    }
+
+    /// Mutably borrow slot `i` if occupied.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        debug_assert!(i < self.len, "slot {i} out of {}", self.len);
+        self.shards[i / self.shard_rows]
+            .as_mut()
+            .and_then(|s| s[i % self.shard_rows].as_mut())
+    }
+
+    /// Borrow slot `i` mutably, materializing it with `init` (and its
+    /// shard's allocation) on first touch.
+    pub fn get_or_insert_with(&mut self, i: usize, init: impl FnOnce() -> T) -> &mut T {
+        assert!(i < self.len, "slot {i} out of {}", self.len);
+        let shard_len = self.shard_len(i / self.shard_rows);
+        let shard = self.shards[i / self.shard_rows]
+            .get_or_insert_with(|| (0..shard_len).map(|_| None).collect());
+        let slot = &mut shard[i % self.shard_rows];
+        if slot.is_none() {
+            *slot = Some(init());
+            self.occupied += 1;
+        }
+        slot.as_mut().expect("slot just filled")
+    }
+
+    /// Collect mutable borrows of the given **sorted, distinct** occupied
+    /// slots, in index order. `O(|indices| + num_shards)` — no scan over
+    /// the population. Panics if an index is unoccupied or out of order.
+    pub fn occupied_mut(&mut self, indices: &[usize]) -> Vec<&mut T> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(indices.len());
+        let mut ids = indices.iter().copied().peekable();
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            let base = si * self.shard_rows;
+            let end = base + self.shard_rows;
+            if ids.peek().is_none() {
+                break;
+            }
+            if *ids.peek().expect("peeked") >= end {
+                continue;
+            }
+            let mut slots: &mut [Option<T>] = shard
+                .as_mut()
+                .expect("selected slot in unallocated shard")
+                .as_mut();
+            let mut offset = base;
+            while let Some(&i) = ids.peek() {
+                if i >= end {
+                    break;
+                }
+                ids.next();
+                let (_, rest) = slots.split_at_mut(i - offset);
+                let (slot, rest) = rest.split_first_mut().expect("index within shard");
+                out.push(slot.as_mut().expect("selected slot unoccupied"));
+                slots = rest;
+                offset = i + 1;
+            }
+        }
+        assert_eq!(out.len(), indices.len(), "index beyond store length");
+        out
+    }
+}
+
+/// A deterministic per-row initializer: filling row `i` must always
+/// produce the same bytes, so a lazily-derived row is indistinguishable
+/// from an eagerly-stored one.
+pub trait RowInit: Send + Sync {
+    /// Write row `row`'s initial contents into `out`.
+    fn fill_row(&self, row: usize, out: &mut [f32]);
+}
+
+/// The eager-equivalent Gaussian row initializer.
+///
+/// An eager loop draws each row as `parent.fork(row)` followed by
+/// `cols` calls to [`SeededRng::normal`]. This initializer replays the
+/// identical draws from a checkpointed recording of the parent stream,
+/// so row `i` is byte-identical whether it was initialized eagerly at
+/// construction or derived years of rounds later.
+#[derive(Debug, Clone)]
+pub struct SeededGaussianInit {
+    ckpt: StreamCheckpoints,
+    mean: f32,
+    std_dev: f32,
+}
+
+impl SeededGaussianInit {
+    /// Record `rows` parent outputs from `rng` (advancing it exactly as
+    /// the eager loop would) with checkpoints every `stride` rows.
+    pub fn record(
+        rng: &mut SeededRng,
+        rows: usize,
+        stride: usize,
+        mean: f32,
+        std_dev: f32,
+    ) -> Self {
+        Self {
+            ckpt: StreamCheckpoints::record(rng, rows, stride),
+            mean,
+            std_dev,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn rows(&self) -> usize {
+        self.ckpt.len()
+    }
+
+    /// The parent generator positioned to fork row `row` next — callers
+    /// that need the *child stream* (not just the initial row contents)
+    /// fork it exactly as the eager loop did.
+    pub fn parent_rng_at(&self, row: usize) -> SeededRng {
+        self.ckpt.rng_at(row)
+    }
+}
+
+impl RowInit for SeededGaussianInit {
+    fn fill_row(&self, row: usize, out: &mut [f32]) {
+        let mut child = self.parent_rng_at(row).fork(row as u64);
+        for x in out.iter_mut() {
+            *x = child.normal(self.mean, self.std_dev);
+        }
+    }
+}
+
+/// A lazily-materialized `rows × cols` matrix in fixed-size row shards.
+///
+/// Reads of untouched rows ([`ShardedMatrix::peek_row`]) derive the
+/// initial contents through the [`RowInit`] without storing anything;
+/// mutable access ([`ShardedMatrix::row_mut`]) materializes the row into
+/// its shard. Peak memory is proportional to the touched rows, not to
+/// `rows`.
+pub struct ShardedMatrix {
+    rows: RowShards<Box<[f32]>>,
+    cols: usize,
+    init: Box<dyn RowInit>,
+}
+
+impl ShardedMatrix {
+    /// Lazy matrix of `rows × cols` with per-row initializer `init`.
+    pub fn new(rows: usize, cols: usize, shard_rows: usize, init: Box<dyn RowInit>) -> Self {
+        assert!(cols > 0, "cols must be positive");
+        Self {
+            rows: RowShards::new(rows, shard_rows),
+            cols,
+            init,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows currently materialized (the store-level counter).
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.occupied()
+    }
+
+    /// Write row `i`'s *current* contents into `out` without
+    /// materializing: stored bytes if the row was touched, derived
+    /// initial bytes otherwise.
+    pub fn peek_row(&self, i: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "peek_row: wrong buffer length");
+        match self.rows.get(i) {
+            Some(row) => out.copy_from_slice(row),
+            None => self.init.fill_row(i, out),
+        }
+    }
+
+    /// Mutably borrow row `i`, materializing it on first touch.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let cols = self.cols;
+        let init = &*self.init;
+        self.rows
+            .get_or_insert_with(i, || {
+                let mut row = vec![0.0f32; cols].into_boxed_slice();
+                init.fill_row(i, &mut row);
+                row
+            })
+            .as_mut()
+    }
+}
+
+impl std::fmt::Debug for ShardedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMatrix")
+            .field("rows", &self.rows.len())
+            .field("cols", &self.cols)
+            .field("materialized", &self.rows.occupied())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// The eager construction this module's lazy path must reproduce.
+    fn eager_rows(seed: u64, rows: usize, cols: usize) -> Matrix {
+        let mut parent = SeededRng::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut child = parent.fork(r as u64);
+            for x in m.row_mut(r) {
+                *x = child.normal(0.0, 0.1);
+            }
+        }
+        m
+    }
+
+    fn lazy_rows(seed: u64, rows: usize, cols: usize, stride: usize) -> ShardedMatrix {
+        let mut parent = SeededRng::new(seed);
+        let init = SeededGaussianInit::record(&mut parent, rows, stride, 0.0, 0.1);
+        ShardedMatrix::new(rows, cols, stride, Box::new(init))
+    }
+
+    #[test]
+    fn shards_allocate_on_first_touch() {
+        let mut s: RowShards<u32> = RowShards::new(10, 4);
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.shard_rows(), 4);
+        assert_eq!((s.occupied(), s.shards_allocated()), (0, 0));
+        assert!(s.get(9).is_none());
+        *s.get_or_insert_with(9, || 90) = 91;
+        assert_eq!((s.occupied(), s.shards_allocated()), (1, 1));
+        assert_eq!(s.get(9), Some(&91));
+        assert_eq!(s.get_mut(9), Some(&mut 91));
+        // Re-touching does not re-init or recount.
+        assert_eq!(*s.get_or_insert_with(9, || 7), 91);
+        assert_eq!(s.occupied(), 1);
+        assert!(s.get(8).is_none(), "same shard, different slot");
+    }
+
+    #[test]
+    fn occupied_mut_returns_sorted_disjoint_borrows() {
+        let mut s: RowShards<usize> = RowShards::new(20, 4);
+        for i in [0usize, 1, 5, 11, 19] {
+            s.get_or_insert_with(i, || i * 10);
+        }
+        let refs = s.occupied_mut(&[0, 1, 5, 11, 19]);
+        assert_eq!(
+            refs.iter().map(|r| **r).collect::<Vec<_>>(),
+            vec![0, 10, 50, 110, 190]
+        );
+        for r in refs {
+            *r += 1;
+        }
+        assert_eq!(s.get(11), Some(&111));
+        assert!(s.occupied_mut(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unoccupied")]
+    fn occupied_mut_rejects_untouched_slot_in_allocated_shard() {
+        let mut s: RowShards<usize> = RowShards::new(8, 4);
+        s.get_or_insert_with(1, || 1);
+        let _ = s.occupied_mut(&[2]);
+    }
+
+    #[test]
+    fn lazy_rows_match_eager_init_bit_for_bit() {
+        let eager = eager_rows(77, 37, 8);
+        let lazy = lazy_rows(77, 37, 8, 5);
+        let mut buf = vec![0.0f32; 8];
+        // Out-of-order peeks derive, never store.
+        for r in [36usize, 0, 12, 5, 29] {
+            lazy.peek_row(r, &mut buf);
+            assert_eq!(
+                buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                eager.row(r).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "row {r} diverged from eager init"
+            );
+        }
+        assert_eq!(lazy.materialized_rows(), 0, "peek must not materialize");
+    }
+
+    #[test]
+    fn row_mut_materializes_and_persists_edits() {
+        let mut lazy = lazy_rows(3, 16, 4, 4);
+        lazy.row_mut(6)[0] = 42.0;
+        assert_eq!(lazy.materialized_rows(), 1);
+        let mut buf = vec![0.0f32; 4];
+        lazy.peek_row(6, &mut buf);
+        assert_eq!(buf[0], 42.0, "peek must see the stored row");
+        // An untouched neighbor in the same shard still derives.
+        let eager = eager_rows(3, 16, 4);
+        lazy.peek_row(5, &mut buf);
+        assert_eq!(buf, eager.row(5));
+        assert_eq!(lazy.num_rows(), 16);
+        assert_eq!(lazy.cols(), 4);
+        assert!(format!("{lazy:?}").contains("materialized"));
+    }
+
+    #[test]
+    fn parent_stream_ends_where_eager_loop_would() {
+        let mut eager = SeededRng::new(9);
+        for r in 0..11u64 {
+            eager.fork(r);
+        }
+        let mut lazy = SeededRng::new(9);
+        let _ = SeededGaussianInit::record(&mut lazy, 11, 3, 0.0, 0.1);
+        assert_eq!(eager.next_u64(), lazy.next_u64());
+    }
+}

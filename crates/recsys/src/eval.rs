@@ -9,7 +9,7 @@
 use crate::metrics::{AttackMetrics, MetricsAccumulator};
 use crate::model::MfModel;
 use fedrec_data::split::TestSet;
-use fedrec_data::Dataset;
+use fedrec_data::InteractionSource;
 use fedrec_linalg::SeededRng;
 
 /// Evaluation output for one model state.
@@ -26,8 +26,10 @@ pub struct EvalReport {
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     targets: Vec<u32>,
-    /// 99 negatives per user (empty for users without a test item).
-    hr_negatives: Vec<Vec<u32>>,
+    /// 99 negatives per user (empty for users without a test item). May be
+    /// shorter than the population: users beyond it have no held-out item
+    /// (the sharded / partial-population protocol).
+    pub(crate) hr_negatives: Vec<Vec<u32>>,
 }
 
 /// Number of sampled negatives for HR@K, per the NCF protocol.
@@ -37,13 +39,28 @@ impl Evaluator {
     /// Prepare an evaluator for `train`/`test` and the given target items.
     ///
     /// Negatives exclude the user's training items *and* the test item.
-    pub fn new(train: &Dataset, test: &TestSet, targets: &[u32], seed: u64) -> Self {
+    /// `test` may cover only a prefix of the population (`test.len() ≤ n`);
+    /// users without an entry are simply excluded from HR@K, exactly like
+    /// users whose entry is `None`. A million-user run can therefore hold
+    /// out items for a sample of users instead of paying `O(n)` negative
+    /// sampling up front.
+    pub fn new<D: InteractionSource + ?Sized>(
+        train: &D,
+        test: &TestSet,
+        targets: &[u32],
+        seed: u64,
+    ) -> Self {
         let mut targets = targets.to_vec();
         targets.sort_unstable();
         targets.dedup();
         let mut rng = SeededRng::new(seed);
-        assert_eq!(test.len(), train.num_users(), "test set size mismatch");
-        let mut hr_negatives = Vec::with_capacity(train.num_users());
+        assert!(
+            test.len() <= train.num_users(),
+            "test set larger than population: {} > {}",
+            test.len(),
+            train.num_users()
+        );
+        let mut hr_negatives = Vec::with_capacity(test.len());
         for (u, t) in test.iter().enumerate() {
             match *t {
                 Some(test_item) => {
@@ -76,15 +93,35 @@ impl Evaluator {
     }
 
     /// Evaluate a model snapshot.
-    pub fn evaluate(&self, model: &MfModel, train: &Dataset, test: &TestSet) -> EvalReport {
+    ///
+    /// Attack metrics cover every user of the population; HR@10 covers the
+    /// users the (possibly partial) test set holds an item out for.
+    pub fn evaluate<D: InteractionSource + ?Sized>(
+        &self,
+        model: &MfModel,
+        train: &D,
+        test: &TestSet,
+    ) -> EvalReport {
         assert_eq!(model.num_users(), train.num_users());
-        assert_eq!(test.len(), train.num_users(), "test set size mismatch");
+        assert!(
+            test.len() <= train.num_users(),
+            "test set larger than population: {} > {}",
+            test.len(),
+            train.num_users()
+        );
+        assert!(
+            test.len() <= self.hr_negatives.len(),
+            "test set has {} entries but the evaluator prepared negatives for {}: \
+             construct the evaluator with a test set at least this long",
+            test.len(),
+            self.hr_negatives.len()
+        );
         let mut acc = MetricsAccumulator::new();
         let mut scores = vec![0.0f32; model.num_items()];
-        for (u, t) in test.iter().enumerate() {
+        for u in 0..train.num_users() {
             model.scores_for_user(u, &mut scores);
             acc.push_user_attack(&scores, train.user_items(u), &self.targets);
-            if let Some(test_item) = *t {
+            if let Some(test_item) = test.get(u).copied().flatten() {
                 acc.push_user_hr(&scores, test_item, &self.hr_negatives[u]);
             }
         }
@@ -101,6 +138,7 @@ mod tests {
     use crate::trainer::{CentralizedTrainer, TrainConfig};
     use fedrec_data::split::leave_one_out;
     use fedrec_data::synthetic::SyntheticConfig;
+    use fedrec_data::Dataset;
 
     fn setup() -> (Dataset, TestSet, Evaluator) {
         let full = SyntheticConfig::smoke().generate(1);
@@ -200,5 +238,55 @@ mod tests {
         let (train, test, _) = setup();
         let e = Evaluator::new(&train, &test, &[5, 5, 1], 9);
         assert_eq!(e.targets(), &[1, 5]);
+    }
+
+    /// Regression test for the partial-population protocol: `evaluate`
+    /// used to assert `test.len() == train.num_users()`, which made
+    /// sharded / sampled-holdout evaluation impossible. A truncated test
+    /// set must behave exactly like the same set padded with `None`:
+    /// attack metrics still cover every user, HR only the held-out ones.
+    #[test]
+    fn partial_test_set_matches_none_padded_equivalent() {
+        let (train, test, _) = setup();
+        let targets = train.coldest_items(2);
+        let cut = train.num_users() / 3;
+        let partial: TestSet = test[..cut].to_vec();
+        let mut padded = partial.clone();
+        padded.resize(train.num_users(), None);
+        let mut rng = SeededRng::new(8);
+        let model = MfModel::init(train.num_users(), train.num_items(), 8, &mut rng);
+        let ep = Evaluator::new(&train, &partial, &targets, 13);
+        let ef = Evaluator::new(&train, &padded, &targets, 13);
+        let rp = ep.evaluate(&model, &train, &partial);
+        let rf = ef.evaluate(&model, &train, &padded);
+        assert_eq!(rp, rf);
+        // Attack metrics still cover the full population: identical to a
+        // full-test-set evaluator on the same model.
+        let efull = Evaluator::new(&train, &test, &targets, 13);
+        let rfull = efull.evaluate(&model, &train, &test);
+        assert_eq!(rp.attack, rfull.attack);
+    }
+
+    #[test]
+    #[should_panic(expected = "test set larger than population")]
+    fn oversized_test_set_rejected() {
+        let (train, test, _) = setup();
+        let mut too_big = test.clone();
+        too_big.push(None);
+        let _ = Evaluator::new(&train, &too_big, &[1], 9);
+    }
+
+    /// An evaluator built over a partial test set must reject a *longer*
+    /// test set at evaluate time with a clear message (it has no prepared
+    /// negatives for the extra users), not an index panic.
+    #[test]
+    #[should_panic(expected = "prepared negatives")]
+    fn evaluate_rejects_test_set_longer_than_prepared() {
+        let (train, test, _) = setup();
+        let partial: TestSet = test[..10].to_vec();
+        let e = Evaluator::new(&train, &partial, &[1], 9);
+        let mut rng = SeededRng::new(3);
+        let model = MfModel::init(train.num_users(), train.num_items(), 4, &mut rng);
+        let _ = e.evaluate(&model, &train, &test);
     }
 }

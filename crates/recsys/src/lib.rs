@@ -34,7 +34,9 @@ pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod ranking;
+pub mod stream_eval;
 pub mod topk;
 pub mod trainer;
 
 pub use model::MfModel;
+pub use stream_eval::UserRowSource;

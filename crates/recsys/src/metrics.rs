@@ -153,6 +153,22 @@ impl MetricsAccumulator {
         self.loss_sum += loss as f64;
     }
 
+    /// Fold another accumulator into this one.
+    ///
+    /// The streaming sharded evaluator computes one accumulator per
+    /// user-shard (possibly on different worker threads) and merges them
+    /// in shard-index order — a fixed summation order, so the result is
+    /// deterministic for a given shard size regardless of thread count.
+    pub fn merge(&mut self, other: &Self) {
+        self.users += other.users;
+        self.er5_sum += other.er5_sum;
+        self.er10_sum += other.er10_sum;
+        self.ndcg10_sum += other.ndcg10_sum;
+        self.hr_users += other.hr_users;
+        self.hr_hits += other.hr_hits;
+        self.loss_sum += other.loss_sum;
+    }
+
     /// Number of users pushed through [`Self::push_user_attack`].
     pub fn attack_users(&self) -> usize {
         self.users
@@ -310,5 +326,29 @@ mod tests {
         let acc = MetricsAccumulator::new();
         assert_eq!(acc.attack_metrics(), AttackMetrics::default());
         assert_eq!(acc.hr_at_10(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_accumulation() {
+        let mut s = vec![0.0f32; 12];
+        s[0] = 9.0;
+        let mut s2 = vec![1.0f32; 12];
+        s2[0] = -9.0;
+        let mut whole = MetricsAccumulator::new();
+        whole.push_user_attack(&s, &[], &[0]);
+        whole.push_user_attack(&s2, &[], &[0]);
+        whole.push_user_hr(&s, 0, &[1, 2]);
+        whole.push_loss(0.5);
+        let mut a = MetricsAccumulator::new();
+        a.push_user_attack(&s, &[], &[0]);
+        a.push_user_hr(&s, 0, &[1, 2]);
+        a.push_loss(0.5);
+        let mut b = MetricsAccumulator::new();
+        b.push_user_attack(&s2, &[], &[0]);
+        a.merge(&b);
+        assert_eq!(a.attack_metrics(), whole.attack_metrics());
+        assert_eq!(a.hr_at_10(), whole.hr_at_10());
+        assert_eq!(a.total_loss(), whole.total_loss());
+        assert_eq!(a.attack_users(), 2);
     }
 }

@@ -1,0 +1,316 @@
+//! Streaming sharded evaluation — metrics without the dense model.
+//!
+//! [`Evaluator::evaluate`] needs an [`MfModel`], i.e. a dense `n × k` user
+//! matrix assembled from wherever the user vectors actually live. At
+//! million-user scale that assembly alone costs more memory than the
+//! whole training run. The streaming path instead pulls one user row at a
+//! time through the [`UserRowSource`] abstraction, scores it against the
+//! server's `V`, and folds the result into a per-shard
+//! [`MetricsAccumulator`]; peak memory
+//! is `O(threads · (m + k))` regardless of the population size.
+//!
+//! Shards are distributed over scoped worker threads through an atomic
+//! cursor and their accumulators merged in shard-index order, so the
+//! result is deterministic for a fixed `shard_rows` no matter the thread
+//! count. (The merged floating-point sums may differ from the single-pass
+//! [`Evaluator::evaluate`] in the last bits — summation association
+//! differs — but never across thread counts.)
+
+use crate::eval::{EvalReport, Evaluator};
+use crate::metrics::MetricsAccumulator;
+use crate::model::MfModel;
+use fedrec_data::split::TestSet;
+use fedrec_data::InteractionSource;
+use fedrec_linalg::{Matrix, ShardedMatrix};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A source of current user feature rows that never requires the dense
+/// `n × k` matrix to exist.
+///
+/// Implementors must be cheap per row and thread-safe: evaluation workers
+/// pull rows concurrently.
+pub trait UserRowSource: Sync {
+    /// Number of users `n`.
+    fn num_users(&self) -> usize;
+
+    /// Latent dimension `k`.
+    fn k(&self) -> usize;
+
+    /// Write user `u`'s current feature vector into `out`
+    /// (`out.len() == k`).
+    fn write_user_row(&self, u: usize, out: &mut [f32]);
+}
+
+/// A dense user matrix is trivially a row source (rows are users).
+impl UserRowSource for Matrix {
+    fn num_users(&self) -> usize {
+        self.rows()
+    }
+
+    fn k(&self) -> usize {
+        self.cols()
+    }
+
+    fn write_user_row(&self, u: usize, out: &mut [f32]) {
+        out.copy_from_slice(self.row(u));
+    }
+}
+
+/// A lazily-materialized user matrix streams its rows without ever
+/// densifying: stored rows are copied, untouched rows derived.
+impl UserRowSource for ShardedMatrix {
+    fn num_users(&self) -> usize {
+        self.num_rows()
+    }
+
+    fn k(&self) -> usize {
+        self.cols()
+    }
+
+    fn write_user_row(&self, u: usize, out: &mut [f32]) {
+        self.peek_row(u, out);
+    }
+}
+
+impl Evaluator {
+    /// Streaming sharded evaluation over the full population: equivalent
+    /// in coverage to [`Evaluator::evaluate`], never building an
+    /// [`MfModel`].
+    pub fn evaluate_streamed<D>(
+        &self,
+        items: &Matrix,
+        users: &dyn UserRowSource,
+        train: &D,
+        test: &TestSet,
+        threads: usize,
+        shard_rows: usize,
+    ) -> EvalReport
+    where
+        D: InteractionSource + Sync + ?Sized,
+    {
+        self.evaluate_user_range(
+            items,
+            users,
+            train,
+            test,
+            0..users.num_users(),
+            threads,
+            shard_rows,
+        )
+    }
+
+    /// Streaming sharded evaluation restricted to `range` — the
+    /// partial-population protocol: a scale run can score a user sample at
+    /// `O(|range|)` cost instead of sweeping a million users per epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_user_range<D>(
+        &self,
+        items: &Matrix,
+        users: &dyn UserRowSource,
+        train: &D,
+        test: &TestSet,
+        range: Range<usize>,
+        threads: usize,
+        shard_rows: usize,
+    ) -> EvalReport
+    where
+        D: InteractionSource + Sync + ?Sized,
+    {
+        assert!(shard_rows > 0, "shard_rows must be positive");
+        assert_eq!(users.num_users(), train.num_users(), "population mismatch");
+        assert_eq!(users.k(), items.cols(), "latent dimension mismatch");
+        assert!(
+            range.end <= train.num_users(),
+            "user range {}..{} exceeds population {}",
+            range.start,
+            range.end,
+            train.num_users()
+        );
+        assert!(
+            test.len() <= train.num_users(),
+            "test set larger than population"
+        );
+        assert!(
+            test.len() <= self.hr_negatives.len(),
+            "test set has {} entries but the evaluator prepared negatives for {}: \
+             construct the evaluator with a test set at least this long",
+            test.len(),
+            self.hr_negatives.len()
+        );
+        let span = range.end.saturating_sub(range.start);
+        let num_shards = span.div_ceil(shard_rows);
+        let workers = threads.max(1).min(num_shards.max(1));
+        let cursor = AtomicUsize::new(0);
+
+        // One accumulator per shard, computed by whichever worker claims
+        // the shard; merged below in shard-index order for determinism.
+        let run_worker = || {
+            let mut row = vec![0.0f32; items.cols()];
+            let mut scores = vec![0.0f32; items.rows()];
+            let mut done: Vec<(usize, MetricsAccumulator)> = Vec::new();
+            loop {
+                let si = cursor.fetch_add(1, Ordering::Relaxed);
+                if si >= num_shards {
+                    return done;
+                }
+                let lo = range.start + si * shard_rows;
+                let hi = (lo + shard_rows).min(range.end);
+                let mut acc = MetricsAccumulator::new();
+                for u in lo..hi {
+                    users.write_user_row(u, &mut row);
+                    MfModel::scores_for_vector(items, &row, &mut scores);
+                    acc.push_user_attack(&scores, train.user_items(u), self.targets());
+                    if let Some(test_item) = test.get(u).copied().flatten() {
+                        acc.push_user_hr(&scores, test_item, &self.hr_negatives[u]);
+                    }
+                }
+                done.push((si, acc));
+            }
+        };
+
+        let mut per_shard: Vec<(usize, MetricsAccumulator)> = if workers <= 1 {
+            run_worker()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("eval worker panicked"))
+                    .collect()
+            })
+        };
+        per_shard.sort_unstable_by_key(|(si, _)| *si);
+        let mut total = MetricsAccumulator::new();
+        for (_, acc) in &per_shard {
+            total.merge(acc);
+        }
+        EvalReport {
+            attack: total.attack_metrics(),
+            hr_at_10: total.hr_at_10(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrec_data::split::leave_one_out;
+    use fedrec_data::synthetic::SyntheticConfig;
+    use fedrec_data::Dataset;
+    use fedrec_linalg::{SeededGaussianInit, SeededRng};
+
+    fn setup() -> (Dataset, TestSet, Evaluator, MfModel) {
+        let full = SyntheticConfig::smoke().generate(21);
+        let (train, test) = leave_one_out(&full, 4);
+        let targets = train.coldest_items(2);
+        let eval = Evaluator::new(&train, &test, &targets, 5);
+        let mut rng = SeededRng::new(6);
+        let model = MfModel::init(train.num_users(), train.num_items(), 8, &mut rng);
+        (train, test, eval, model)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn streamed_matches_dense_evaluation() {
+        let (train, test, eval, model) = setup();
+        let dense = eval.evaluate(&model, &train, &test);
+        let streamed = eval.evaluate_streamed(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            1,
+            16,
+        );
+        assert!(close(dense.attack.er_at_5, streamed.attack.er_at_5));
+        assert!(close(dense.attack.er_at_10, streamed.attack.er_at_10));
+        assert!(close(dense.attack.ndcg_at_10, streamed.attack.ndcg_at_10));
+        // HR is a counted fraction: exactly equal.
+        assert_eq!(dense.hr_at_10, streamed.hr_at_10);
+    }
+
+    #[test]
+    fn streamed_is_thread_count_invariant() {
+        let (train, test, eval, model) = setup();
+        let run = |threads: usize| {
+            eval.evaluate_streamed(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                threads,
+                16,
+            )
+        };
+        let r1 = run(1);
+        for t in [2usize, 4, 8] {
+            let rt = run(t);
+            assert_eq!(r1, rt, "streamed eval diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn user_range_restricts_coverage() {
+        let (train, test, eval, model) = setup();
+        let half = train.num_users() / 2;
+        let ranged = eval.evaluate_user_range(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..half,
+            2,
+            8,
+        );
+        // Equivalent: evaluate a truncated population the slow way.
+        let mut acc = MetricsAccumulator::new();
+        let mut scores = vec![0.0f32; model.num_items()];
+        for u in 0..half {
+            model.scores_for_user(u, &mut scores);
+            acc.push_user_attack(&scores, train.user_items(u), eval.targets());
+        }
+        assert!(close(ranged.attack.er_at_10, acc.attack_metrics().er_at_10));
+        // Empty range is a no-op report.
+        let empty = eval.evaluate_user_range(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..0,
+            2,
+            8,
+        );
+        assert_eq!(empty, EvalReport::default());
+    }
+
+    #[test]
+    fn sharded_matrix_streams_like_its_dense_twin() {
+        let (train, test, eval, model) = setup();
+        let n = train.num_users();
+        let k = 8usize;
+        // Eager twin: per-row forked Gaussian rows.
+        let mut parent = SeededRng::new(33);
+        let mut dense_users = Matrix::zeros(n, k);
+        for r in 0..n {
+            let mut child = parent.fork(r as u64);
+            for x in dense_users.row_mut(r) {
+                *x = child.normal(0.0, 0.1);
+            }
+        }
+        let mut parent = SeededRng::new(33);
+        let init = SeededGaussianInit::record(&mut parent, n, 32, 0.0, 0.1);
+        let lazy_users = ShardedMatrix::new(n, k, 32, Box::new(init));
+        let a = eval.evaluate_streamed(&model.item_factors, &dense_users, &train, &test, 2, 16);
+        let b = eval.evaluate_streamed(&model.item_factors, &lazy_users, &train, &test, 2, 16);
+        assert_eq!(a, b, "lazy user rows must evaluate identically");
+        assert_eq!(
+            lazy_users.materialized_rows(),
+            0,
+            "evaluation must not materialize rows"
+        );
+    }
+}
