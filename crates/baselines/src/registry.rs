@@ -5,9 +5,10 @@
 
 use crate::{bandwagon, data_poison, explicit_boost, p3, p4, pipattack, popular, random_attack};
 use fedrec_attack::{AttackConfig, FedRecAttack};
-use fedrec_data::{Dataset, PublicView};
+use fedrec_data::{Dataset, InteractionSource, PublicView};
 use fedrec_federated::adversary::Adversary;
 use fedrec_federated::NoAttack;
+use std::sync::OnceLock;
 
 /// Every attack method evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,30 +90,180 @@ impl AttackMethod {
     }
 }
 
-/// Everything an attack may need at construction time. Each method uses
-/// the subset corresponding to its threat model (see crate docs): only
-/// P1/P2 read `full_data`; only FedRecAttack reads `public`.
+/// Everything an attack may need at construction time, behind the same
+/// [`InteractionSource`] seam the round engine trains through — so the
+/// same registry builds adversaries over a dense MovieLens-scale
+/// [`Dataset`] or a lazily generated million-user population.
+///
+/// Each method reads the subset corresponding to its threat model (see
+/// crate docs), and every piece of population-wide side information is
+/// **derived lazily and cached**:
+///
+/// * [`AttackEnv::popularity`] — item interaction counts (Bandwagon /
+///   Popular / PipAttack's prior knowledge);
+/// * [`AttackEnv::public_view`] — the paper's public view `D′` at
+///   proportion ξ (FedRecAttack's prior knowledge);
+/// * [`AttackEnv::full_data`] — a dense CSR snapshot (P1/P2's
+///   full-knowledge assumption).
+///
+/// An attack that does not assume a piece of knowledge never pays for
+/// its derivation: a `Random` adversary over a million-user population
+/// touches nothing but `num_items`. For a dense [`Dataset`] the lazily
+/// derived values are byte-identical to the eager ones the historical
+/// `AttackEnv` fields carried, so existing dense runs reproduce exactly.
 pub struct AttackEnv<'a> {
-    /// The training data (full knowledge — P1/P2 only).
-    pub full_data: &'a Dataset,
-    /// The attacker's public-interaction view (FedRecAttack only).
-    pub public: &'a PublicView,
+    /// The training population.
+    data: &'a (dyn InteractionSource + Sync),
+    /// Set when the population is already a dense [`Dataset`], so
+    /// [`AttackEnv::full_data`] is free and popularity uses the CSR fast
+    /// path.
+    dense: Option<&'a Dataset>,
     /// Target items.
-    pub targets: &'a [u32],
+    targets: &'a [u32],
     /// Number of malicious clients.
-    pub num_malicious: usize,
+    num_malicious: usize,
     /// Row budget κ.
-    pub kappa: usize,
+    kappa: usize,
     /// Latent dimension k.
-    pub k: usize,
+    k: usize,
     /// Seed for the attack's own randomness.
-    pub seed: u64,
+    seed: u64,
+    /// Public-interaction proportion ξ.
+    xi: f64,
+    /// Seed of the public-view sample (kept separate from the attack seed
+    /// so historical runs reproduce byte-identically).
+    public_seed: u64,
+    /// Optional cap on users entering FedRecAttack's loss each round;
+    /// population-scale grids set it so per-round attack cost stays
+    /// bounded (`None` = the paper's all-users formulation).
+    max_attack_users: Option<usize>,
+    popularity: OnceLock<Vec<u32>>,
+    public: OnceLock<PublicView>,
+    materialized: OnceLock<Dataset>,
+}
+
+impl<'a> AttackEnv<'a> {
+    /// Environment over any interaction source (population-scale entry
+    /// point). Prefer [`AttackEnv::over_dataset`] when a dense [`Dataset`]
+    /// exists — it makes the full-knowledge path free.
+    pub fn over(data: &'a (dyn InteractionSource + Sync), targets: &'a [u32]) -> Self {
+        Self {
+            data,
+            dense: None,
+            targets,
+            num_malicious: 0,
+            kappa: 60,
+            k: 8,
+            seed: 0,
+            xi: 0.0,
+            public_seed: 0,
+            max_attack_users: None,
+            popularity: OnceLock::new(),
+            public: OnceLock::new(),
+            materialized: OnceLock::new(),
+        }
+    }
+
+    /// Environment over a dense dataset — the compatibility path every
+    /// Table II–IX runner uses.
+    pub fn over_dataset(data: &'a Dataset, targets: &'a [u32]) -> Self {
+        Self {
+            dense: Some(data),
+            ..Self::over(data, targets)
+        }
+    }
+
+    /// Set the number of malicious clients.
+    pub fn malicious(mut self, num_malicious: usize) -> Self {
+        self.num_malicious = num_malicious;
+        self
+    }
+
+    /// Set the row budget κ.
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Set the latent dimension k.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the attack-construction seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configure the (lazily sampled) public view: proportion ξ and its
+    /// sampling seed.
+    pub fn public(mut self, xi: f64, public_seed: u64) -> Self {
+        self.xi = xi;
+        self.public_seed = public_seed;
+        self
+    }
+
+    /// Cap the users entering FedRecAttack's per-round loss (population
+    /// grids; `None` = the paper's formulation).
+    pub fn max_attack_users(mut self, cap: Option<usize>) -> Self {
+        self.max_attack_users = cap;
+        self
+    }
+
+    /// Number of users `n` of the population.
+    pub fn num_users(&self) -> usize {
+        self.data.num_users()
+    }
+
+    /// Number of items `m` of the catalog.
+    pub fn num_items(&self) -> usize {
+        self.data.num_items()
+    }
+
+    /// Number of malicious clients the adversary controls.
+    pub fn num_malicious(&self) -> usize {
+        self.num_malicious
+    }
+
+    /// Target items.
+    pub fn targets(&self) -> &[u32] {
+        self.targets
+    }
+
+    /// Item popularity, derived on first use and cached. Dense datasets
+    /// use the CSR fast path (their [`InteractionSource`] impl overrides
+    /// the provided sweep); lazy populations pay one `O(|D|)` sweep.
+    pub fn popularity(&self) -> &[u32] {
+        self.popularity.get_or_init(|| self.data.item_popularity())
+    }
+
+    /// The attacker's public view `D′`, sampled on first use at the
+    /// configured `(ξ, seed)` and cached. Byte-identical to an eager
+    /// [`PublicView::sample`] with the same arguments.
+    pub fn public_view(&self) -> &PublicView {
+        self.public
+            .get_or_init(|| PublicView::sample(self.data, self.xi, self.public_seed))
+    }
+
+    /// The full interaction matrix (P1/P2's full-knowledge assumption):
+    /// the dense dataset itself when one was provided, otherwise a CSR
+    /// snapshot materialized from the source on first use and cached.
+    pub fn full_data(&self) -> &Dataset {
+        match self.dense {
+            Some(d) => d,
+            None => self
+                .materialized
+                .get_or_init(|| Dataset::from_source(self.data)),
+        }
+    }
 }
 
 /// Construct the adversary for `method`.
 pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adversary> {
     let targets = env.targets.to_vec();
-    let m = env.full_data.num_items();
+    let m = env.num_items();
     match method {
         AttackMethod::None => Box::new(NoAttack),
         AttackMethod::Random => Box::new(random_attack::random_attack(
@@ -125,7 +276,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
         )),
         AttackMethod::Bandwagon => Box::new(bandwagon::bandwagon(
             &targets,
-            &env.full_data.item_popularity(),
+            env.popularity(),
             env.num_malicious,
             env.kappa,
             env.k,
@@ -133,7 +284,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
         )),
         AttackMethod::Popular => Box::new(popular::popular(
             &targets,
-            &env.full_data.item_popularity(),
+            env.popularity(),
             env.num_malicious,
             env.kappa,
             env.k,
@@ -147,7 +298,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
         )),
         AttackMethod::PipAttack => Box::new(pipattack::PipAttack::new(
             targets,
-            &env.full_data.item_popularity(),
+            env.popularity(),
             env.num_malicious,
             0.05,
             30.0,
@@ -156,7 +307,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
         )),
         AttackMethod::P3 => {
             // Boost by the reciprocal of the attacker's aggregation weight.
-            let total = env.full_data.num_users() + env.num_malicious;
+            let total = env.num_users() + env.num_malicious;
             let lambda = (total as f32 / env.num_malicious.max(1) as f32).max(1.0);
             Box::new(p3::P3::new(
                 targets,
@@ -178,7 +329,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
             env.seed,
         )),
         AttackMethod::P1 => Box::new(data_poison::p1_attack(
-            env.full_data,
+            env.full_data(),
             &targets,
             env.num_malicious,
             env.kappa,
@@ -186,7 +337,7 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
             env.seed,
         )),
         AttackMethod::P2 => Box::new(data_poison::p2_attack(
-            env.full_data,
+            env.full_data(),
             &targets,
             env.num_malicious,
             env.kappa,
@@ -196,9 +347,10 @@ pub fn build_adversary(method: AttackMethod, env: &AttackEnv<'_>) -> Box<dyn Adv
         AttackMethod::FedRecAttack => {
             let mut cfg = AttackConfig::new(targets);
             cfg.kappa = env.kappa;
+            cfg.max_users_per_round = env.max_attack_users;
             Box::new(FedRecAttack::new(
                 cfg,
-                env.public.clone(),
+                env.public_view().clone(),
                 env.num_malicious,
             ))
         }
@@ -221,20 +373,50 @@ mod tests {
     #[test]
     fn every_method_constructs() {
         let data = SyntheticConfig::smoke().generate(1);
-        let public = PublicView::sample(&data, 0.05, 2);
         let targets = data.coldest_items(1);
-        let env = AttackEnv {
-            full_data: &data,
-            public: &public,
-            targets: &targets,
-            num_malicious: 4,
-            kappa: 20,
-            k: 8,
-            seed: 3,
-        };
+        let env = AttackEnv::over_dataset(&data, &targets)
+            .malicious(4)
+            .kappa(20)
+            .k(8)
+            .seed(3)
+            .public(0.05, 2);
         for m in AttackMethod::ALL {
             let adv = build_adversary(m, &env);
             assert!(!adv.name().is_empty());
         }
+    }
+
+    #[test]
+    fn lazy_env_matches_eager_side_information() {
+        // The compatibility promise: the lazily derived public view and
+        // popularity are byte-identical to the eager values the historical
+        // env fields carried.
+        let data = SyntheticConfig::smoke().generate(5);
+        let targets = data.coldest_items(1);
+        let env = AttackEnv::over_dataset(&data, &targets).public(0.05, 2);
+        assert_eq!(env.public_view(), &PublicView::sample(&data, 0.05, 2));
+        assert_eq!(env.popularity(), data.item_popularity());
+        assert!(std::ptr::eq(env.full_data(), &data), "dense path is free");
+    }
+
+    #[test]
+    fn env_over_source_materializes_full_knowledge_once() {
+        let data = SyntheticConfig::smoke().generate(7);
+        let targets = data.coldest_items(1);
+        // Same population behind the opaque seam: derived knowledge must
+        // agree with the dense fast paths.
+        let env = AttackEnv::over(&data, &targets).public(0.1, 9);
+        let dense_env = AttackEnv::over_dataset(&data, &targets).public(0.1, 9);
+        assert_eq!(env.full_data(), dense_env.full_data());
+        assert_eq!(env.popularity(), dense_env.popularity());
+        assert_eq!(env.public_view(), dense_env.public_view());
+        assert!(
+            !std::ptr::eq(env.full_data(), &data),
+            "opaque source must snapshot"
+        );
+        assert!(
+            std::ptr::eq(env.full_data(), env.full_data()),
+            "snapshot is cached"
+        );
     }
 }

@@ -8,10 +8,25 @@
 //! `⌊κ/2⌋ − |V^tar|` items per profile: a profile of `p` items touches up
 //! to `2p` gradient rows (positives plus sampled negatives), so this
 //! budget keeps uploads within the same κ-row envelope FedRecAttack obeys.
+//!
+//! # Lazy malicious client state
+//!
+//! The profiles themselves are the attack's payload and stay eager, but
+//! the per-client *trainer state* (private vector + RNG stream) follows
+//! the same rule as the benign [`ShardedStore`](fedrec_federated::store):
+//! a malicious client materializes into a fixed-stride [`RowShards`] slot
+//! on its **first participation**, by replaying the construction RNG
+//! stream from a [`StreamCheckpoints`] recording. At population scale
+//! (ρ = 0.1 % of a million users = 1,000 fake clients, a few of which are
+//! sampled per round) the attacker pays for the clients the protocol
+//! actually selects — and every materialized client is byte-identical to
+//! what the historical eager constructor built, so dense runs reproduce
+//! exactly.
 
 use fedrec_federated::adversary::{Adversary, RoundCtx};
 use fedrec_federated::client::BenignClient;
-use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+use fedrec_linalg::rng::StreamCheckpoints;
+use fedrec_linalg::{Matrix, RowShards, SeededRng, SparseGrad};
 
 /// Number of filler items per fake profile: `⌊κ/2⌋ − |targets|`
 /// (§V-A of the paper), clamped to the available catalog.
@@ -29,16 +44,29 @@ pub fn profile_from(targets: &[u32], fillers: impl IntoIterator<Item = u32>) -> 
     p
 }
 
+/// Stride of the malicious-client shards: the fake population is orders
+/// of magnitude smaller than the benign one, so a small stride keeps the
+/// replay cost of a cold materialization negligible.
+const MALICIOUS_SHARD_ROWS: usize = 256;
+
 /// An adversary whose malicious clients are ordinary local trainers over
-/// fixed fake profiles.
+/// fixed fake profiles, materialized lazily on first participation.
 pub struct ShillingAdversary {
-    clients: Vec<BenignClient>,
+    profiles: Vec<Vec<u32>>,
+    /// Recorded construction RNG stream; replayed per client on first
+    /// participation, byte-identical to an eager construction loop.
+    ckpt: StreamCheckpoints,
+    clients: RowShards<BenignClient>,
+    num_items: usize,
+    k: usize,
     name: &'static str,
 }
 
 impl ShillingAdversary {
-    /// Create one client per profile. `num_items`/`k` describe the model;
-    /// `seed` derives each client's private stream.
+    /// Register one fake client per profile. `num_items`/`k` describe the
+    /// model; `seed` derives each client's private stream. No client
+    /// state is built here — a client materializes when the protocol
+    /// first selects it.
     pub fn new(
         name: &'static str,
         profiles: Vec<Vec<u32>>,
@@ -47,27 +75,58 @@ impl ShillingAdversary {
         seed: u64,
     ) -> Self {
         let mut rng = SeededRng::new(seed);
-        let clients = profiles
-            .into_iter()
-            .enumerate()
-            .map(|(i, profile)| BenignClient::new(i, profile, num_items, k, &mut rng))
-            .collect();
-        Self { clients, name }
+        // Record the parent stream the historical eager loop consumed
+        // (one fork per client), without building any client.
+        let ckpt = StreamCheckpoints::record(&mut rng, profiles.len(), MALICIOUS_SHARD_ROWS);
+        let clients = RowShards::new(profiles.len(), MALICIOUS_SHARD_ROWS);
+        Self {
+            profiles,
+            ckpt,
+            clients,
+            num_items,
+            k,
+            name,
+        }
     }
 
-    /// The fake profile of malicious client `i`.
+    /// Size of the fake profile of malicious client `i`.
     pub fn profile(&self, i: usize) -> usize {
-        self.clients[i].degree()
+        self.profiles[i].len()
     }
 
     /// Number of fake clients.
     pub fn len(&self) -> usize {
-        self.clients.len()
+        self.profiles.len()
     }
 
     /// Whether no fake clients exist.
     pub fn is_empty(&self) -> bool {
-        self.clients.is_empty()
+        self.profiles.is_empty()
+    }
+
+    /// Fake clients whose trainer state is currently materialized — the
+    /// malicious analogue of the benign store's `materialized ≤ touched`
+    /// scale invariant.
+    pub fn materialized(&self) -> usize {
+        self.clients.occupied()
+    }
+
+    fn client(&mut self, mi: usize) -> &mut BenignClient {
+        assert!(mi < self.profiles.len(), "unknown malicious client {mi}");
+        let Self {
+            profiles,
+            ckpt,
+            clients,
+            num_items,
+            k,
+            ..
+        } = self;
+        clients.get_or_insert_with(mi, || {
+            // Replay the parent stream at position `mi`; BenignClient::new
+            // forks it exactly as the eager constructor did.
+            let mut parent = ckpt.rng_at(mi);
+            BenignClient::new(mi, profiles[mi].clone(), *num_items, *k, &mut parent)
+        })
     }
 }
 
@@ -81,8 +140,7 @@ impl Adversary for ShillingAdversary {
         ctx.selected_malicious
             .iter()
             .map(|&mi| {
-                assert!(mi < self.clients.len(), "unknown malicious client {mi}");
-                self.clients[mi]
+                self.client(mi)
                     // Fake clients obey the same clip bound as benign ones
                     // and add no DP noise (the attacker has no privacy to
                     // protect).
@@ -135,6 +193,41 @@ mod tests {
             assert!(ups[0].get(item).is_some(), "item {item} missing");
         }
         assert!(ups[0].max_row_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn lazy_clients_match_the_eager_construction_loop() {
+        // The historical constructor built every client eagerly from one
+        // shared parent stream; the lazy path must replay it exactly.
+        let profiles: Vec<Vec<u32>> = (0..9u32).map(|i| vec![i, i + 5]).collect();
+        let mut parent = SeededRng::new(41);
+        let mut eager: Vec<BenignClient> = profiles
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| BenignClient::new(i, p, 20, 4, &mut parent))
+            .collect();
+        let mut adv = ShillingAdversary::new("test", profiles, 20, 4, 41);
+        assert_eq!(adv.materialized(), 0, "construction builds nothing");
+        let mut rng = SeededRng::new(2);
+        let items = Matrix::random_normal(20, 4, 0.0, 0.1, &mut rng);
+        // Materialize out of order; uploads must match the eager clients'
+        // (identical state *and* RNG stream).
+        for &mi in &[7usize, 0, 3] {
+            let selected = [mi];
+            let ctx = RoundCtx {
+                round: 0,
+                lr: 0.05,
+                clip_norm: 1.0,
+                selected_malicious: &selected,
+            };
+            let lazy_up = adv.poison(&items, &ctx, &mut rng);
+            let eager_up = eager[mi]
+                .local_round(&items, 0.05, 0.0, 1.0, 0.0)
+                .expect("profiles train");
+            assert_eq!(lazy_up[0], eager_up.item_grads, "client {mi} diverged");
+        }
+        assert_eq!(adv.materialized(), 3, "only selected clients exist");
     }
 
     #[test]

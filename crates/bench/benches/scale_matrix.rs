@@ -1,0 +1,74 @@
+//! The population-scale scenario-matrix benchmark: single attack ×
+//! defense cells over scale-free populations through the sharded client
+//! store — the workload `repro matrix --population million|smoke50k`
+//! fans out. Measured numbers are recorded in BENCH_scale_matrix.json at
+//! the repository root.
+//!
+//! Three arms:
+//!
+//! * `smoke50k_cell/*` — one full cell of the CI smoke grid (50k users,
+//!   8 rounds, streamed 2k-user evaluation) for a cheap shilling attack
+//!   and for FedRecAttack;
+//! * `million_cell/random_gated` — a 1M-user / 100k-item cell (3 rounds,
+//!   streamed 10k-user evaluation): the acceptance measurement that a
+//!   million-user attack × defense cell is minutes-not-hours territory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_baselines::registry::AttackMethod;
+use fedrec_experiments::matrix::{run_cell, CellSpec, DefenseKind, MatrixConfig, ScalePreset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scale_cfg(preset: ScalePreset, epochs: usize) -> MatrixConfig {
+    MatrixConfig {
+        epochs: Some(epochs),
+        ..MatrixConfig::at_scale(preset, 42)
+    }
+}
+
+fn cell(attack: AttackMethod, rho: f64) -> CellSpec {
+    CellSpec {
+        attack,
+        defense: DefenseKind::DetectorGated,
+        rho,
+    }
+}
+
+/// One cell of the 50k-user smoke grid, end to end (construction, 8
+/// defended rounds, streamed partial-population evaluation).
+fn bench_smoke50k_cell(c: &mut Criterion) {
+    let cfg = scale_cfg(ScalePreset::Smoke50k, 8);
+    let mut g = c.benchmark_group("smoke50k_cell");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    for (name, attack) in [
+        ("random_gated", AttackMethod::Random),
+        ("fedrecattack_gated", AttackMethod::FedRecAttack),
+    ] {
+        let spec = cell(attack, 0.01);
+        g.bench_function(name, |b| b.iter(|| black_box(run_cell(&cfg, &spec).len())));
+    }
+    g.finish();
+}
+
+/// The headline: one attack × defense cell over one million users. The
+/// sharded store materializes only the ~500 participants per round (plus
+/// the handful of selected malicious clients in the adversary's own lazy
+/// shard store), so the cell's cost is dominated by the streamed 10k-user
+/// evaluation, not by the population.
+fn bench_million_cell(c: &mut Criterion) {
+    let cfg = scale_cfg(ScalePreset::Million, 3);
+    let spec = cell(AttackMethod::Random, 0.001);
+    let mut g = c.benchmark_group("million_cell");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(30));
+    g.bench_function("random_gated", |b| {
+        b.iter(|| black_box(run_cell(&cfg, &spec).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smoke50k_cell, bench_million_cell);
+criterion_main!(benches);

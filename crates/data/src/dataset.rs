@@ -29,6 +29,25 @@ pub trait InteractionSource {
     fn user_degree(&self, u: usize) -> usize {
         self.user_items(u).len()
     }
+
+    /// Interaction count per item over the whole population.
+    ///
+    /// The default implementation sweeps every user, so on a lazily
+    /// generated source ([`crate::scalefree::ScaleFreeDataset`]) it
+    /// materializes the full population — `O(|D|)` work, the honest cost
+    /// of population-wide side information. Attacks that assume item
+    /// popularity as prior knowledge (Bandwagon, Popular, PipAttack) pay
+    /// it once per construction through the lazy
+    /// `AttackEnv` cache; everything else never triggers it.
+    fn item_popularity(&self) -> Vec<u32> {
+        let mut pop = vec![0u32; self.num_items()];
+        for u in 0..self.num_users() {
+            for &v in self.user_items(u) {
+                pop[v as usize] += 1;
+            }
+        }
+        pop
+    }
 }
 
 impl InteractionSource for Dataset {
@@ -46,6 +65,10 @@ impl InteractionSource for Dataset {
 
     fn user_degree(&self, u: usize) -> usize {
         Dataset::user_degree(self, u)
+    }
+
+    fn item_popularity(&self) -> Vec<u32> {
+        Dataset::item_popularity(self)
     }
 }
 
@@ -217,6 +240,35 @@ impl Dataset {
             .collect::<Vec<_>>();
         Dataset::from_tuples(self.num_users + fake_profiles.len(), self.num_items, tuples)
     }
+
+    /// Materialize a dense CSR snapshot of any interaction source.
+    ///
+    /// This is the bridge the *full-knowledge* data-poisoning baselines
+    /// (P1/P2) use when an experiment runs on a lazily generated
+    /// population: their threat model grants the attacker the entire
+    /// interaction matrix, so the honest cost of that assumption at
+    /// population scale is one `O(|D|)` sweep. Rows come back exactly as
+    /// the source reports them (already sorted and deduplicated per the
+    /// [`InteractionSource`] contract), so for a `Dataset` source this is
+    /// an identity copy.
+    pub fn from_source<D: InteractionSource + ?Sized>(source: &D) -> Dataset {
+        let n = source.num_users();
+        let mut user_ptr = Vec::with_capacity(n + 1);
+        let mut item_ids = Vec::new();
+        user_ptr.push(0);
+        for u in 0..n {
+            let row = source.user_items(u);
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "unsorted row {u}");
+            item_ids.extend_from_slice(row);
+            user_ptr.push(item_ids.len());
+        }
+        Self {
+            num_users: n,
+            num_items: source.num_items(),
+            user_ptr,
+            item_ids,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +365,37 @@ mod tests {
         assert_eq!(s.num_interactions, 5);
         assert!((s.avg_interactions_per_user - 5.0 / 3.0).abs() < 1e-12);
         assert!((s.sparsity - (1.0 - 5.0 / 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_source_is_an_identity_copy_for_datasets() {
+        let d = tiny();
+        let copy = Dataset::from_source(&d);
+        assert_eq!(copy, d);
+    }
+
+    #[test]
+    fn trait_item_popularity_matches_inherent() {
+        let d = tiny();
+        // The provided sweep and the CSR fast path must agree exactly.
+        let via_trait = InteractionSource::item_popularity(&d);
+        assert_eq!(via_trait, d.item_popularity());
+        // A source using the default sweep agrees with a materialization.
+        struct View<'a>(&'a Dataset);
+        impl InteractionSource for View<'_> {
+            fn num_users(&self) -> usize {
+                self.0.num_users()
+            }
+            fn num_items(&self) -> usize {
+                self.0.num_items()
+            }
+            fn user_items(&self, u: usize) -> &[u32] {
+                self.0.user_items(u)
+            }
+        }
+        let v = View(&d);
+        assert_eq!(v.item_popularity(), d.item_popularity());
+        assert_eq!(Dataset::from_source(&v), d);
     }
 
     #[test]

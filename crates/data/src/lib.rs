@@ -31,7 +31,10 @@
 //! assert!(public.num_interactions() <= train.num_interactions());
 //! ```
 
-#![warn(missing_docs)]
+// Full rustdoc coverage is enforced (see fedrec-linalg): missing docs are
+// a hard error in this crate, and CI's `cargo doc` step runs with
+// `RUSTDOCFLAGS="-D warnings"`.
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod loader;

@@ -8,7 +8,7 @@
 //! ξ = 0 yields an empty view and reproduces the paper's ablation
 //! (Table IX) in which FedRecAttack loses validity completely.
 
-use crate::dataset::Dataset;
+use crate::dataset::InteractionSource;
 use fedrec_linalg::SeededRng;
 
 /// The public subset `D′ ⊆ D` visible to the attacker.
@@ -25,7 +25,15 @@ impl PublicView {
     /// user's interactions (rounded to the nearest count, so a user with 30
     /// interactions at ξ=1% may expose 0; that matches the paper's
     /// observation that Steam users frequently expose nothing at ξ=1%).
-    pub fn sample(data: &Dataset, xi: f64, seed: u64) -> Self {
+    ///
+    /// Generic over [`InteractionSource`], so the attacker's knowledge can
+    /// be drawn from a dense [`crate::Dataset`] or a lazily generated
+    /// population alike; sampling sweeps every user, so on a lazy source
+    /// this materializes the population (`O(|D|)`) — the honest cost of
+    /// the paper's per-user exposure model. For a `Dataset` the result is
+    /// byte-identical to what the historical `&Dataset`-only signature
+    /// produced.
+    pub fn sample<D: InteractionSource + ?Sized>(data: &D, xi: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&xi), "xi out of range: {xi}");
         let mut rng = SeededRng::new(seed);
         let mut user_ptr = Vec::with_capacity(data.num_users() + 1);
@@ -112,6 +120,7 @@ impl PublicView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Dataset;
     use crate::synthetic::SyntheticConfig;
 
     fn data() -> Dataset {

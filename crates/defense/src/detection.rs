@@ -12,8 +12,7 @@
 //!   *similar* updates (coordinated malicious clients pushing the same
 //!   target rows look alike; honest clients rarely do).
 //!
-//! Both implement the round loop's
-//! [`Detector`](fedrec_federated::defense::Detector) trait, so either can
+//! Both implement the round loop's [`Detector`] trait, so either can
 //! be attached to a [`DefensePipeline`](fedrec_federated::DefensePipeline)
 //! and run *inside* federated training. In-loop, a flagged client's
 //! upload is excluded **from that round's aggregation onward** (gated

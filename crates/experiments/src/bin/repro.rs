@@ -9,10 +9,12 @@
 //!              fig3 defenses detection all
 //!
 //! repro matrix [--attacks a,b,..|all] [--defenses d,e,..|all] [--rhos r1,r2,..]
+//!       [--population million|smoke50k|tiny|ml100k|ml1m|steam]
+//!       [--backend dense|sharded] [--shard-rows N] [--eval-users N]
 //!       [--out-dir DIR] [--workers N] [--epochs N] [--scale ...] [--seed N]
 //!       [--dataset ...] [--eval-every N] [--smoke]
 //! repro cell --attack A --defense D --rho R [--epochs N] [--scale ...]
-//!       [--seed N] [--dataset ...] [--eval-every N] [--out FILE]
+//!       [--seed N] [--dataset ...] [--population ...] [--eval-every N] [--out FILE]
 //! repro report --dir DIR [--csv] [--out FILE]
 //! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
 //!       [--workers N] [--eval-users N] [--backend dense|sharded]
@@ -21,9 +23,16 @@
 //!
 //! `--scale smoke` (default) runs in seconds on miniature datasets;
 //! `--scale paper` reproduces the full §V-A protocol (much slower).
-//! `matrix --smoke` runs a tiny fixed grid, checks every record's schema
-//! and reruns one cell standalone to assert byte-identical output — the
-//! CI determinism gate.
+//! `matrix --population million` runs the grid on a 1M-user scale-free
+//! population through the sharded client store (malicious users
+//! materialize as rows of the adversary's shard store on first
+//! participation; ~500 participants per round). `matrix --smoke` runs
+//! the attack × defense grid on the 50k-user scale-free preset, checks
+//! every record's schema, asserts the lazy-store invariant
+//! (`rows_materialized ≤ participants_touched`), reruns the grid on the
+//! dense backend to assert dense-vs-sharded byte-identity, and reruns
+//! one cell standalone to assert byte-identical output — the CI
+//! determinism gate.
 //!
 //! `scale` runs a scale-free population through the sharded client store
 //! (defaults: 1M users / 100k items, ~500 participants per round).
@@ -35,7 +44,7 @@
 use fedrec_baselines::registry::AttackMethod;
 use fedrec_experiments::matrix::{
     self, matrix_report, matrix_report_from, run_cell_into, run_matrix, CellSpec, DefenseKind,
-    MatrixConfig,
+    MatrixConfig, Population,
 };
 use fedrec_experiments::{
     fig3_side_effects, run_scale, scale_smoke, table2_datasets, table3_xi_sweep, table4_rho_sweep,
@@ -51,13 +60,14 @@ struct Args {
     scale: Scale,
     seed: u64,
     dataset: DatasetId,
-    eval_every: usize,
+    eval_every: Option<usize>,
     csv: bool,
     out: Option<String>,
     // matrix / cell / report options
     attacks: Option<Vec<AttackMethod>>,
     defenses: Option<Vec<DefenseKind>>,
     rhos: Option<Vec<f64>>,
+    population: Option<Population>,
     attack: Option<AttackMethod>,
     defense: Option<DefenseKind>,
     rho: Option<f64>,
@@ -71,7 +81,7 @@ struct Args {
     items: Option<usize>,
     fraction: Option<f64>,
     eval_users: Option<usize>,
-    backend_dense: bool,
+    backend_dense: Option<bool>,
     shard_rows: Option<usize>,
 }
 
@@ -81,6 +91,8 @@ fn usage() -> ! {
          \x20      [--scale smoke|paper] [--seed N] [--dataset ml100k|ml1m|steam]\n\
          \x20      [--eval-every N] [--csv] [--out FILE]\n\
          \x20 repro matrix [--attacks a,b|all] [--defenses d,e|all] [--rhos r1,r2]\n\
+         \x20      [--population million|smoke50k|tiny|ml100k|ml1m|steam]\n\
+         \x20      [--backend dense|sharded] [--shard-rows N] [--eval-users N]\n\
          \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [shared flags]\n\
          \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
          \x20 repro report --dir DIR [--csv] [--out FILE]\n\
@@ -97,12 +109,13 @@ fn parse_args() -> Args {
         scale: Scale::Smoke,
         seed: 42,
         dataset: DatasetId::Ml100k,
-        eval_every: 10,
+        eval_every: None,
         csv: false,
         out: None,
         attacks: None,
         defenses: None,
         rhos: None,
+        population: None,
         attack: None,
         defense: None,
         rho: None,
@@ -115,7 +128,7 @@ fn parse_args() -> Args {
         items: None,
         fraction: None,
         eval_users: None,
-        backend_dense: false,
+        backend_dense: None,
         shard_rows: None,
     };
     let mut it = std::env::args().skip(1);
@@ -129,12 +142,15 @@ fn parse_args() -> Args {
             "--scale" => args.scale = Scale::parse(&next()).unwrap_or_else(|| usage()),
             "--seed" => args.seed = next().parse().unwrap_or_else(|_| usage()),
             "--dataset" => args.dataset = DatasetId::parse(&next()).unwrap_or_else(|| usage()),
-            "--eval-every" => args.eval_every = next().parse().unwrap_or_else(|_| usage()),
+            "--eval-every" => args.eval_every = Some(next().parse().unwrap_or_else(|_| usage())),
             "--csv" => args.csv = true,
             "--out" => args.out = Some(next()),
             "--attacks" => args.attacks = Some(parse_attacks(&next())),
             "--defenses" => args.defenses = Some(parse_defenses(&next())),
             "--rhos" => args.rhos = Some(parse_rhos(&next())),
+            "--population" => {
+                args.population = Some(Population::parse(&next()).unwrap_or_else(|| usage()))
+            }
             "--attack" => {
                 args.attack = Some(AttackMethod::parse(&next()).unwrap_or_else(|| usage()))
             }
@@ -152,8 +168,8 @@ fn parse_args() -> Args {
             "--fraction" => args.fraction = Some(next().parse().unwrap_or_else(|_| usage())),
             "--eval-users" => args.eval_users = Some(next().parse().unwrap_or_else(|_| usage())),
             "--backend" => match next().to_ascii_lowercase().as_str() {
-                "dense" => args.backend_dense = true,
-                "sharded" => args.backend_dense = false,
+                "dense" => args.backend_dense = Some(true),
+                "sharded" => args.backend_dense = Some(false),
                 _ => usage(),
             },
             "--shard-rows" => {
@@ -197,11 +213,38 @@ fn matrix_config(args: &Args) -> MatrixConfig {
     let mut cfg = if args.smoke {
         MatrixConfig::smoke(args.seed)
     } else {
-        MatrixConfig::new(args.scale, args.seed)
+        match args.population {
+            // `--population million|smoke50k|tiny` turns on the tuned
+            // scale-free defaults (sharded store, tiny-ρ arms, streamed
+            // partial-population eval).
+            Some(Population::ScaleFree(preset)) => MatrixConfig::at_scale(preset, args.seed),
+            Some(pop @ Population::Dense(_)) => MatrixConfig {
+                population: pop,
+                ..MatrixConfig::new(args.scale, args.seed)
+            },
+            None => MatrixConfig {
+                population: Population::Dense(args.dataset),
+                ..MatrixConfig::new(args.scale, args.seed)
+            },
+        }
     };
-    cfg.dataset = args.dataset;
-    if !args.smoke {
-        cfg.eval_every = args.eval_every;
+    if let (false, Some(every)) = (args.smoke, args.eval_every) {
+        // Only an explicit --eval-every overrides the preset's cadence:
+        // scale-free defaults record the final epoch only, and clobbering
+        // that with the dense default would add a mid-training streamed
+        // evaluation to every million-user cell.
+        cfg.eval_every = every;
+    }
+    match (args.backend_dense, args.shard_rows) {
+        (Some(true), _) => cfg.backend = fedrec_federated::StoreBackend::Dense,
+        (Some(false), None) => cfg.backend = fedrec_federated::StoreBackend::sharded(),
+        (_, Some(rows)) => {
+            cfg.backend = fedrec_federated::StoreBackend::Sharded { shard_rows: rows }
+        }
+        (None, None) => {}
+    }
+    if let Some(e) = args.eval_users {
+        cfg.eval_users = e;
     }
     if let Some(a) = &args.attacks {
         cfg.attacks = a.clone();
@@ -269,32 +312,102 @@ fn cmd_matrix(args: &Args) {
     }
 }
 
-/// The CI gate behind `matrix --smoke`: every record parses against the
-/// schema, and one cell rerun standalone reproduces its file bytes.
+/// The CI gate behind `matrix --smoke`, on the 50k-user scale-free
+/// preset through the sharded store:
+///
+/// 1. every record parses against the schema;
+/// 2. every record satisfies the lazy-store invariant
+///    `rows_materialized ≤ participants_touched`;
+/// 3. rerunning the whole grid on the **dense** backend reproduces every
+///    record byte-identically after [`matrix::backend_invariant`]
+///    normalization (only the `backend`/`rows_materialized` fields may
+///    differ);
+/// 4. one cell rerun standalone reproduces its file bytes.
 fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
     let mut checked = 0usize;
-    for o in outcomes {
-        let text = std::fs::read_to_string(&o.path)
-            .unwrap_or_else(|e| fail(&format!("read {}: {e}", o.path.display())));
-        for line in text.lines() {
+    // One read per cell file; the later identity checks reuse these lines.
+    let sharded_cells: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            std::fs::read_to_string(&o.path)
+                .unwrap_or_else(|e| fail(&format!("read {}: {e}", o.path.display())))
+                .lines()
+                .map(String::from)
+                .collect()
+        })
+        .collect();
+    for (o, lines) in outcomes.iter().zip(&sharded_cells) {
+        for line in lines {
             matrix::validate_record(line).unwrap_or_else(|e| fail(&format!("schema: {e}")));
+            let pairs = matrix::parse_record(line)
+                .unwrap_or_else(|| fail(&format!("unparseable record: {line}")));
+            let get = |key: &str| -> usize {
+                pairs
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.parse().ok())
+                    .unwrap_or_else(|| fail(&format!("record missing {key}: {line}")))
+            };
+            let (rows, touched) = (get("rows_materialized"), get("participants_touched"));
+            if rows > touched {
+                fail(&format!(
+                    "lazy invariant violated in cell {}: {rows} rows materialized > \
+                     {touched} participants touched",
+                    o.cell.id()
+                ));
+            }
             checked += 1;
         }
     }
+
+    // Dense-vs-sharded byte-identity: the same grid on the eager backend
+    // must agree on every backend-invariant byte of every record.
+    let dense_cfg = MatrixConfig {
+        backend: StoreBackend::Dense,
+        ..cfg.clone()
+    };
+    let dense = matrix::run_matrix_collect(&dense_cfg);
+    if dense.len() != outcomes.len() {
+        fail("dense rerun produced a different cell count");
+    }
+    for ((o, s_lines), (cell, dense_lines)) in outcomes.iter().zip(&sharded_cells).zip(&dense) {
+        if o.cell != *cell {
+            fail("dense rerun cell order diverged");
+        }
+        let sharded: Vec<String> = s_lines
+            .iter()
+            .map(|l| matrix::backend_invariant(l))
+            .collect();
+        let dense_inv: Vec<String> = dense_lines
+            .iter()
+            .map(|l| matrix::backend_invariant(l))
+            .collect();
+        if sharded != dense_inv {
+            fail(&format!(
+                "dense vs sharded records diverged for cell {}:\n  sharded: {:?}\n  dense:   {:?}",
+                cell.id(),
+                sharded,
+                dense_inv
+            ));
+        }
+    }
+
     let probe = outcomes
         .last()
         .unwrap_or_else(|| fail("smoke grid produced no cells"));
-    let rerun = matrix::run_cell(cfg, &probe.cell).join("\n") + "\n";
-    let original = std::fs::read_to_string(&probe.path)
-        .unwrap_or_else(|e| fail(&format!("read {}: {e}", probe.path.display())));
-    if rerun != original {
+    let rerun = matrix::run_cell(cfg, &probe.cell);
+    let original = sharded_cells.last().expect("non-empty grid");
+    if &rerun != original {
         fail(&format!(
             "determinism: standalone rerun of cell {} diverged from its file",
             probe.cell.id()
         ));
     }
     println!(
-        "smoke OK: {checked} records schema-valid, cell {} byte-identical on standalone rerun",
+        "smoke OK: {checked} records schema-valid, rows_materialized <= participants_touched \
+         in every record, dense/sharded byte-identical across {} cells, cell {} byte-identical \
+         on standalone rerun",
+        outcomes.len(),
         probe.cell.id()
     );
 }
@@ -372,7 +485,7 @@ fn cmd_scale(args: &Args) {
         spec.data.shard_rows = s;
     }
     spec.seed = args.seed;
-    let backend = if args.backend_dense {
+    let backend = if args.backend_dense == Some(true) {
         StoreBackend::Dense
     } else {
         StoreBackend::Sharded {
@@ -420,7 +533,7 @@ fn run_one(name: &str, args: &Args) -> Vec<Table> {
         "table9" => vec![table9_ablation(args.scale, args.seed)],
         "fig3" => DatasetId::ALL
             .iter()
-            .map(|id| fig3_side_effects(args.scale, *id, args.eval_every, args.seed))
+            .map(|id| fig3_side_effects(args.scale, *id, args.eval_every.unwrap_or(10), args.seed))
             .collect(),
         "defenses" => vec![fedrec_experiments::tables::extension_defenses(
             args.scale, args.seed,

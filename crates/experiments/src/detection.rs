@@ -11,7 +11,6 @@ use crate::report::Table;
 use crate::scale::{DatasetId, Scale};
 use fedrec_baselines::registry::{build_adversary, AttackEnv, AttackMethod};
 use fedrec_data::split::leave_one_out;
-use fedrec_data::PublicView;
 use fedrec_defense::{NormDetector, SimilarityDetector};
 use fedrec_federated::adversary::RoundCtx;
 use fedrec_federated::client::BenignClient;
@@ -52,16 +51,12 @@ fn one_round(method: AttackMethod, scale: Scale, seed: u64) -> (Vec<SparseGrad>,
     }
     let benign = uploads.len();
 
-    let public = PublicView::sample(&train, 0.05, seed ^ 0xD1);
-    let env = AttackEnv {
-        full_data: &train,
-        public: &public,
-        targets: &targets,
-        num_malicious,
-        kappa: 60,
-        k: fed.k,
-        seed: seed ^ 0xA7,
-    };
+    let env = AttackEnv::over_dataset(&train, &targets)
+        .malicious(num_malicious)
+        .kappa(60)
+        .k(fed.k)
+        .seed(seed ^ 0xA7)
+        .public(0.05, seed ^ 0xD1);
     let mut adversary = build_adversary(method, &env);
     let selected: Vec<usize> = (0..num_malicious).collect();
     let ctx = RoundCtx {

@@ -38,8 +38,8 @@ pub mod tables;
 pub use detection::extension_detection;
 pub use fig3::fig3_side_effects;
 pub use matrix::{
-    matrix_report, matrix_report_from, run_cell, run_matrix, run_matrix_collect, CellSpec,
-    DefenseKind, MatrixConfig,
+    backend_invariant, matrix_report, matrix_report_from, run_cell, run_matrix, run_matrix_collect,
+    CellSpec, DefenseKind, MatrixConfig, Population, ScalePreset,
 };
 pub use report::Table;
 pub use runner::{run_experiment, ExperimentSpec, Outcome};

@@ -1,5 +1,6 @@
 //! The scenario matrix: every attack × every defense × every ρ, in
-//! parallel, streamed as JSONL.
+//! parallel, streamed as JSONL — over dense Table II datasets *or*
+//! million-user scale-free populations.
 //!
 //! The paper evaluates attacks one table at a time; the §V-D/§VI question
 //! — *how much do standard FL defenses see of each attack, and at what
@@ -9,32 +10,156 @@
 //! shared mutable state between cells) and streams one JSONL record per
 //! cell per eval epoch into a run directory, one file per cell.
 //!
+//! # Populations and backends
+//!
+//! A grid runs over a [`Population`]: either a dense synthetic stand-in
+//! for a Table II dataset ([`Population::Dense`], the historical path),
+//! or a lazily generated scale-free population
+//! ([`Population::ScaleFree`]) — the regime the paper's threat model
+//! actually assumes, where attackers control a tiny fraction of a huge
+//! user base. Cells are wired through
+//! [`Simulation::with_store`] with the configured [`StoreBackend`], so a
+//! million-user cell materializes only the clients the protocol selects
+//! (`rows_materialized ≤ participants_touched`, recorded per record) and
+//! the malicious users exist as lazily materialized rows of the
+//! adversary's own shard store. Scale-free cells evaluate by streaming
+//! user shards ([`Evaluator::evaluate_user_range`]) over an `eval_users`
+//! prefix instead of assembling the dense `n × k` model.
+//!
 //! # Determinism contract
 //!
 //! Every cell derives its RNG seed from the master seed and the cell's
 //! identity alone ([`CellSpec::cell_seed`]), never from scheduling: a
 //! cell rerun standalone (`repro cell`) reproduces its JSONL records
 //! **byte-identically**, regardless of worker count or which other cells
-//! ran. `repro matrix --smoke` asserts exactly that on a tiny grid.
+//! ran. Dense and sharded backends are bit-identical too: a record
+//! differs only in its `backend` and `rows_materialized` fields
+//! (normalized by [`backend_invariant`]). `repro matrix --smoke` asserts
+//! both on the 50k-user scale-free smoke preset.
 
 use crate::report::Table;
-use crate::runner::{default_targets, malicious_count, snapshot_model};
+use crate::runner::{default_targets, malicious_count};
 use crate::scale::{DatasetId, Scale};
 use fedrec_baselines::registry::{build_adversary, AttackEnv, AttackMethod};
+use fedrec_data::scalefree::ScaleFreeConfig;
 use fedrec_data::split::{leave_one_out, TestSet};
-use fedrec_data::{Dataset, PublicView};
+use fedrec_data::{Dataset, InteractionSource};
 use fedrec_defense::{Krum, NormBound, NormDetector, SimilarityDetector, TrimmedMean};
 use fedrec_federated::defense::{DefensePipeline, Detector};
 use fedrec_federated::history::{RoundDefense, TrainingHistory};
 use fedrec_federated::server::SumAggregator;
 use fedrec_federated::simulation::Snapshot;
-use fedrec_federated::Simulation;
+use fedrec_federated::{Simulation, StoreBackend};
 use fedrec_recsys::eval::{EvalReport, Evaluator};
-use fedrec_recsys::MfModel;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// Presets of the lazily generated scale-free population a grid can run
+/// on (see [`ScaleFreeConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalePreset {
+    /// One million users over a 100k-item catalog — the headline scale.
+    Million,
+    /// The 50k-user CI shrink behind `repro matrix --smoke`.
+    Smoke50k,
+    /// A 600-user miniature for unit tests.
+    Tiny,
+}
+
+impl ScalePreset {
+    /// The population generator for this preset.
+    pub fn config(&self) -> ScaleFreeConfig {
+        match self {
+            ScalePreset::Million => ScaleFreeConfig::million(),
+            ScalePreset::Smoke50k => ScaleFreeConfig::smoke_50k(),
+            ScalePreset::Tiny => ScaleFreeConfig::tiny(),
+        }
+    }
+
+    /// JSONL `population` field and CLI name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalePreset::Million => "million",
+            ScalePreset::Smoke50k => "smoke50k",
+            ScalePreset::Tiny => "scalefree-tiny",
+        }
+    }
+
+    /// Fraction of clients selected per round — the whole point of the
+    /// sharded store is that this is small at scale (≈500 participants
+    /// per round for every preset).
+    pub fn client_fraction(&self) -> f64 {
+        match self {
+            ScalePreset::Million => 0.000_5,
+            ScalePreset::Smoke50k => 0.01,
+            ScalePreset::Tiny => 0.05,
+        }
+    }
+
+    /// Users covered by the streamed partial-population evaluation.
+    pub fn eval_users(&self) -> usize {
+        match self {
+            ScalePreset::Million => 10_000,
+            ScalePreset::Smoke50k => 2_000,
+            ScalePreset::Tiny => 200,
+        }
+    }
+
+    /// Default malicious ratios: the tiny-ρ regime the paper's threat
+    /// model assumes at population scale (0.1 % of a million users is
+    /// still a thousand colluding clients).
+    pub fn default_rhos(&self) -> Vec<f64> {
+        match self {
+            ScalePreset::Million => vec![0.0, 0.001],
+            ScalePreset::Smoke50k | ScalePreset::Tiny => vec![0.0, 0.01],
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "million" | "1m" => ScalePreset::Million,
+            "smoke50k" | "50k" => ScalePreset::Smoke50k,
+            "scalefree-tiny" | "tiny" => ScalePreset::Tiny,
+            _ => return None,
+        })
+    }
+}
+
+/// Which population a scenario grid runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Population {
+    /// A dense synthetic stand-in for a Table II dataset, split
+    /// leave-one-out and evaluated with the dense full-model sweep — the
+    /// historical path, byte-identical to pre-population grids.
+    Dense(DatasetId),
+    /// A lazily generated scale-free population: no holdout split (HR@10
+    /// reads 0), deterministic top-id targets, streamed partial-population
+    /// evaluation, and client state behind the configured
+    /// [`StoreBackend`].
+    ScaleFree(ScalePreset),
+}
+
+impl Population {
+    /// JSONL `population` field value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Population::Dense(id) => id.label(),
+            Population::ScaleFree(p) => p.label(),
+        }
+    }
+
+    /// Parse a CLI name: a scale preset (`million`, `smoke50k`, `tiny`)
+    /// or a dense dataset name (`ml100k`, `ml1m`, `steam`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(p) = ScalePreset::parse(s) {
+            return Some(Population::ScaleFree(p));
+        }
+        DatasetId::parse(s).map(Population::Dense)
+    }
+}
 
 /// The defense arm of a scenario cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,13 +286,24 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Cap on the users entering FedRecAttack's per-round loss when the grid
+/// runs on a scale-free population: the paper's all-users formulation is
+/// `O(n · m)` per round, which is exactly what population scale cannot
+/// pay. Deterministic (the subset is drawn from the attack's own seeded
+/// stream), and dense grids keep the uncapped formulation.
+const SCALE_ATTACK_USER_CAP: usize = 1_024;
+
 /// Grid configuration.
 #[derive(Debug, Clone)]
 pub struct MatrixConfig {
-    /// Experiment scale (dataset sizes, epochs, k).
+    /// Experiment scale (training epochs, k) for dense populations.
     pub scale: Scale,
-    /// Which dataset the grid runs on.
-    pub dataset: DatasetId,
+    /// Which population the grid runs on.
+    pub population: Population,
+    /// Where client state lives. Dense populations default to
+    /// [`StoreBackend::Dense`] (byte-identical to the historical path);
+    /// scale-free populations default to the sharded store.
+    pub backend: StoreBackend,
     /// Master seed; every cell seed derives from it.
     pub seed: u64,
     /// Attack arms.
@@ -186,15 +322,19 @@ pub struct MatrixConfig {
     pub xi: f64,
     /// Row budget κ.
     pub kappa: usize,
+    /// Users covered by the streamed evaluation on scale-free populations
+    /// (dense populations always evaluate the full model).
+    pub eval_users: usize,
 }
 
 impl MatrixConfig {
     /// Default grid at the given scale: a representative attack subset,
-    /// every defense, ρ ∈ {0, 5 %}.
+    /// every defense, ρ ∈ {0, 5 %}, on the dense MovieLens-100K stand-in.
     pub fn new(scale: Scale, seed: u64) -> Self {
         Self {
             scale,
-            dataset: DatasetId::Ml100k,
+            population: Population::Dense(DatasetId::Ml100k),
+            backend: StoreBackend::Dense,
             seed,
             attacks: vec![
                 AttackMethod::None,
@@ -209,20 +349,46 @@ impl MatrixConfig {
             workers: default_workers(),
             xi: 0.05,
             kappa: 60,
+            eval_users: 0,
         }
     }
 
-    /// The tiny grid behind `repro matrix --smoke` and CI: 2 attacks ×
-    /// 2 defenses × 2 ρ at 8 epochs.
+    /// Grid over a scale-free population through the sharded store: the
+    /// headline attack subset, every defense, the preset's tiny-ρ arms,
+    /// short training (the attack lands in a handful of rounds at these
+    /// participant counts).
+    pub fn at_scale(preset: ScalePreset, seed: u64) -> Self {
+        Self {
+            population: Population::ScaleFree(preset),
+            backend: StoreBackend::sharded(),
+            rhos: preset.default_rhos(),
+            eval_every: 0,
+            epochs: Some(8),
+            eval_users: preset.eval_users(),
+            ..Self::new(Scale::Smoke, seed)
+        }
+    }
+
+    /// The CI gate behind `repro matrix --smoke`: the full attack roster
+    /// (minus the full-knowledge data-poisoning pair, whose surrogate
+    /// training dominates a CI budget) × every defense × the tiny-ρ arms,
+    /// on the 50k-user scale-free preset through the sharded store.
     pub fn smoke(seed: u64) -> Self {
         Self {
-            attacks: vec![AttackMethod::None, AttackMethod::FedRecAttack],
-            defenses: vec![DefenseKind::None, DefenseKind::DetectorGated],
-            rhos: vec![0.0, 0.05],
+            attacks: vec![
+                AttackMethod::None,
+                AttackMethod::Random,
+                AttackMethod::Bandwagon,
+                AttackMethod::Popular,
+                AttackMethod::ExplicitBoost,
+                AttackMethod::PipAttack,
+                AttackMethod::P3,
+                AttackMethod::P4,
+                AttackMethod::FedRecAttack,
+            ],
             eval_every: 4,
-            epochs: Some(8),
             workers: 2,
-            ..Self::new(Scale::Smoke, seed)
+            ..Self::at_scale(ScalePreset::Smoke50k, seed)
         }
     }
 
@@ -252,12 +418,15 @@ fn default_workers() -> usize {
 }
 
 /// Keys every JSONL record carries, in emission order.
-pub const RECORD_KEYS: [&str; 19] = [
+pub const RECORD_KEYS: [&str; 24] = [
     "cell",
     "attack",
     "defense",
     "rho",
     "seed",
+    "population",
+    "backend",
+    "users",
     "epoch",
     "final",
     "loss",
@@ -272,7 +441,38 @@ pub const RECORD_KEYS: [&str; 19] = [
     "det_recall",
     "excluded_total",
     "malicious",
+    "rows_materialized",
+    "participants_touched",
 ];
+
+/// The record keys whose values legitimately differ between the dense
+/// and sharded backends of the same cell: the backend name itself, and
+/// how many client rows the store holds (`n` eagerly vs. exactly the
+/// ever-selected participants lazily). Everything else — losses, metrics,
+/// detection counts, `participants_touched` — must be bit-identical.
+pub const BACKEND_DEPENDENT_KEYS: [&str; 2] = ["backend", "rows_materialized"];
+
+/// Normalize one JSONL record for dense-vs-sharded comparison by
+/// removing the [`BACKEND_DEPENDENT_KEYS`] fields. Two backends of the
+/// same cell must agree byte-for-byte after this projection — the
+/// invariant `repro matrix --smoke` enforces.
+pub fn backend_invariant(line: &str) -> String {
+    let mut out = line.to_string();
+    for key in BACKEND_DEPENDENT_KEYS {
+        // Neither key is ever first in a record ("cell" is), so the
+        // leading comma always exists and the remainder stays valid JSON.
+        let needle = format!(",\"{key}\":");
+        if let Some(start) = out.find(&needle) {
+            let vstart = start + needle.len();
+            let vend = out[vstart..]
+                .find([',', '}'])
+                .map(|i| vstart + i)
+                .unwrap_or(out.len());
+            out.replace_range(start..vend, "");
+        }
+    }
+    out
+}
 
 fn num(x: f64) -> String {
     if x.is_finite() {
@@ -287,18 +487,44 @@ struct CellIdentity<'a> {
     cell: &'a CellSpec,
     id: &'a str,
     seed: u64,
+    population: &'a str,
+    backend: &'a str,
+    users: usize,
+}
+
+/// The per-record training-progress fields: where the run is, plus the
+/// live store counters (the `materialized ≤ touched` scale invariant,
+/// observable from every record).
+struct RecordPoint {
+    epoch: usize,
+    is_final: bool,
+    loss: f32,
+    rows_materialized: usize,
+    participants_touched: usize,
 }
 
 fn render_line(
     ident: &CellIdentity<'_>,
-    epoch: usize,
-    is_final: bool,
-    loss: f32,
+    point: &RecordPoint,
     rep: &EvalReport,
     det: Option<&RoundDefense>,
     excluded_total: usize,
 ) -> String {
-    let CellIdentity { cell, id, seed } = *ident;
+    let CellIdentity {
+        cell,
+        id,
+        seed,
+        population,
+        backend,
+        users,
+    } = *ident;
+    let RecordPoint {
+        epoch,
+        is_final,
+        loss,
+        rows_materialized,
+        participants_touched,
+    } = *point;
     let (inspected, flagged, excluded, precision, recall, malicious) = match det {
         Some(d) => (
             d.inspected,
@@ -312,10 +538,12 @@ fn render_line(
     };
     format!(
         "{{\"cell\":\"{id}\",\"attack\":\"{}\",\"defense\":\"{}\",\"rho\":{},\"seed\":{seed},\
+         \"population\":\"{population}\",\"backend\":\"{backend}\",\"users\":{users},\
          \"epoch\":{epoch},\"final\":{is_final},\"loss\":{},\"er5\":{},\"er10\":{},\
          \"ndcg10\":{},\"hr10\":{},\"det_inspected\":{inspected},\"det_flagged\":{flagged},\
          \"det_excluded\":{excluded},\"det_precision\":{},\"det_recall\":{},\
-         \"excluded_total\":{excluded_total},\"malicious\":{malicious}}}",
+         \"excluded_total\":{excluded_total},\"malicious\":{malicious},\
+         \"rows_materialized\":{},\"participants_touched\":{}}}",
         cell.attack.label(),
         cell.defense.label(),
         num(cell.rho),
@@ -326,28 +554,57 @@ fn render_line(
         num(rep.hr_at_10),
         num(precision),
         num(recall),
+        rows_materialized,
+        participants_touched,
     )
 }
 
-/// The grid-constant world every cell shares: dataset, split, targets.
+/// The grid-constant world every cell shares: population, split, targets.
 /// Derived from the *master* seed only, so it is built once per matrix
 /// run and borrowed by every worker — and a standalone cell rerun
 /// rebuilds the identical world from the same config.
+///
+/// Dense populations carry the leave-one-out split and cold-item targets
+/// of the historical path. Scale-free populations hold no test items
+/// (generation is a pure function of `(seed, user)`; removing an
+/// interaction would change every derived row) and target the highest
+/// item ids — deterministic without a popularity sweep, and of arbitrary
+/// popularity because the generator scatters ranks over the id space
+/// with a seeded permutation.
 struct GridWorld {
-    train: Dataset,
+    /// The training population behind the engine's seam.
+    source: Arc<dyn InteractionSource + Send + Sync>,
+    /// Set for [`Population::Dense`] (same object as `source`).
+    dense: Option<Arc<Dataset>>,
     test: TestSet,
     targets: Vec<u32>,
 }
 
 impl GridWorld {
     fn build(cfg: &MatrixConfig) -> Self {
-        let full = cfg.scale.synthetic(cfg.dataset).generate(cfg.seed ^ 0xDA7A);
-        let (train, test) = leave_one_out(&full, cfg.seed ^ 0x10);
-        let targets = default_targets(&train, 1);
-        Self {
-            train,
-            test,
-            targets,
+        match cfg.population {
+            Population::Dense(id) => {
+                let full = cfg.scale.synthetic(id).generate(cfg.seed ^ 0xDA7A);
+                let (train, test) = leave_one_out(&full, cfg.seed ^ 0x10);
+                let targets = default_targets(&train, 1);
+                let train = Arc::new(train);
+                Self {
+                    source: train.clone(),
+                    dense: Some(train),
+                    test,
+                    targets,
+                }
+            }
+            Population::ScaleFree(preset) => {
+                let data = Arc::new(preset.config().generate(cfg.seed ^ 0xDA7A));
+                let m = data.num_items() as u32;
+                Self {
+                    source: data,
+                    dense: None,
+                    test: Vec::new(),
+                    targets: vec![m - 1],
+                }
+            }
         }
     }
 }
@@ -366,6 +623,47 @@ pub fn run_cell_into<W: Write>(
     run_cell_in(cfg, &GridWorld::build(cfg), cell, sink)
 }
 
+/// Shard size of the streamed scale-free evaluation. Fixed regardless of
+/// backend and thread count: the shard partition fixes the metric
+/// summation order, so dense and sharded backends produce identical
+/// reports.
+const EVAL_SHARD_ROWS: usize = 1_024;
+
+/// One cell's evaluation strategy: the dense full-model sweep for dense
+/// populations (the historical, byte-stable path), the streamed
+/// partial-population pass for scale-free ones.
+struct CellEval<'w> {
+    dense: Option<&'w Dataset>,
+    source: &'w (dyn InteractionSource + Send + Sync),
+    test: &'w TestSet,
+    evaluator: &'w Evaluator,
+    eval_users: usize,
+}
+
+impl CellEval<'_> {
+    fn run(
+        &self,
+        items: &fedrec_linalg::Matrix,
+        users: &dyn fedrec_recsys::UserRowSource,
+    ) -> EvalReport {
+        match self.dense {
+            Some(train) => {
+                let model = crate::runner::assemble_model(items, users);
+                self.evaluator.evaluate(&model, train, self.test)
+            }
+            None => self.evaluator.evaluate_user_range(
+                items,
+                users,
+                self.source,
+                self.test,
+                0..self.eval_users,
+                1,
+                EVAL_SHARD_ROWS,
+            ),
+        }
+    }
+}
+
 fn run_cell_in<W: Write>(
     cfg: &MatrixConfig,
     world: &GridWorld,
@@ -373,7 +671,8 @@ fn run_cell_in<W: Write>(
     sink: &mut W,
 ) -> io::Result<usize> {
     let GridWorld {
-        train,
+        source,
+        dense,
         test,
         targets,
     } = world;
@@ -382,35 +681,72 @@ fn run_cell_in<W: Write>(
     if let Some(epochs) = cfg.epochs {
         fed.epochs = epochs;
     }
-    let num_malicious = malicious_count(train.num_users(), cell.rho);
-    let public = PublicView::sample(train, cfg.xi, cseed ^ 0xD1);
-    let env = AttackEnv {
-        full_data: train,
-        public: &public,
-        targets,
-        num_malicious,
-        kappa: cfg.kappa,
-        k: fed.k,
-        seed: cseed ^ 0xA7,
+    let scale_free = match cfg.population {
+        Population::ScaleFree(preset) => {
+            fed.client_fraction = preset.client_fraction();
+            true
+        }
+        Population::Dense(_) => false,
     };
+    let num_malicious = malicious_count(source.num_users(), cell.rho);
+    let env = match dense {
+        Some(train) => AttackEnv::over_dataset(train, targets),
+        None => AttackEnv::over(&**source, targets),
+    }
+    .malicious(num_malicious)
+    .kappa(cfg.kappa)
+    .k(fed.k)
+    .seed(cseed ^ 0xA7)
+    .public(cfg.xi, cseed ^ 0xD1)
+    .max_attack_users(scale_free.then_some(SCALE_ATTACK_USER_CAP));
     let adversary = build_adversary(cell.attack, &env);
     let pipeline = cell.defense.build(num_malicious);
-    let mut sim = Simulation::with_defense(train, fed, adversary, num_malicious, pipeline);
-    let evaluator = Evaluator::new(train, test, targets, cseed ^ 0xE7);
+    let mut sim = Simulation::with_store(
+        source.clone(),
+        fed,
+        adversary,
+        num_malicious,
+        pipeline,
+        cfg.backend,
+    );
+    let evaluator = Evaluator::new(&**source, test, targets, cseed ^ 0xE7);
+    let eval_users = if scale_free {
+        cfg.eval_users.clamp(1, source.num_users())
+    } else {
+        source.num_users()
+    };
 
+    let backend_label = match cfg.backend {
+        StoreBackend::Dense => "dense",
+        StoreBackend::Sharded { .. } => "sharded",
+    };
     let id = cell.id();
     let ident = CellIdentity {
         cell,
         id: id.as_str(),
         seed: cseed,
+        population: cfg.population.label(),
+        backend: backend_label,
+        users: source.num_users(),
     };
+    // One evaluation pass over the current model state: the dense
+    // full-model sweep for dense populations (the historical, byte-stable
+    // path), the streamed partial-population pass for scale-free ones.
+    let evaluate = CellEval {
+        dense: dense.as_deref(),
+        source: &**source,
+        test,
+        evaluator: &evaluator,
+        eval_users,
+    };
+
     let mut written = 0usize;
     let mut write_err: Option<io::Error> = None;
     let history = {
         let sink = &mut *sink;
         let written = &mut written;
         let write_err = &mut write_err;
-        let evaluator = &evaluator;
+        let evaluate = &evaluate;
         let ident = &ident;
         let epochs = fed.epochs;
         let every = cfg.eval_every;
@@ -423,13 +759,16 @@ fn run_cell_in<W: Write>(
             if write_err.is_some() {
                 return;
             }
-            let model = snapshot_model(snap);
-            let rep = evaluator.evaluate(&model, train, test);
+            let rep = evaluate.run(snap.items, snap.users);
             let line = render_line(
                 ident,
-                done,
-                false,
-                snap.loss,
+                &RecordPoint {
+                    epoch: done,
+                    is_final: false,
+                    loss: snap.loss,
+                    rows_materialized: snap.rows_materialized,
+                    participants_touched: snap.participants_touched,
+                },
                 &rep,
                 hist.defense.last(),
                 hist.total_excluded(),
@@ -445,13 +784,16 @@ fn run_cell_in<W: Write>(
         return Err(e);
     }
 
-    let model = MfModel::from_factors(sim.user_factors(), sim.items().clone());
-    let rep = evaluator.evaluate(&model, train, test);
+    let rep = evaluate.run(sim.items(), sim.user_rows());
     let line = render_line(
         &ident,
-        sim.config().epochs,
-        true,
-        history.losses.last().copied().unwrap_or(0.0),
+        &RecordPoint {
+            epoch: sim.config().epochs,
+            is_final: true,
+            loss: history.losses.last().copied().unwrap_or(0.0),
+            rows_materialized: sim.rows_materialized(),
+            participants_touched: sim.participants_touched(),
+        },
         &rep,
         history.defense.last(),
         history.total_excluded(),
@@ -852,6 +1194,119 @@ mod tests {
             let recall: f64 = get("det_recall").parse().unwrap();
             assert_eq!(recall, 1.0, "vacuous recall must be 1.0: {line}");
         }
+    }
+
+    fn tiny_scale_cfg(seed: u64) -> MatrixConfig {
+        MatrixConfig {
+            attacks: vec![AttackMethod::None, AttackMethod::Random],
+            defenses: vec![DefenseKind::None, DefenseKind::DetectorGated],
+            eval_every: 2,
+            epochs: Some(4),
+            workers: 2,
+            ..MatrixConfig::at_scale(ScalePreset::Tiny, seed)
+        }
+    }
+
+    fn record_field(line: &str, key: &str) -> String {
+        parse_record(line)
+            .unwrap()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing {key}: {line}"))
+    }
+
+    #[test]
+    fn population_parse_roundtrips() {
+        for p in [
+            ScalePreset::Million,
+            ScalePreset::Smoke50k,
+            ScalePreset::Tiny,
+        ] {
+            assert_eq!(
+                Population::parse(p.label()),
+                Some(Population::ScaleFree(p)),
+                "{}",
+                p.label()
+            );
+        }
+        assert_eq!(
+            Population::parse("ml100k"),
+            Some(Population::Dense(DatasetId::Ml100k))
+        );
+        assert_eq!(Population::parse("garbage"), None);
+    }
+
+    #[test]
+    fn smoke_grid_runs_on_the_sharded_scale_free_preset() {
+        let cfg = MatrixConfig::smoke(1);
+        assert_eq!(cfg.population, Population::ScaleFree(ScalePreset::Smoke50k));
+        assert_eq!(cfg.backend, StoreBackend::sharded());
+        assert!(cfg.attacks.len() >= 9, "full attack roster (minus P1/P2)");
+        assert_eq!(cfg.defenses.len(), DefenseKind::ALL.len());
+        assert!(
+            !cfg.attacks.contains(&AttackMethod::P1) && !cfg.attacks.contains(&AttackMethod::P2),
+            "full-knowledge pair runs via the dense path, not the CI gate"
+        );
+    }
+
+    #[test]
+    fn backend_invariant_strips_exactly_the_backend_fields() {
+        let line = "{\"cell\":\"x\",\"backend\":\"sharded\",\"users\":600,\
+                    \"rows_materialized\":12,\"participants_touched\":30}";
+        let stripped = backend_invariant(line);
+        assert_eq!(
+            stripped,
+            "{\"cell\":\"x\",\"users\":600,\"participants_touched\":30}"
+        );
+        // Idempotent, and identical for the dense spelling of the cell.
+        assert_eq!(backend_invariant(&stripped), stripped);
+        let dense = "{\"cell\":\"x\",\"backend\":\"dense\",\"users\":600,\
+                     \"rows_materialized\":600,\"participants_touched\":30}";
+        assert_eq!(backend_invariant(dense), stripped);
+    }
+
+    /// The tentpole invariant at miniature scale: the same attacked,
+    /// defended grid over a scale-free population is byte-identical
+    /// between the dense and sharded backends (modulo the backend
+    /// fields), and the sharded store never holds more client rows than
+    /// participants were touched.
+    #[test]
+    fn scale_free_grid_is_backend_invariant_and_lazy() {
+        let sharded_cfg = tiny_scale_cfg(29);
+        let dense_cfg = MatrixConfig {
+            backend: StoreBackend::Dense,
+            ..sharded_cfg.clone()
+        };
+        let sharded = run_matrix_collect(&sharded_cfg);
+        let dense = run_matrix_collect(&dense_cfg);
+        assert_eq!(sharded.len(), 8);
+        let mut saw_lazy_win = false;
+        for ((cell, s_lines), (_, d_lines)) in sharded.iter().zip(&dense) {
+            assert_eq!(s_lines.len(), d_lines.len(), "cell {}", cell.id());
+            for (s, d) in s_lines.iter().zip(d_lines) {
+                assert_eq!(
+                    backend_invariant(s),
+                    backend_invariant(d),
+                    "cell {} diverged across backends",
+                    cell.id()
+                );
+                assert_eq!(record_field(s, "backend"), "sharded");
+                assert_eq!(record_field(d, "backend"), "dense");
+                assert_eq!(record_field(s, "population"), "scalefree-tiny");
+                let rows: usize = record_field(s, "rows_materialized").parse().unwrap();
+                let touched: usize = record_field(s, "participants_touched").parse().unwrap();
+                let users: usize = record_field(s, "users").parse().unwrap();
+                assert!(rows <= touched, "lazy invariant violated: {s}");
+                if rows < users {
+                    saw_lazy_win = true;
+                }
+                // Dense stores are eager by definition.
+                assert_eq!(record_field(d, "rows_materialized"), users.to_string());
+            }
+            validate_record(s_lines.last().unwrap()).unwrap();
+        }
+        assert!(saw_lazy_win, "sharded runs must not materialize everyone");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use fedrec_baselines::registry::{build_adversary, AttackEnv, AttackMethod};
 use fedrec_data::split::TestSet;
-use fedrec_data::{Dataset, PublicView};
+use fedrec_data::Dataset;
 use fedrec_federated::history::TrainingHistory;
 use fedrec_federated::simulation::Snapshot;
 use fedrec_federated::{FedConfig, Simulation};
@@ -63,30 +63,32 @@ pub fn default_targets(train: &Dataset, count: usize) -> Vec<u32> {
     train.coldest_items(count)
 }
 
-pub(crate) fn snapshot_model(snap: &Snapshot<'_>) -> MfModel {
-    let k = snap.items.cols();
-    let n = snap.users.num_users();
-    let mut users = Matrix::zeros(n, k);
+/// Assemble a dense [`MfModel`] snapshot from the current server items
+/// and a streaming row source — the `O(n·k)` measurement path shared by
+/// the table runners and the matrix's dense-population cells.
+pub(crate) fn assemble_model(items: &Matrix, users: &dyn fedrec_recsys::UserRowSource) -> MfModel {
+    let n = users.num_users();
+    let mut mat = Matrix::zeros(n, items.cols());
     for u in 0..n {
-        snap.users.write_user_row(u, users.row_mut(u));
+        users.write_user_row(u, mat.row_mut(u));
     }
-    MfModel::from_factors(users, snap.items.clone())
+    MfModel::from_factors(mat, items.clone())
+}
+
+pub(crate) fn snapshot_model(snap: &Snapshot<'_>) -> MfModel {
+    assemble_model(snap.items, snap.users)
 }
 
 /// Run one experiment end to end.
 pub fn run_experiment(spec: &ExperimentSpec<'_>) -> Outcome {
     let n = spec.train.num_users();
     let num_malicious = malicious_count(n, spec.rho);
-    let public = PublicView::sample(spec.train, spec.xi, spec.seed ^ 0xD1);
-    let env = AttackEnv {
-        full_data: spec.train,
-        public: &public,
-        targets: &spec.targets,
-        num_malicious,
-        kappa: spec.kappa,
-        k: spec.fed.k,
-        seed: spec.seed ^ 0xA7,
-    };
+    let env = AttackEnv::over_dataset(spec.train, &spec.targets)
+        .malicious(num_malicious)
+        .kappa(spec.kappa)
+        .k(spec.fed.k)
+        .seed(spec.seed ^ 0xA7)
+        .public(spec.xi, spec.seed ^ 0xD1);
     let adversary = build_adversary(spec.method, &env);
     let mut sim = Simulation::new(spec.train, spec.fed, adversary, num_malicious);
 

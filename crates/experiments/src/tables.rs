@@ -301,7 +301,6 @@ pub fn table9_ablation(scale: Scale, seed: u64) -> Table {
 /// ablation this repository adds.
 pub fn extension_defenses(scale: Scale, seed: u64) -> Table {
     use fedrec_baselines::registry::{build_adversary, AttackEnv};
-    use fedrec_data::PublicView;
     use fedrec_defense::{CoordinateMedian, Krum, NormBound, TrimmedMean};
     use fedrec_federated::server::{Aggregator, SumAggregator};
     use fedrec_federated::Simulation;
@@ -332,16 +331,12 @@ pub fn extension_defenses(scale: Scale, seed: u64) -> Table {
         vec!["Aggregation", "ER@10", "HR@10"],
     );
     for (name, agg) in aggregators {
-        let public = PublicView::sample(&train, xi, seed ^ 0xD1);
-        let env = AttackEnv {
-            full_data: &train,
-            public: &public,
-            targets: &targets,
-            num_malicious,
-            kappa: 60,
-            k: fed.k,
-            seed: seed ^ 0xA7,
-        };
+        let env = AttackEnv::over_dataset(&train, &targets)
+            .malicious(num_malicious)
+            .kappa(60)
+            .k(fed.k)
+            .seed(seed ^ 0xA7)
+            .public(xi, seed ^ 0xD1);
         let adversary = build_adversary(AttackMethod::FedRecAttack, &env);
         let mut sim = Simulation::with_aggregator(&train, fed, adversary, num_malicious, agg);
         sim.run(None);

@@ -49,6 +49,20 @@ impl DetectionReport {
     /// malicious clients (nothing to catch, nothing was missed), so the
     /// `ρ = 0` baseline rows of a scenario grid do not drag averages
     /// down.
+    ///
+    /// ```
+    /// use fedrec_federated::defense::DetectionReport;
+    ///
+    /// let report = DetectionReport {
+    ///     scores: vec![0.1, 0.9, 0.2, 0.8],
+    ///     flagged: vec![1, 3],
+    /// };
+    /// // Caught one of the two malicious uploads.
+    /// assert_eq!(report.recall(&[1, 2]), 0.5);
+    /// // No malicious uploads this round (a rho = 0 cell): vacuously 1.0,
+    /// // NOT 0.0 — nothing was there to miss.
+    /// assert_eq!(report.recall(&[]), 1.0);
+    /// ```
     pub fn recall(&self, malicious: &[usize]) -> f64 {
         if malicious.is_empty() {
             return 1.0;

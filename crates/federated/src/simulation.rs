@@ -10,7 +10,7 @@
 //! With [`FedConfig::threads`] > 1 the selected benign clients are split
 //! into contiguous id-ordered shards, one per scoped worker thread
 //! (`std::thread::scope`); each worker owns a reusable
-//! [`RoundScratch`](crate::client::RoundScratch) and writes every client's
+//! [`RoundScratch`] buffer set and writes every client's
 //! upload into that client's pre-assigned slot of a pooled update buffer.
 //! Because the slots are indexed by selection order and every client owns
 //! its private RNG stream, the observable sequence of a run is
@@ -67,6 +67,13 @@ pub struct Snapshot<'a> {
     pub users: &'a dyn UserRowSource,
     /// Total benign loss of this epoch.
     pub loss: f32,
+    /// Benign client rows currently materialized in the store (`n` for the
+    /// dense backend; exactly the ever-selected clients for the sharded
+    /// one). Lets per-epoch hooks record the `materialized ≤ touched`
+    /// scale invariant without reaching into the simulation.
+    pub rows_materialized: usize,
+    /// Distinct benign clients selected in at least one round so far.
+    pub participants_touched: usize,
 }
 
 /// Called after every epoch; lets experiments record accuracy/exposure
@@ -278,6 +285,8 @@ impl Simulation {
                     items: self.server.items(),
                     users: self.store.as_user_rows(),
                     loss,
+                    rows_materialized: self.store.materialized(),
+                    participants_touched: self.touched_count,
                 };
                 h(&snap, &mut history);
             }

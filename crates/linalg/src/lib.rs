@@ -22,7 +22,10 @@
 //! assert!(norm > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+// The first crate (with fedrec-data) to reach full rustdoc coverage:
+// missing docs are a hard error here, and CI's `cargo doc` step runs with
+// `RUSTDOCFLAGS="-D warnings"` so link rot fails the build too.
+#![deny(missing_docs)]
 
 pub mod matrix;
 pub mod rng;

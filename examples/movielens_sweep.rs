@@ -16,16 +16,12 @@ use fedrecattack::prelude::*;
 fn er10_for(train: &Dataset, test: &fedrecattack::data::split::TestSet, xi: f64, rho: f64) -> f64 {
     let targets = train.coldest_items(1);
     let num_malicious = ((train.num_users() as f64) * rho).round() as usize;
-    let public = PublicView::sample(train, xi, 11);
-    let env = AttackEnv {
-        full_data: train,
-        public: &public,
-        targets: &targets,
-        num_malicious,
-        kappa: 60,
-        k: 16,
-        seed: 13,
-    };
+    let env = AttackEnv::over_dataset(train, &targets)
+        .malicious(num_malicious)
+        .kappa(60)
+        .k(16)
+        .seed(13)
+        .public(xi, 11);
     let adversary = build_adversary(AttackMethod::FedRecAttack, &env);
     let fed = FedConfig {
         epochs: 60,

@@ -42,16 +42,12 @@ fn main() {
 
     let mut results: Vec<(&str, f64, f64)> = Vec::new();
     for method in methods {
-        let public = PublicView::sample(&train, 0.05, 19);
-        let env = AttackEnv {
-            full_data: &train,
-            public: &public,
-            targets: &targets,
-            num_malicious,
-            kappa: 60,
-            k: fed.k,
-            seed: 29,
-        };
+        let env = AttackEnv::over_dataset(&train, &targets)
+            .malicious(num_malicious)
+            .kappa(60)
+            .k(fed.k)
+            .seed(29)
+            .public(0.05, 19);
         let adversary = build_adversary(method, &env);
         let mut sim = Simulation::new(&train, fed, adversary, num_malicious);
         sim.run(None);

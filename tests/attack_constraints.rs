@@ -100,22 +100,18 @@ fn shilling_attacks_respect_clip_every_round() {
     let full = SyntheticConfig::smoke().generate(82);
     let (train, _) = leave_one_out(&full, 5);
     let targets = train.coldest_items(1);
-    let public = PublicView::sample(&train, 0.05, 2);
 
     for method in [
         AttackMethod::Random,
         AttackMethod::Bandwagon,
         AttackMethod::Popular,
     ] {
-        let env = AttackEnv {
-            full_data: &train,
-            public: &public,
-            targets: &targets,
-            num_malicious: 5,
-            kappa: 40,
-            k: 16,
-            seed: 7,
-        };
+        let env = AttackEnv::over_dataset(&train, &targets)
+            .malicious(5)
+            .kappa(40)
+            .k(16)
+            .seed(7)
+            .public(0.05, 2);
         let inner = build_adversary(method, &env);
         let violations = Rc::new(RefCell::new(Vec::new()));
         let rounds = Rc::new(RefCell::new(0usize));
