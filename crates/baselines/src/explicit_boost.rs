@@ -15,6 +15,7 @@
 //! degrades accuracy: nothing bounds its uploads.
 
 use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::checkpoint::{ByteReader, ByteWriter};
 use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
 
 /// The EB adversary.
@@ -96,6 +97,32 @@ impl Adversary for ExplicitBoost {
     fn name(&self) -> &'static str {
         "eb"
     }
+
+    /// Snapshot the fake feature vectors, EB's only mutable state. An
+    /// empty vector means "not yet lazily initialized" and restores as
+    /// exactly that.
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        w.usize(self.user_vecs.len());
+        for v in &self.user_vecs {
+            w.f32_slice(v);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = ByteReader::new(bytes);
+        let n = r.usize();
+        assert_eq!(
+            n,
+            self.user_vecs.len(),
+            "checkpointed malicious-client count mismatch"
+        );
+        for v in &mut self.user_vecs {
+            *v = r.f32_vec();
+        }
+        assert!(r.is_exhausted(), "trailing bytes in eb checkpoint");
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +185,29 @@ mod tests {
             after > before,
             "EB failed to raise its own target score: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn checkpoint_resumes_fake_vectors_byte_identically() {
+        let mut rng = SeededRng::new(6);
+        let items = Matrix::random_normal(10, 4, 0.0, 0.1, &mut rng);
+        let mk = || ExplicitBoost::new(vec![2, 7], 3, 5.0, 13);
+        let mut straight = mk();
+        let _ = straight.poison(&items, &ctx(&[0, 2]), &mut rng);
+        let mut blob = Vec::new();
+        straight.checkpoint_state(&mut blob);
+        let mut resumed = mk();
+        resumed.restore_state(&blob);
+        assert!(
+            resumed.user_vecs[1].is_empty(),
+            "untouched client stays lazy"
+        );
+        for sel in [[0usize, 1].as_slice(), &[2]] {
+            assert_eq!(
+                straight.poison(&items, &ctx(sel), &mut rng),
+                resumed.poison(&items, &ctx(sel), &mut rng)
+            );
+        }
     }
 
     #[test]

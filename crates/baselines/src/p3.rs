@@ -23,6 +23,7 @@
 use crate::explicit_boost::ExplicitBoost;
 use crate::shilling::{filler_budget, profile_from, ShillingAdversary};
 use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::checkpoint::{ByteReader, ByteWriter};
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
 
 /// The P3 adversary.
@@ -94,6 +95,28 @@ impl Adversary for P3 {
 
     fn name(&self) -> &'static str {
         "p3"
+    }
+
+    /// Two length-prefixed sub-blobs: the camouflage trainers' state and
+    /// the EB component's fake vectors.
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        let mut benign = Vec::new();
+        self.benign_like.checkpoint_state(&mut benign);
+        let mut eb = Vec::new();
+        self.eb.checkpoint_state(&mut eb);
+        let mut w = ByteWriter::new();
+        w.bytes(&benign);
+        w.bytes(&eb);
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = ByteReader::new(bytes);
+        let benign = r.bytes();
+        let eb = r.bytes();
+        assert!(r.is_exhausted(), "trailing bytes in p3 checkpoint");
+        self.benign_like.restore_state(benign);
+        self.eb.restore_state(eb);
     }
 }
 

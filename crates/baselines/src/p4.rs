@@ -25,6 +25,7 @@
 //! erratic above.
 
 use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::checkpoint::{read_rng_state, write_rng_state, ByteReader, ByteWriter};
 use fedrec_federated::client::BenignClient;
 use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
 
@@ -149,6 +150,35 @@ impl Adversary for P4 {
     fn name(&self) -> &'static str {
         "p4"
     }
+
+    /// P4's clients are eager, so the snapshot covers all of them:
+    /// private vector plus RNG stream each.
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        w.usize(self.clients.len());
+        for c in &self.clients {
+            let (user_vec, rng_state) = c.checkpoint_state();
+            w.f32_slice(user_vec);
+            write_rng_state(&mut w, rng_state);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = ByteReader::new(bytes);
+        let n = r.usize();
+        assert_eq!(
+            n,
+            self.clients.len(),
+            "checkpointed malicious-client count mismatch"
+        );
+        for c in &mut self.clients {
+            let user_vec = r.f32_vec();
+            let rng_state = read_rng_state(&mut r);
+            c.restore_state(&user_vec, rng_state);
+        }
+        assert!(r.is_exhausted(), "trailing bytes in p4 checkpoint");
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +223,25 @@ mod tests {
         let hm = honest_mean.get(target).unwrap_or(&zero);
         let at = attacked.get(target).expect("target row must exist");
         assert_ne!(hm, at, "z>0 must perturb the target row");
+    }
+
+    #[test]
+    fn checkpoint_resumes_camouflage_clients_byte_identically() {
+        let mut rng = SeededRng::new(8);
+        let items = Matrix::random_normal(30, 4, 0.0, 0.1, &mut rng);
+        let mk = || P4::new(vec![5], 3, 30, 10, 4, 1.5, 21);
+        let mut straight = mk();
+        let _ = straight.poison(&items, &ctx(&[0, 2]), &mut rng);
+        let mut blob = Vec::new();
+        straight.checkpoint_state(&mut blob);
+        let mut resumed = mk();
+        resumed.restore_state(&blob);
+        for sel in [[0usize, 1].as_slice(), &[2]] {
+            assert_eq!(
+                straight.poison(&items, &ctx(sel), &mut rng),
+                resumed.poison(&items, &ctx(sel), &mut rng)
+            );
+        }
     }
 
     #[test]

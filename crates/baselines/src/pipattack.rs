@@ -106,6 +106,16 @@ impl Adversary for PipAttack {
     fn name(&self) -> &'static str {
         "pipattack"
     }
+
+    /// PipAttack's only mutable state is its EB component (the popularity
+    /// centroid is recomputed per round), so the blob is EB's verbatim.
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        self.eb.checkpoint_state(out);
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        self.eb.restore_state(bytes);
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! exactly.
 
 use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::checkpoint::{read_rng_state, write_rng_state, ByteReader, ByteWriter};
 use fedrec_federated::client::BenignClient;
 use fedrec_linalg::rng::StreamCheckpoints;
 use fedrec_linalg::{Matrix, RowShards, SeededRng, SparseGrad};
@@ -154,6 +155,38 @@ impl Adversary for ShillingAdversary {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    /// Snapshot every materialized fake client (private vector plus RNG
+    /// stream). Profiles and the construction recording are rebuilt by
+    /// the constructor, so only the per-client trainer state travels.
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        w.usize(self.clients.occupied());
+        for mi in 0..self.profiles.len() {
+            if let Some(c) = self.clients.get(mi) {
+                let (user_vec, rng_state) = c.checkpoint_state();
+                w.usize(mi);
+                w.f32_slice(user_vec);
+                write_rng_state(&mut w, rng_state);
+            }
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    /// Re-materialize each checkpointed client through the normal replay
+    /// path (so untouched clients stay lazy), then overwrite its mutable
+    /// state.
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = ByteReader::new(bytes);
+        let n = r.usize();
+        for _ in 0..n {
+            let mi = r.usize();
+            let user_vec = r.f32_vec();
+            let rng_state = read_rng_state(&mut r);
+            self.client(mi).restore_state(&user_vec, rng_state);
+        }
+        assert!(r.is_exhausted(), "trailing bytes in shilling checkpoint");
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +261,38 @@ mod tests {
             assert_eq!(lazy_up[0], eager_up.item_grads, "client {mi} diverged");
         }
         assert_eq!(adv.materialized(), 3, "only selected clients exist");
+    }
+
+    #[test]
+    fn checkpoint_resumes_trained_clients_byte_identically() {
+        let profiles: Vec<Vec<u32>> = (0..6u32).map(|i| vec![i, i + 8]).collect();
+        let mk = || ShillingAdversary::new("test", profiles.clone(), 20, 4, 31);
+        let mut rng = SeededRng::new(5);
+        let items = Matrix::random_normal(20, 4, 0.0, 0.1, &mut rng);
+        let round = |adv: &mut ShillingAdversary, sel: &[usize]| {
+            let ctx = RoundCtx {
+                round: 0,
+                lr: 0.05,
+                clip_norm: 1.0,
+                selected_malicious: sel,
+            };
+            adv.poison(&items, &ctx, &mut SeededRng::new(0))
+        };
+        let mut straight = mk();
+        // Train a subset so some clients are materialized mid-stream and
+        // others stay lazy.
+        let _ = round(&mut straight, &[1, 4]);
+        let _ = round(&mut straight, &[4]);
+        let mut blob = Vec::new();
+        straight.checkpoint_state(&mut blob);
+        let mut resumed = mk();
+        resumed.restore_state(&blob);
+        assert_eq!(resumed.materialized(), 2, "only touched clients restore");
+        // Continued rounds — including a first touch of a lazy client —
+        // must match the uninterrupted adversary exactly.
+        for sel in [[4usize, 5].as_slice(), &[1], &[0]] {
+            assert_eq!(round(&mut straight, sel), round(&mut resumed, sel));
+        }
     }
 
     #[test]

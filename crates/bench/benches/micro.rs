@@ -62,11 +62,11 @@ fn bench_attack_kernels(c: &mut Criterion) {
         })
     });
 
-    let mut approx = UserApproximator::new(train.num_users(), K, 6);
+    let mut approx = UserApproximator::new(&public, K, 6);
     c.bench_function("micro/user_approximation_refine_1_epoch", |b| {
         b.iter(|| {
             approx.refine(&public, &items, 1, 0.05);
-            black_box(approx.users().row(0)[0])
+            black_box(approx.u_hat().row(0)[0])
         })
     });
 }

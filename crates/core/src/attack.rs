@@ -10,10 +10,11 @@
 
 use crate::approx::UserApproximator;
 use crate::config::AttackConfig;
-use crate::loss::{attack_gradient, sample_user_subset};
+use crate::loss::attack_gradient;
 use crate::upload::{select_item_set, take_upload};
 use fedrec_data::PublicView;
 use fedrec_federated::adversary::{Adversary, RoundCtx};
+use fedrec_federated::checkpoint::{read_rng_state, write_rng_state, ByteReader, ByteWriter};
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
 
 /// The FedRecAttack adversary.
@@ -79,9 +80,9 @@ impl Adversary for FedRecAttack {
         rng: &mut SeededRng,
     ) -> Vec<SparseGrad> {
         // Step 1: track the private user matrix (Eq. 19).
-        let approx = self.approx.get_or_insert_with(|| {
-            UserApproximator::new(self.public.num_users(), items.cols(), self.seed)
-        });
+        let approx = self
+            .approx
+            .get_or_insert_with(|| UserApproximator::new(&self.public, items.cols(), self.seed));
         approx.refine(
             &self.public,
             items,
@@ -89,18 +90,20 @@ impl Adversary for FedRecAttack {
             self.cfg.approx_lr,
         );
 
-        // Step 2: poisoned gradient ∇Ṽ = ζ·∂Latk/∂V (Eq. 20).
-        let subset = self
-            .cfg
-            .max_users_per_round
-            .map(|max| sample_user_subset(self.public.num_users(), max, rng));
+        // Step 2: poisoned gradient ∇Ṽ = ζ·∂Latk/∂V (Eq. 20). Only the
+        // public view's active users carry an estimate, so the subset is
+        // always drawn from them.
+        let subset = match self.cfg.max_users_per_round {
+            Some(max) => approx.sample_active_subset(max, rng),
+            None => approx.sample_active_subset(usize::MAX, rng),
+        };
         let mut out = attack_gradient(
-            approx.users(),
+            &*approx,
             items,
             &self.public,
             &self.targets,
             self.cfg.top_k,
-            subset.as_deref(),
+            Some(&subset),
             self.cfg.surrogate,
         );
         self.loss_trace.push(out.loss);
@@ -134,6 +137,56 @@ impl Adversary for FedRecAttack {
 
     fn name(&self) -> &'static str {
         "fedrecattack"
+    }
+
+    fn checkpoint_state(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        match &self.approx {
+            Some(a) => {
+                w.bool(true);
+                w.usize(a.u_hat().cols());
+                w.f32_slice(a.u_hat().as_slice());
+                write_rng_state(&mut w, a.rng_state());
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.item_sets.len());
+        for set in &self.item_sets {
+            match set {
+                Some(s) => {
+                    w.bool(true);
+                    w.u32_slice(s);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.f32_slice(&self.loss_trace);
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = ByteReader::new(bytes);
+        self.approx = if r.bool() {
+            let k = r.usize();
+            let values = r.f32_vec();
+            let rng_state = read_rng_state(&mut r);
+            let mut a = UserApproximator::new(&self.public, k, self.seed);
+            a.restore_state(&values, rng_state);
+            Some(a)
+        } else {
+            None
+        };
+        let n = r.usize();
+        assert_eq!(
+            n,
+            self.item_sets.len(),
+            "checkpointed malicious-client count mismatch"
+        );
+        for set in &mut self.item_sets {
+            *set = if r.bool() { Some(r.u32_vec()) } else { None };
+        }
+        self.loss_trace = r.f32_vec();
+        assert!(r.is_exhausted(), "trailing bytes in adversary checkpoint");
     }
 }
 

@@ -87,6 +87,29 @@ impl Surrogate {
     }
 }
 
+/// A (possibly partial) view of user feature vectors for the attack loss.
+///
+/// The attacker's approximation only covers the public view's active
+/// users — the rest have no estimate and cannot contribute signal — so
+/// the gradient is generic over a source that may return `None` for some
+/// users. A dense [`Matrix`] (white-box tests) covers everyone.
+pub trait UserRows {
+    /// Population size `n` (the valid range of user ids).
+    fn num_users(&self) -> usize;
+    /// User `u`'s feature vector, or `None` when no estimate exists.
+    fn row_of(&self, u: usize) -> Option<&[f32]>;
+}
+
+impl UserRows for Matrix {
+    fn num_users(&self) -> usize {
+        self.rows()
+    }
+
+    fn row_of(&self, u: usize) -> Option<&[f32]> {
+        Some(self.row(u))
+    }
+}
+
 /// Result of one attack-gradient evaluation.
 #[derive(Debug, Clone)]
 pub struct AttackGradient {
@@ -100,7 +123,8 @@ pub struct AttackGradient {
 /// Compute `L^atk` and `∂L^atk/∂V` over the given users.
 ///
 /// * `users` — the attacker's approximation `Û` (or, in white-box tests,
-///   the true `U`).
+///   the true `U`); users without a row ([`UserRows::row_of`] = `None`)
+///   are skipped.
 /// * `items` — the shared `V^t`.
 /// * `public` — `D′`; provides each user's public exclusion set `V_i⁻″`
 ///   and the `(u_i, t) ∉ D′` filter.
@@ -110,8 +134,8 @@ pub struct AttackGradient {
 ///   `max_users_per_round` scaling knob.
 /// * `surrogate` — which margin penalty to use (the paper's saturating
 ///   `g`, or the hinge ablation).
-pub fn attack_gradient(
-    users: &Matrix,
+pub fn attack_gradient<U: UserRows + ?Sized>(
+    users: &U,
     items: &Matrix,
     public: &PublicView,
     targets: &[u32],
@@ -130,7 +154,7 @@ pub fn attack_gradient(
     let user_ids: &[usize] = match user_subset {
         Some(s) => s,
         None => {
-            all_users = (0..users.rows()).collect();
+            all_users = (0..users.num_users()).collect();
             &all_users
         }
     };
@@ -140,7 +164,9 @@ pub fn attack_gradient(
     let fetch = top_k + targets.len();
 
     for &ui in user_ids {
-        let u = users.row(ui);
+        let Some(u) = users.row_of(ui) else {
+            continue; // no estimate for this user — no signal to extract
+        };
         for (item, slot) in scores.iter_mut().enumerate() {
             *slot = vector::dot(u, items.row(item));
         }

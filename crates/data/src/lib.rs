@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 
 pub mod dataset;
+pub mod holdout;
 pub mod loader;
 pub mod negative;
 pub mod public;
@@ -45,5 +46,6 @@ pub mod split;
 pub mod synthetic;
 
 pub use dataset::{Dataset, DatasetStats, InteractionSource};
+pub use holdout::HoldoutView;
 pub use public::PublicView;
 pub use scalefree::{ScaleFreeConfig, ScaleFreeDataset};

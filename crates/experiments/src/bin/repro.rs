@@ -313,7 +313,8 @@ fn cmd_matrix(args: &Args) {
 }
 
 /// The CI gate behind `matrix --smoke`, on the 50k-user scale-free
-/// preset through the sharded store:
+/// preset through the sharded store, with the [`FaultPlan::smoke`]
+/// preset active on every cell:
 ///
 /// 1. every record parses against the schema;
 /// 2. every record satisfies the lazy-store invariant
@@ -322,7 +323,12 @@ fn cmd_matrix(args: &Args) {
 ///    record byte-identically after [`matrix::backend_invariant`]
 ///    normalization (only the `backend`/`rows_materialized` fields may
 ///    differ);
-/// 4. one cell rerun standalone reproduces its file bytes.
+/// 4. one cell rerun standalone reproduces its file bytes;
+/// 5. the fedrecattack cell killed at a mid-run checkpoint and resumed
+///    in a fresh simulation reproduces the straight run's records and
+///    final item matrix byte-identically at 1, 2 and 8 threads.
+///
+/// [`FaultPlan::smoke`]: fedrec_federated::FaultPlan::smoke
 fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
     let mut checked = 0usize;
     // One read per cell file; the later identity checks reuse these lines.
@@ -403,12 +409,44 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
             probe.cell.id()
         ));
     }
+
+    // Crash-resume gate: kill the fedrecattack cell mid-run (checkpoint
+    // after epoch 3 of 8, drop the simulation), restore in a fresh one
+    // and finish. Records *and* the final server item matrix must be
+    // byte-identical to an uninterrupted run, whatever the thread count.
+    // An attacked (ρ > 0) cell so the adversary's own checkpointed state
+    // (the user approximator and its RNG) is part of what must resume.
+    let crash_cell = outcomes
+        .iter()
+        .find(|o| o.cell.attack == AttackMethod::FedRecAttack && o.cell.rho > 0.0)
+        .map(|o| o.cell)
+        .unwrap_or_else(|| fail("smoke grid has no attacked fedrecattack cell"));
+    let (straight_lines, straight_digest) = matrix::run_cell_traced(cfg, &crash_cell, 1);
+    for threads in [1usize, 2, 8] {
+        let (lines, digest) = matrix::run_cell_resumed(cfg, &crash_cell, 3, threads);
+        if lines != straight_lines {
+            fail(&format!(
+                "crash-resume: records of cell {} at {threads} thread(s) diverged from the \
+                 uninterrupted run",
+                crash_cell.id()
+            ));
+        }
+        if digest != straight_digest {
+            fail(&format!(
+                "crash-resume: final item matrix of cell {} at {threads} thread(s) diverged \
+                 from the uninterrupted run",
+                crash_cell.id()
+            ));
+        }
+    }
+
     println!(
         "smoke OK: {checked} records schema-valid, rows_materialized <= participants_touched \
          in every record, dense/sharded byte-identical across {} cells, cell {} byte-identical \
-         on standalone rerun",
+         on standalone rerun, cell {} kill-and-resume byte-identical at 1/2/8 threads",
         outcomes.len(),
-        probe.cell.id()
+        probe.cell.id(),
+        crash_cell.id()
     );
 }
 

@@ -43,13 +43,13 @@ use crate::scale::{DatasetId, Scale};
 use fedrec_baselines::registry::{build_adversary, AttackEnv, AttackMethod};
 use fedrec_data::scalefree::ScaleFreeConfig;
 use fedrec_data::split::{leave_one_out, TestSet};
-use fedrec_data::{Dataset, InteractionSource};
+use fedrec_data::{Dataset, HoldoutView, InteractionSource};
 use fedrec_defense::{Krum, NormBound, NormDetector, SimilarityDetector, TrimmedMean};
 use fedrec_federated::defense::{DefensePipeline, Detector};
 use fedrec_federated::history::{RoundDefense, TrainingHistory};
 use fedrec_federated::server::SumAggregator;
 use fedrec_federated::simulation::Snapshot;
-use fedrec_federated::{Simulation, StoreBackend};
+use fedrec_federated::{FaultPlan, Simulation, StoreBackend};
 use fedrec_recsys::eval::{EvalReport, Evaluator};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -135,10 +135,11 @@ pub enum Population {
     /// leave-one-out and evaluated with the dense full-model sweep — the
     /// historical path, byte-identical to pre-population grids.
     Dense(DatasetId),
-    /// A lazily generated scale-free population: no holdout split (HR@10
-    /// reads 0), deterministic top-id targets, streamed partial-population
-    /// evaluation, and client state behind the configured
-    /// [`StoreBackend`].
+    /// A lazily generated scale-free population: a read-time holdout
+    /// ([`HoldoutView`]) masks one item per eligible user so HR@10 is
+    /// real, targets are deterministic top ids, evaluation streams a
+    /// partial-population prefix, and client state sits behind the
+    /// configured [`StoreBackend`].
     ScaleFree(ScalePreset),
 }
 
@@ -325,6 +326,11 @@ pub struct MatrixConfig {
     /// Users covered by the streamed evaluation on scale-free populations
     /// (dense populations always evaluate the full model).
     pub eval_users: usize,
+    /// Deterministic fault plan injected into every cell's round loop
+    /// (`None` = perfect network). Each cell derives its own fault seed
+    /// from the cell seed, so faulted grids keep the standalone-rerun
+    /// byte-identity promise.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MatrixConfig {
@@ -350,6 +356,7 @@ impl MatrixConfig {
             xi: 0.05,
             kappa: 60,
             eval_users: 0,
+            faults: None,
         }
     }
 
@@ -372,9 +379,12 @@ impl MatrixConfig {
     /// The CI gate behind `repro matrix --smoke`: the full attack roster
     /// (minus the full-knowledge data-poisoning pair, whose surrogate
     /// training dominates a CI budget) × every defense × the tiny-ρ arms,
-    /// on the 50k-user scale-free preset through the sharded store.
+    /// on the 50k-user scale-free preset through the sharded store — under
+    /// the [`FaultPlan::smoke`] fault preset, so the gate exercises
+    /// dropouts, stragglers and quarantined corruption on every cell.
     pub fn smoke(seed: u64) -> Self {
         Self {
+            faults: Some(FaultPlan::smoke()),
             attacks: vec![
                 AttackMethod::None,
                 AttackMethod::Random,
@@ -417,8 +427,13 @@ fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Keys every JSONL record carries, in emission order.
-pub const RECORD_KEYS: [&str; 24] = [
+/// Keys every JSONL record carries, in emission order. The `f_*` keys are
+/// the cumulative fault counters (dropped/timed-out uploads, late arrivals
+/// applied, quarantined payloads, straggler retries, quorum-skipped
+/// rounds); they read 0 when the grid runs without a fault plan, and they
+/// are backend-independent — fault decisions are a pure function of
+/// `(fault seed, round, client)`.
+pub const RECORD_KEYS: [&str; 29] = [
     "cell",
     "attack",
     "defense",
@@ -443,6 +458,11 @@ pub const RECORD_KEYS: [&str; 24] = [
     "malicious",
     "rows_materialized",
     "participants_touched",
+    "f_dropped",
+    "f_late",
+    "f_rejected",
+    "f_retried",
+    "f_skipped",
 ];
 
 /// The record keys whose values legitimately differ between the dense
@@ -509,6 +529,7 @@ fn render_line(
     rep: &EvalReport,
     det: Option<&RoundDefense>,
     excluded_total: usize,
+    faults: (usize, usize, usize, usize, usize),
 ) -> String {
     let CellIdentity {
         cell,
@@ -536,6 +557,7 @@ fn render_line(
         ),
         None => (0, 0, 0, 1.0, 1.0, 0),
     };
+    let (f_dropped, f_late, f_rejected, f_retried, f_skipped) = faults;
     format!(
         "{{\"cell\":\"{id}\",\"attack\":\"{}\",\"defense\":\"{}\",\"rho\":{},\"seed\":{seed},\
          \"population\":\"{population}\",\"backend\":\"{backend}\",\"users\":{users},\
@@ -543,7 +565,9 @@ fn render_line(
          \"ndcg10\":{},\"hr10\":{},\"det_inspected\":{inspected},\"det_flagged\":{flagged},\
          \"det_excluded\":{excluded},\"det_precision\":{},\"det_recall\":{},\
          \"excluded_total\":{excluded_total},\"malicious\":{malicious},\
-         \"rows_materialized\":{},\"participants_touched\":{}}}",
+         \"rows_materialized\":{},\"participants_touched\":{},\
+         \"f_dropped\":{f_dropped},\"f_late\":{f_late},\"f_rejected\":{f_rejected},\
+         \"f_retried\":{f_retried},\"f_skipped\":{f_skipped}}}",
         cell.attack.label(),
         cell.defense.label(),
         num(cell.rho),
@@ -565,12 +589,14 @@ fn render_line(
 /// rebuilds the identical world from the same config.
 ///
 /// Dense populations carry the leave-one-out split and cold-item targets
-/// of the historical path. Scale-free populations hold no test items
-/// (generation is a pure function of `(seed, user)`; removing an
-/// interaction would change every derived row) and target the highest
-/// item ids — deterministic without a popularity sweep, and of arbitrary
-/// popularity because the generator scatters ranks over the id space
-/// with a seeded permutation.
+/// of the historical path. Scale-free populations get a *read-time*
+/// holdout instead: rebuilding the training set would force materializing
+/// the lazily generated population, so a [`HoldoutView`] masks one item
+/// per eligible user as rows are read, and the held items over the eval
+/// prefix form the test set — HR@10 is real on scale-free cells. Targets
+/// are the highest item ids — deterministic without a popularity sweep,
+/// and of arbitrary popularity because the generator scatters ranks over
+/// the id space with a seeded permutation.
 struct GridWorld {
     /// The training population behind the engine's seam.
     source: Arc<dyn InteractionSource + Send + Sync>,
@@ -596,12 +622,17 @@ impl GridWorld {
                 }
             }
             Population::ScaleFree(preset) => {
-                let data = Arc::new(preset.config().generate(cfg.seed ^ 0xDA7A));
+                let data = Arc::new(HoldoutView::new(
+                    preset.config().generate(cfg.seed ^ 0xDA7A),
+                    cfg.seed ^ 0x401D,
+                ));
+                let span = cfg.eval_users.clamp(1, data.num_users());
+                let test = data.test_set(span);
                 let m = data.num_items() as u32;
                 Self {
                     source: data,
                     dense: None,
-                    test: Vec::new(),
+                    test,
                     targets: vec![m - 1],
                 }
             }
@@ -636,7 +667,7 @@ struct CellEval<'w> {
     dense: Option<&'w Dataset>,
     source: &'w (dyn InteractionSource + Send + Sync),
     test: &'w TestSet,
-    evaluator: &'w Evaluator,
+    evaluator: Evaluator,
     eval_users: usize,
 }
 
@@ -664,12 +695,92 @@ impl CellEval<'_> {
     }
 }
 
-fn run_cell_in<W: Write>(
+/// Everything a prepared cell carries besides the simulation itself:
+/// the evaluation harness, the record identity fields, and the streaming
+/// cadence. Split from [`Simulation`] so record-emitting hooks can borrow
+/// it while the simulation is mutably driven.
+struct CellHarness<'w> {
+    eval: CellEval<'w>,
+    cell: CellSpec,
+    id: String,
+    cseed: u64,
+    population: &'static str,
+    backend: &'static str,
+    users: usize,
+    epochs: usize,
+    eval_every: usize,
+}
+
+impl CellHarness<'_> {
+    fn line(&self, point: &RecordPoint, rep: &EvalReport, hist: &TrainingHistory) -> String {
+        render_line(
+            &CellIdentity {
+                cell: &self.cell,
+                id: self.id.as_str(),
+                seed: self.cseed,
+                population: self.population,
+                backend: self.backend,
+                users: self.users,
+            },
+            point,
+            rep,
+            hist.defense.last(),
+            hist.total_excluded(),
+            hist.fault_totals(),
+        )
+    }
+
+    /// The mid-run record for an epoch snapshot, if this epoch emits one
+    /// (the final epoch is covered by the summary record instead).
+    fn snapshot_line(&self, snap: &Snapshot<'_>, hist: &TrainingHistory) -> Option<String> {
+        let done = snap.epoch + 1;
+        if self.eval_every == 0 || !done.is_multiple_of(self.eval_every) || done == self.epochs {
+            return None;
+        }
+        let rep = self.eval.run(snap.items, snap.users);
+        Some(self.line(
+            &RecordPoint {
+                epoch: done,
+                is_final: false,
+                loss: snap.loss,
+                rows_materialized: snap.rows_materialized,
+                participants_touched: snap.participants_touched,
+            },
+            &rep,
+            hist,
+        ))
+    }
+
+    /// The summary record for a finished run.
+    fn final_line(&self, sim: &Simulation, history: &TrainingHistory) -> String {
+        let rep = self.eval.run(sim.items(), sim.user_rows());
+        self.line(
+            &RecordPoint {
+                epoch: self.epochs,
+                is_final: true,
+                loss: history.losses.last().copied().unwrap_or(0.0),
+                rows_materialized: sim.rows_materialized(),
+                participants_touched: sim.participants_touched(),
+            },
+            &rep,
+            history,
+        )
+    }
+}
+
+/// Build one cell's simulation and harness from the shared world. All
+/// construction derives from `cfg` and the cell identity, so two calls
+/// produce simulations on identical trajectories — the property the
+/// crash-resume path leans on when it rebuilds a cell from scratch before
+/// restoring a checkpoint. `threads` overrides the client-round worker
+/// count (`None` keeps the scale default); results are thread-invariant
+/// either way.
+fn prepare_cell<'w>(
     cfg: &MatrixConfig,
-    world: &GridWorld,
+    world: &'w GridWorld,
     cell: &CellSpec,
-    sink: &mut W,
-) -> io::Result<usize> {
+    threads: Option<usize>,
+) -> (Simulation, CellHarness<'w>) {
     let GridWorld {
         source,
         dense,
@@ -680,6 +791,9 @@ fn run_cell_in<W: Write>(
     let mut fed = cfg.scale.fed_config(cseed);
     if let Some(epochs) = cfg.epochs {
         fed.epochs = epochs;
+    }
+    if let Some(t) = threads {
+        fed.threads = t;
     }
     let scale_free = match cfg.population {
         Population::ScaleFree(preset) => {
@@ -709,95 +823,71 @@ fn run_cell_in<W: Write>(
         pipeline,
         cfg.backend,
     );
+    if let Some(plan) = cfg.faults {
+        sim.enable_faults(plan, cseed ^ 0xFA17);
+    }
     let evaluator = Evaluator::new(&**source, test, targets, cseed ^ 0xE7);
     let eval_users = if scale_free {
         cfg.eval_users.clamp(1, source.num_users())
     } else {
         source.num_users()
     };
-
     let backend_label = match cfg.backend {
         StoreBackend::Dense => "dense",
         StoreBackend::Sharded { .. } => "sharded",
     };
-    let id = cell.id();
-    let ident = CellIdentity {
-        cell,
-        id: id.as_str(),
-        seed: cseed,
+    let harness = CellHarness {
+        eval: CellEval {
+            dense: dense.as_deref(),
+            source: &**source,
+            test,
+            evaluator,
+            eval_users,
+        },
+        cell: *cell,
+        id: cell.id(),
+        cseed,
         population: cfg.population.label(),
         backend: backend_label,
         users: source.num_users(),
+        epochs: fed.epochs,
+        eval_every: cfg.eval_every,
     };
-    // One evaluation pass over the current model state: the dense
-    // full-model sweep for dense populations (the historical, byte-stable
-    // path), the streamed partial-population pass for scale-free ones.
-    let evaluate = CellEval {
-        dense: dense.as_deref(),
-        source: &**source,
-        test,
-        evaluator: &evaluator,
-        eval_users,
-    };
+    (sim, harness)
+}
 
+fn run_cell_in<W: Write>(
+    cfg: &MatrixConfig,
+    world: &GridWorld,
+    cell: &CellSpec,
+    sink: &mut W,
+) -> io::Result<usize> {
+    let (mut sim, harness) = prepare_cell(cfg, world, cell, None);
+    let mut history = TrainingHistory::new();
     let mut written = 0usize;
     let mut write_err: Option<io::Error> = None;
-    let history = {
+    {
         let sink = &mut *sink;
         let written = &mut written;
         let write_err = &mut write_err;
-        let evaluate = &evaluate;
-        let ident = &ident;
-        let epochs = fed.epochs;
-        let every = cfg.eval_every;
+        let harness = &harness;
         let mut hook = move |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
-            let done = snap.epoch + 1;
-            // The final epoch is covered by the summary record below.
-            if every == 0 || !done.is_multiple_of(every) || done == epochs {
-                return;
-            }
             if write_err.is_some() {
                 return;
             }
-            let rep = evaluate.run(snap.items, snap.users);
-            let line = render_line(
-                ident,
-                &RecordPoint {
-                    epoch: done,
-                    is_final: false,
-                    loss: snap.loss,
-                    rows_materialized: snap.rows_materialized,
-                    participants_touched: snap.participants_touched,
-                },
-                &rep,
-                hist.defense.last(),
-                hist.total_excluded(),
-            );
-            match writeln!(sink, "{line}") {
-                Ok(()) => *written += 1,
-                Err(e) => *write_err = Some(e),
+            if let Some(line) = harness.snapshot_line(snap, hist) {
+                match writeln!(sink, "{line}") {
+                    Ok(()) => *written += 1,
+                    Err(e) => *write_err = Some(e),
+                }
             }
         };
-        sim.run(Some(&mut hook))
-    };
+        sim.run_segment(Some(&mut hook), &mut history, harness.epochs);
+    }
     if let Some(e) = write_err {
         return Err(e);
     }
-
-    let rep = evaluate.run(sim.items(), sim.user_rows());
-    let line = render_line(
-        &ident,
-        &RecordPoint {
-            epoch: sim.config().epochs,
-            is_final: true,
-            loss: history.losses.last().copied().unwrap_or(0.0),
-            rows_materialized: sim.rows_materialized(),
-            participants_touched: sim.participants_touched(),
-        },
-        &rep,
-        history.defense.last(),
-        history.total_excluded(),
-    );
+    let line = harness.final_line(&sim, &history);
     writeln!(sink, "{line}")?;
     Ok(written + 1)
 }
@@ -813,6 +903,86 @@ fn cell_lines(cfg: &MatrixConfig, world: &GridWorld, cell: &CellSpec) -> Vec<Str
     run_cell_in(cfg, world, cell, &mut buf).expect("in-memory sink cannot fail");
     let text = String::from_utf8(buf).expect("records are UTF-8");
     text.lines().map(String::from).collect()
+}
+
+/// Order-stable digest of an item matrix's raw `f32` bit patterns — the
+/// equality probe of the crash-resume gate (full matrices are too large
+/// to diff in a report).
+pub fn items_digest(items: &fedrec_linalg::Matrix) -> u64 {
+    let mut h = 0x17E6_D16Eu64;
+    for &x in items.as_slice() {
+        h = mix64(h ^ x.to_bits() as u64);
+    }
+    h
+}
+
+/// Run one cell straight through at an explicit client-round thread
+/// count, returning its JSONL lines and the final item-matrix digest —
+/// the reference side of the crash-resume identity gate.
+pub fn run_cell_traced(cfg: &MatrixConfig, cell: &CellSpec, threads: usize) -> (Vec<String>, u64) {
+    let world = GridWorld::build(cfg);
+    let (mut sim, harness) = prepare_cell(cfg, &world, cell, Some(threads));
+    let mut history = TrainingHistory::new();
+    let mut lines = Vec::new();
+    {
+        let lines = &mut lines;
+        let harness = &harness;
+        let mut hook = move |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
+            if let Some(line) = harness.snapshot_line(snap, hist) {
+                lines.push(line);
+            }
+        };
+        sim.run_segment(Some(&mut hook), &mut history, harness.epochs);
+    }
+    lines.push(harness.final_line(&sim, &history));
+    (lines, items_digest(sim.items()))
+}
+
+/// Run one cell but kill it after `kill_after` epochs: checkpoint, drop
+/// the simulation, rebuild the cell from scratch (exactly as a restarted
+/// process would), restore the checkpoint, and finish. Returns the
+/// concatenated JSONL lines and the final item-matrix digest; both must
+/// be byte-identical to [`run_cell_traced`] of the same cell at *any*
+/// thread count — the crash-resume gate `repro matrix --smoke` enforces.
+pub fn run_cell_resumed(
+    cfg: &MatrixConfig,
+    cell: &CellSpec,
+    kill_after: usize,
+    threads: usize,
+) -> (Vec<String>, u64) {
+    let world = GridWorld::build(cfg);
+    let mut lines = Vec::new();
+    let blob = {
+        let (mut sim, harness) = prepare_cell(cfg, &world, cell, Some(threads));
+        let mut history = TrainingHistory::new();
+        let stop = kill_after.min(harness.epochs);
+        {
+            let lines = &mut lines;
+            let harness = &harness;
+            let mut hook = move |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
+                if let Some(line) = harness.snapshot_line(snap, hist) {
+                    lines.push(line);
+                }
+            };
+            sim.run_segment(Some(&mut hook), &mut history, stop);
+        }
+        sim.checkpoint(&history)
+        // sim dropped here: the "crash".
+    };
+    let (mut sim, harness) = prepare_cell(cfg, &world, cell, Some(threads));
+    let mut history = sim.restore(&blob);
+    {
+        let lines = &mut lines;
+        let harness = &harness;
+        let mut hook = move |snap: &Snapshot<'_>, hist: &mut TrainingHistory| {
+            if let Some(line) = harness.snapshot_line(snap, hist) {
+                lines.push(line);
+            }
+        };
+        sim.run_segment(Some(&mut hook), &mut history, harness.epochs);
+    }
+    lines.push(harness.final_line(&sim, &history));
+    (lines, items_digest(sim.items()))
 }
 
 /// Fan `cells` out across `workers` scoped threads with a shared atomic
@@ -1307,6 +1477,101 @@ mod tests {
             validate_record(s_lines.last().unwrap()).unwrap();
         }
         assert!(saw_lazy_win, "sharded runs must not materialize everyone");
+    }
+
+    #[test]
+    fn scale_free_cells_report_real_hit_rates() {
+        // The read-time holdout gives scale-free cells a genuine test set:
+        // HR@10 must be a real measurement, not the 0.0 placeholder the
+        // no-holdout path reported.
+        let cfg = tiny_scale_cfg(31);
+        let cell = CellSpec {
+            attack: AttackMethod::None,
+            defense: DefenseKind::None,
+            rho: 0.0,
+        };
+        let lines = run_cell(&cfg, &cell);
+        let hr: f64 = record_field(lines.last().unwrap(), "hr10").parse().unwrap();
+        assert!(hr > 0.0, "holdout produced no hit-rate signal: {hr}");
+    }
+
+    #[test]
+    fn faulted_cells_report_counters_and_unfaulted_cells_report_zeros() {
+        let clean_cfg = tiny_scale_cfg(37);
+        let faulted_cfg = MatrixConfig {
+            faults: Some(FaultPlan::smoke()),
+            ..clean_cfg.clone()
+        };
+        let cell = CellSpec {
+            attack: AttackMethod::Random,
+            defense: DefenseKind::None,
+            rho: 0.01,
+        };
+        let clean = run_cell(&clean_cfg, &cell);
+        let faulted = run_cell(&faulted_cfg, &cell);
+        let fault_sum = |line: &str| -> usize {
+            [
+                "f_dropped",
+                "f_late",
+                "f_rejected",
+                "f_retried",
+                "f_skipped",
+            ]
+            .iter()
+            .map(|k| record_field(line, k).parse::<usize>().unwrap())
+            .sum()
+        };
+        for line in &clean {
+            validate_record(line).unwrap();
+            assert_eq!(fault_sum(line), 0, "no-plan run must report zeros");
+        }
+        for line in &faulted {
+            validate_record(line).unwrap();
+        }
+        // The counters are cumulative: the final record carries at least
+        // as much as any mid-run record, and the smoke rates over a whole
+        // cell fire with near-certainty.
+        assert!(
+            fault_sum(faulted.last().unwrap()) >= fault_sum(faulted.first().unwrap()),
+            "fault counters must be cumulative"
+        );
+        assert!(
+            fault_sum(faulted.last().unwrap()) > 0,
+            "smoke fault rates fired nothing across the run"
+        );
+        // Faulted reruns stay byte-identical.
+        assert_eq!(faulted, run_cell(&faulted_cfg, &cell));
+    }
+
+    /// The crash-resume acceptance gate at miniature scale: a faulted
+    /// cell killed mid-run and resumed from its checkpoint produces
+    /// byte-identical records and final item matrix to the uninterrupted
+    /// run, at every client-round thread count.
+    #[test]
+    fn crash_resume_matches_straight_run_across_thread_counts() {
+        let cfg = MatrixConfig {
+            faults: Some(FaultPlan::smoke()),
+            ..tiny_scale_cfg(41)
+        };
+        let cell = CellSpec {
+            attack: AttackMethod::Random,
+            defense: DefenseKind::TrimmedMean,
+            rho: 0.01,
+        };
+        let (straight_lines, straight_digest) = run_cell_traced(&cfg, &cell, 1);
+        // The plain sink path agrees with the traced one.
+        assert_eq!(straight_lines, run_cell(&cfg, &cell));
+        for threads in [1usize, 2, 8] {
+            let (lines, digest) = run_cell_resumed(&cfg, &cell, 2, threads);
+            assert_eq!(
+                lines, straight_lines,
+                "resumed records diverged at {threads} threads"
+            );
+            assert_eq!(
+                digest, straight_digest,
+                "resumed item matrix diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

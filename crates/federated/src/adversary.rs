@@ -40,6 +40,29 @@ pub trait Adversary {
 
     /// Short name for reports ("fedrecattack", "random", ...).
     fn name(&self) -> &'static str;
+
+    /// Append the adversary's mutable state to a checkpoint blob.
+    ///
+    /// Stateless adversaries (the default) write nothing. Stateful ones
+    /// (e.g. FedRecAttack's user approximator and its RNG) must serialize
+    /// everything their future `poison` calls depend on, or a resumed run
+    /// diverges from a straight-through one.
+    fn checkpoint_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore the state written by [`Adversary::checkpoint_state`].
+    ///
+    /// The default pairs with the default writer: it accepts only an
+    /// empty blob, so a stateful adversary that forgets to implement the
+    /// pair fails loudly at restore instead of silently diverging.
+    fn restore_state(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.is_empty(),
+            "adversary '{}' has {} bytes of checkpointed state but no restore_state \
+             implementation",
+            self.name(),
+            bytes.len()
+        );
+    }
 }
 
 /// The `None` baseline: malicious clients upload nothing.

@@ -93,6 +93,30 @@ impl BenignClient {
         self.positives.len()
     }
 
+    /// The client's full mutable state for checkpointing: its private
+    /// vector plus the full RNG state (including the Box–Muller spare —
+    /// DP noise draws Gaussians, so a checkpoint can land mid-pair).
+    /// Positives are *not* part of the snapshot: they are re-derived from
+    /// the interaction source on restore.
+    pub fn checkpoint_state(&self) -> (&[f32], ([u64; 4], Option<f64>)) {
+        (&self.user_vec, self.rng.full_state())
+    }
+
+    /// Overwrite the client's mutable state from a checkpoint. The client
+    /// must already exist with its positives (rebuilt through the normal
+    /// constructor path so lazy-store materialization replays
+    /// identically).
+    pub fn restore_state(&mut self, user_vec: &[f32], rng_state: ([u64; 4], Option<f64>)) {
+        assert_eq!(
+            user_vec.len(),
+            self.user_vec.len(),
+            "checkpoint user vector dimension mismatch for user {}",
+            self.user_id
+        );
+        self.user_vec.copy_from_slice(user_vec);
+        self.rng = SeededRng::from_full_state(rng_state.0, rng_state.1);
+    }
+
     /// Run one local round against the received item matrix.
     ///
     /// `clip_norm` is `C`, `noise_scale` is `µ` (noise std is `µ·C` per

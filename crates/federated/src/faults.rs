@@ -1,0 +1,534 @@
+//! Deterministic fault injection and the upload validation gate.
+//!
+//! Real federated deployments lose clients mid-round, receive uploads
+//! rounds late, and see corrupted payloads; the paper's protocol assumes
+//! none of that. This module makes failure a first-class, seeded axis of
+//! every run:
+//!
+//! * [`FaultPlan`] — the fault *rates* and recovery *policy* (dropout,
+//!   straggler delay with retry/timeout/backoff, payload corruption,
+//!   participation quorum).
+//! * [`FaultInjector`] — samples a [`FaultDecision`] for every
+//!   `(round, client)` pair as a **pure function** of
+//!   `(fault_seed, round, client)`: no draw touches the simulation's own
+//!   RNG streams, so a fault-free plan leaves a run byte-identical to one
+//!   with no injector at all, and faulted runs stay bit-identical across
+//!   thread counts and across checkpoint/resume boundaries.
+//! * [`validate_upload`] / [`validate_grad`] — the server-side quarantine
+//!   gate. It runs *before* the defense pipeline's detector: quarantine
+//!   rejects payloads that are structurally malformed (typed
+//!   [`RejectReason`]), while detection scores well-formed uploads that
+//!   may still be adversarial. A quarantined payload never reaches the
+//!   detector or the aggregator.
+//!
+//! Corrupted payloads are deliberately represented as raw wire parts
+//! (`(items, values)` vectors) rather than as [`SparseGrad`]s: the typed
+//! gradient upholds structural invariants (sorted ids, `nnz · k` values)
+//! by construction, so an invalid one cannot — and must never — exist in
+//! the simulation. The gate checks the raw parts and the corruption
+//! always quarantines deterministically.
+
+use fedrec_linalg::{SeededRng, SparseGrad};
+
+/// splitmix64 finalizer — the per-`(seed, round, client)` mixing that
+/// makes fault sampling a pure function of its coordinates.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fault rates and the recovery policy of a run.
+///
+/// Rates are per-`(round, client)` probabilities and must sum to at
+/// most 1. The plan carries no seed — the injector binds one, so the
+/// same plan can be reused across matrix cells with per-cell derived
+/// seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a selected client drops out (trains locally but its
+    /// upload never arrives).
+    pub dropout: f64,
+    /// Probability a selected client straggles (its upload arrives late,
+    /// subject to the retry/timeout policy below).
+    pub straggler: f64,
+    /// Probability a selected client's payload is corrupted in flight
+    /// (non-finite values, truncation, duplicated item ids).
+    pub corruption: f64,
+    /// Largest initial straggler delay in rounds (the first retry window).
+    pub max_delay: usize,
+    /// Delays above this many rounds trigger a retry with a halved
+    /// backoff window.
+    pub timeout: usize,
+    /// Retries before a straggler is given up on (counted as dropped).
+    pub max_retries: usize,
+    /// Minimum fraction of the round's selected benign clients whose
+    /// uploads must arrive (fresh or late) for the server to apply the
+    /// aggregate; below it the round degrades gracefully to a skip
+    /// instead of applying a starved, high-variance update.
+    pub quorum_floor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::gate_only()
+    }
+}
+
+impl FaultPlan {
+    /// No sampled faults at all: only the validation gate runs. Useful to
+    /// harden a run against a malformed-upload adversary without
+    /// injecting failures.
+    pub fn gate_only() -> Self {
+        Self {
+            dropout: 0.0,
+            straggler: 0.0,
+            corruption: 0.0,
+            max_delay: 3,
+            timeout: 2,
+            max_retries: 2,
+            quorum_floor: 0.0,
+        }
+    }
+
+    /// The CI smoke preset: visible dropout/straggler/corruption churn at
+    /// rates small enough that training still descends.
+    pub fn smoke() -> Self {
+        Self {
+            dropout: 0.05,
+            straggler: 0.05,
+            corruption: 0.02,
+            max_delay: 3,
+            timeout: 2,
+            max_retries: 2,
+            quorum_floor: 0.25,
+        }
+    }
+
+    /// Validate ranges; called when the plan is attached to a simulation.
+    pub fn validate(&self) {
+        for (name, r) in [
+            ("dropout", self.dropout),
+            ("straggler", self.straggler),
+            ("corruption", self.corruption),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} rate must be in [0, 1]");
+        }
+        assert!(
+            self.dropout + self.straggler + self.corruption <= 1.0,
+            "fault rates must sum to at most 1"
+        );
+        assert!(self.max_delay >= 1, "max_delay must be at least 1 round");
+        assert!(
+            (0.0..=1.0).contains(&self.quorum_floor),
+            "quorum_floor must be in [0, 1]"
+        );
+    }
+}
+
+/// What kind of in-flight corruption hit a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A value became NaN.
+    NonFinite,
+    /// The value buffer lost its tail (length no longer `nnz · k`).
+    Truncated,
+    /// An item id was overwritten with its predecessor.
+    DuplicatedIndex,
+}
+
+/// The injector's verdict for one `(round, client)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Upload arrives normally.
+    None,
+    /// Client drops out: selected, trains, but the upload never arrives.
+    Dropped,
+    /// Straggler that exhausted its retry budget; the upload is given up
+    /// on. `retried` is how many retries were spent.
+    TimedOut {
+        /// Retry attempts consumed before giving up.
+        retried: usize,
+    },
+    /// Upload arrives `delay` rounds late (computed against the item
+    /// matrix of its production round, i.e. stale by `delay` at arrival).
+    Late {
+        /// Rounds of delay (at least 1).
+        delay: usize,
+        /// Retry attempts that shrank the delay under the timeout.
+        retried: usize,
+    },
+    /// Payload corrupted in flight; always quarantined by the gate.
+    Corrupted(CorruptionKind),
+}
+
+/// Samples fault decisions deterministically per `(round, client)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Bind a plan to a fault seed (derived per matrix cell).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        plan.validate();
+        Self { plan, seed }
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The bound fault seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh generator for `(round, client)` — the purity that keeps
+    /// faulted runs thread-count- and resume-invariant.
+    fn rng_for(&self, round: usize, client: usize) -> SeededRng {
+        let coord = ((round as u64) << 32) ^ (client as u64);
+        SeededRng::new(mix64(self.seed ^ mix64(coord ^ 0xFA17_FA17_FA17_FA17)))
+    }
+
+    /// Decide what happens to `client`'s upload in `round`.
+    pub fn decide(&self, round: usize, client: usize) -> FaultDecision {
+        let p = &self.plan;
+        if p.dropout + p.straggler + p.corruption == 0.0 {
+            return FaultDecision::None;
+        }
+        let mut rng = self.rng_for(round, client);
+        let u = rng.uniform_f64();
+        if u < p.dropout {
+            FaultDecision::Dropped
+        } else if u < p.dropout + p.straggler {
+            self.straggle(&mut rng)
+        } else if u < p.dropout + p.straggler + p.corruption {
+            FaultDecision::Corrupted(match rng.below(3) {
+                0 => CorruptionKind::NonFinite,
+                1 => CorruptionKind::Truncated,
+                _ => CorruptionKind::DuplicatedIndex,
+            })
+        } else {
+            FaultDecision::None
+        }
+    }
+
+    /// Retry/timeout/backoff: draw an initial delay in `1..=max_delay`;
+    /// while it exceeds the timeout and retries remain, halve the window
+    /// and redraw. A delay still over the timeout after the retry budget
+    /// is a timed-out upload.
+    fn straggle(&self, rng: &mut SeededRng) -> FaultDecision {
+        let p = &self.plan;
+        let mut window = p.max_delay.max(1);
+        let mut delay = 1 + rng.below(window);
+        let mut retried = 0usize;
+        while delay > p.timeout && retried < p.max_retries {
+            retried += 1;
+            window = (window / 2).max(1);
+            delay = 1 + rng.below(window);
+        }
+        if delay > p.timeout {
+            FaultDecision::TimedOut { retried }
+        } else {
+            FaultDecision::Late { delay, retried }
+        }
+    }
+
+    /// Corrupt a well-formed gradient into raw wire parts per `kind`,
+    /// drawing corruption positions from the same `(round, client)` pure
+    /// stream that produced the decision.
+    pub fn corrupt(
+        &self,
+        grad: &SparseGrad,
+        kind: CorruptionKind,
+        round: usize,
+        client: usize,
+    ) -> (Vec<u32>, Vec<f32>) {
+        let mut rng = self.rng_for(round, client);
+        // Skip the draws `decide` consumed so positions are independent
+        // of the decision draw without needing a second stream.
+        let _ = rng.uniform_f64();
+        let _ = rng.below(3);
+        let k = grad.k();
+        let mut items: Vec<u32> = grad.items().to_vec();
+        let mut values: Vec<f32> = Vec::with_capacity(items.len() * k);
+        for (_, row) in grad.iter() {
+            values.extend_from_slice(row);
+        }
+        if items.is_empty() {
+            // An empty upload has nothing to mangle; forge a non-finite
+            // single-row payload so the corruption is still observable.
+            items.push(0);
+            values.extend(std::iter::repeat_n(f32::NAN, k));
+            return (items, values);
+        }
+        match kind {
+            CorruptionKind::NonFinite => {
+                let pos = rng.below(values.len());
+                values[pos] = f32::NAN;
+            }
+            CorruptionKind::Truncated => {
+                let cut = (k / 2 + 1).min(values.len());
+                values.truncate(values.len() - cut);
+            }
+            CorruptionKind::DuplicatedIndex => {
+                if items.len() >= 2 {
+                    let pos = 1 + rng.below(items.len() - 1);
+                    items[pos] = items[pos - 1];
+                } else {
+                    items.push(items[0]);
+                    let row: Vec<f32> = values[..k].to_vec();
+                    values.extend_from_slice(&row);
+                }
+            }
+        }
+        (items, values)
+    }
+}
+
+/// Why the quarantine gate rejected a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Value buffer length is not `item count · k`.
+    LengthMismatch,
+    /// Item ids are not strictly increasing.
+    UnsortedOrDuplicate,
+    /// An item id is outside the catalog.
+    ItemOutOfRange,
+    /// A value is NaN or infinite.
+    NonFinite,
+}
+
+impl RejectReason {
+    /// Short label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::LengthMismatch => "length-mismatch",
+            RejectReason::UnsortedOrDuplicate => "unsorted-or-duplicate",
+            RejectReason::ItemOutOfRange => "item-out-of-range",
+            RejectReason::NonFinite => "non-finite",
+        }
+    }
+}
+
+/// Validate raw wire parts of an upload: the structural checks a server
+/// must run before admitting a payload into typed form. Checks run in a
+/// fixed order (length, ordering, range, finiteness) so the reported
+/// reason is deterministic.
+pub fn validate_upload(
+    items: &[u32],
+    values: &[f32],
+    k: usize,
+    num_items: usize,
+) -> Result<(), RejectReason> {
+    if values.len() != items.len() * k {
+        return Err(RejectReason::LengthMismatch);
+    }
+    if items.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(RejectReason::UnsortedOrDuplicate);
+    }
+    if items.iter().any(|&i| i as usize >= num_items) {
+        return Err(RejectReason::ItemOutOfRange);
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(RejectReason::NonFinite);
+    }
+    Ok(())
+}
+
+/// Validate an already-typed gradient. Sorted ids and the `nnz · k` value
+/// shape hold by construction, so only catalog range and finiteness can
+/// fail — this is the cheap scan every admitted upload (including the
+/// adversary's) passes through when a fault plan is active.
+pub fn validate_grad(grad: &SparseGrad, num_items: usize) -> Result<(), RejectReason> {
+    if grad.items().iter().any(|&i| i as usize >= num_items) {
+        return Err(RejectReason::ItemOutOfRange);
+    }
+    for (_, row) in grad.iter() {
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(RejectReason::NonFinite);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(k: usize, ids: &[u32]) -> SparseGrad {
+        let mut g = SparseGrad::new(k);
+        for &i in ids {
+            g.accumulate(i, 1.0, &vec![0.5; k]);
+        }
+        g
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let inj = FaultInjector::new(FaultPlan::smoke(), 99);
+        for round in 0..16 {
+            for client in 0..64 {
+                assert_eq!(
+                    inj.decide(round, client),
+                    inj.decide(round, client),
+                    "decision must not depend on call order"
+                );
+            }
+        }
+        // Different coordinates decorrelate: over a big grid every
+        // decision class should appear.
+        let mut saw = [false; 4]; // none, dropped/timeout, late, corrupted
+        for round in 0..64 {
+            for client in 0..256 {
+                match inj.decide(round, client) {
+                    FaultDecision::None => saw[0] = true,
+                    FaultDecision::Dropped | FaultDecision::TimedOut { .. } => saw[1] = true,
+                    FaultDecision::Late { .. } => saw[2] = true,
+                    FaultDecision::Corrupted(_) => saw[3] = true,
+                }
+            }
+        }
+        assert_eq!(saw, [true; 4], "smoke rates must exercise every class");
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let plan = FaultPlan {
+            dropout: 0.2,
+            straggler: 0.0,
+            corruption: 0.0,
+            ..FaultPlan::gate_only()
+        };
+        let inj = FaultInjector::new(plan, 7);
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|&c| inj.decide(0, c) == FaultDecision::Dropped)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "dropout rate off: {rate}");
+    }
+
+    #[test]
+    fn zero_rate_plan_never_faults() {
+        let inj = FaultInjector::new(FaultPlan::gate_only(), 3);
+        for round in 0..8 {
+            for client in 0..128 {
+                assert_eq!(inj.decide(round, client), FaultDecision::None);
+            }
+        }
+    }
+
+    #[test]
+    fn late_delays_respect_timeout_and_retry_budget() {
+        // One retry halves the window 6 → 3, which can still draw a delay
+        // of 3 > timeout; a bigger budget would shrink the window to 1
+        // and rescue every straggler.
+        let plan = FaultPlan {
+            straggler: 1.0,
+            dropout: 0.0,
+            corruption: 0.0,
+            max_delay: 6,
+            timeout: 2,
+            max_retries: 1,
+            quorum_floor: 0.0,
+        };
+        let inj = FaultInjector::new(plan, 11);
+        let (mut late, mut timed_out) = (0usize, 0usize);
+        for client in 0..2_000 {
+            match inj.decide(1, client) {
+                FaultDecision::Late { delay, retried } => {
+                    assert!((1..=plan.timeout).contains(&delay), "late delay {delay}");
+                    assert!(retried <= plan.max_retries);
+                    late += 1;
+                }
+                FaultDecision::TimedOut { retried } => {
+                    assert_eq!(retried, plan.max_retries, "must spend the full budget");
+                    timed_out += 1;
+                }
+                other => panic!("straggler rate 1.0 produced {other:?}"),
+            }
+        }
+        assert!(late > 0, "backoff should rescue some stragglers");
+        assert!(timed_out > 0, "some stragglers should exhaust retries");
+    }
+
+    #[test]
+    fn every_corruption_kind_is_quarantined() {
+        let inj = FaultInjector::new(FaultPlan::smoke(), 5);
+        let g = grad(4, &[1, 5, 9]);
+        let m = 20;
+        for (kind, want) in [
+            (CorruptionKind::NonFinite, RejectReason::NonFinite),
+            (CorruptionKind::Truncated, RejectReason::LengthMismatch),
+            (
+                CorruptionKind::DuplicatedIndex,
+                RejectReason::UnsortedOrDuplicate,
+            ),
+        ] {
+            let (items, values) = inj.corrupt(&g, kind, 2, 17);
+            assert_eq!(
+                validate_upload(&items, &values, 4, m),
+                Err(want),
+                "{kind:?} must always be rejected"
+            );
+        }
+        // Single-row and empty gradients are still corruptible.
+        let single = grad(4, &[3]);
+        let (items, values) = inj.corrupt(&single, CorruptionKind::DuplicatedIndex, 0, 0);
+        assert!(validate_upload(&items, &values, 4, m).is_err());
+        let empty = SparseGrad::new(4);
+        let (items, values) = inj.corrupt(&empty, CorruptionKind::NonFinite, 0, 0);
+        assert_eq!(
+            validate_upload(&items, &values, 4, m),
+            Err(RejectReason::NonFinite)
+        );
+    }
+
+    #[test]
+    fn intact_uploads_pass_both_gates() {
+        let g = grad(4, &[0, 2, 19]);
+        assert_eq!(validate_grad(&g, 20), Ok(()));
+        let items = g.items().to_vec();
+        let mut values = Vec::new();
+        for (_, row) in g.iter() {
+            values.extend_from_slice(row);
+        }
+        assert_eq!(validate_upload(&items, &values, 4, 20), Ok(()));
+    }
+
+    #[test]
+    fn gate_rejects_out_of_range_and_non_finite_typed_grads() {
+        let g = grad(4, &[0, 25]);
+        assert_eq!(validate_grad(&g, 20), Err(RejectReason::ItemOutOfRange));
+        let mut bad = grad(4, &[2]);
+        bad.row_mut(0)[1] = f32::INFINITY;
+        assert_eq!(validate_grad(&bad, 20), Err(RejectReason::NonFinite));
+        assert_eq!(RejectReason::NonFinite.label(), "non-finite");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates must sum")]
+    fn oversaturated_rates_rejected() {
+        FaultPlan {
+            dropout: 0.6,
+            straggler: 0.5,
+            ..FaultPlan::gate_only()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn plans_validate_and_expose_policy() {
+        FaultPlan::gate_only().validate();
+        FaultPlan::smoke().validate();
+        assert_eq!(FaultPlan::default(), FaultPlan::gate_only());
+        let inj = FaultInjector::new(FaultPlan::smoke(), 42);
+        assert_eq!(inj.seed(), 42);
+        assert_eq!(inj.plan().max_retries, 2);
+    }
+}

@@ -66,6 +66,33 @@ pub struct RoundDefense {
     pub recall: f64,
 }
 
+/// One round's fault bookkeeping, recorded whenever a fault plan is
+/// attached to the simulation (even when nothing faulted that round, so
+/// series stay aligned with the loss curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundFaults {
+    /// Round (epoch) index, 0-based.
+    pub epoch: usize,
+    /// Benign clients selected this round.
+    pub selected: usize,
+    /// Uploads lost outright (dropouts plus stragglers that exhausted
+    /// their retry budget).
+    pub dropped: usize,
+    /// Uploads deferred this round (queued to arrive late).
+    pub deferred: usize,
+    /// Late uploads that *arrived* and were applied this round, with
+    /// staleness-aware downweighting.
+    pub late: usize,
+    /// Uploads quarantined by the validation gate (corrupted payloads and
+    /// malformed adversarial uploads).
+    pub rejected: usize,
+    /// Total straggler retry attempts spent this round.
+    pub retried: usize,
+    /// True when participation fell below the quorum floor and the server
+    /// skipped applying the aggregate.
+    pub quorum_skipped: bool,
+}
+
 /// Everything a simulation run records.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingHistory {
@@ -79,6 +106,9 @@ pub struct TrainingHistory {
     /// One record per round when the defense pipeline has a detector,
     /// in round order; empty otherwise.
     pub defense: Vec<RoundDefense>,
+    /// One record per round when a fault plan is attached, in round
+    /// order; empty otherwise.
+    pub faults: Vec<RoundFaults>,
 }
 
 impl TrainingHistory {
@@ -100,6 +130,20 @@ impl TrainingHistory {
     /// Total uploads excluded from aggregation over the whole run.
     pub fn total_excluded(&self) -> usize {
         self.defense.iter().map(|d| d.excluded).sum()
+    }
+
+    /// Cumulative fault counters over the whole run:
+    /// `(dropped, late, rejected, retried, quorum_skipped_rounds)`.
+    pub fn fault_totals(&self) -> (usize, usize, usize, usize, usize) {
+        self.faults.iter().fold((0, 0, 0, 0, 0), |acc, f| {
+            (
+                acc.0 + f.dropped,
+                acc.1 + f.late,
+                acc.2 + f.rejected,
+                acc.3 + f.retried,
+                acc.4 + usize::from(f.quorum_skipped),
+            )
+        })
     }
 }
 
@@ -160,5 +204,32 @@ mod tests {
         assert_eq!(h.mean_detector_precision(), Some(0.75));
         assert_eq!(h.mean_detector_recall(), Some(0.5));
         assert_eq!(h.total_excluded(), 5);
+    }
+
+    #[test]
+    fn fault_totals_accumulate() {
+        let mut h = TrainingHistory::new();
+        assert_eq!(h.fault_totals(), (0, 0, 0, 0, 0));
+        h.faults.push(RoundFaults {
+            epoch: 0,
+            selected: 10,
+            dropped: 1,
+            deferred: 2,
+            late: 0,
+            rejected: 1,
+            retried: 3,
+            quorum_skipped: false,
+        });
+        h.faults.push(RoundFaults {
+            epoch: 1,
+            selected: 10,
+            dropped: 0,
+            deferred: 0,
+            late: 2,
+            rejected: 0,
+            retried: 0,
+            quorum_skipped: true,
+        });
+        assert_eq!(h.fault_totals(), (1, 2, 1, 3, 1));
     }
 }

@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod defense;
+pub mod faults;
 pub mod history;
 pub mod server;
 pub mod simulation;
@@ -42,6 +44,7 @@ pub mod store;
 pub use adversary::{Adversary, NoAttack};
 pub use config::FedConfig;
 pub use defense::{DefensePipeline, DetectionReport, Detector};
-pub use history::RoundDefense;
+pub use faults::{FaultDecision, FaultInjector, FaultPlan, RejectReason};
+pub use history::{RoundDefense, RoundFaults};
 pub use simulation::Simulation;
 pub use store::{ClientStore, DenseStore, ShardedStore, StoreBackend};

@@ -31,18 +31,59 @@
 //! Per-round work is `O(|U'|)` either way — the engine asks the store for
 //! exactly the selected ids, never scanning the population — and the two
 //! backends are bit-identical for any thread count.
+//!
+//! # Faults and recovery
+//!
+//! With a [`FaultPlan`] attached ([`Simulation::enable_faults`]) every
+//! benign upload passes a deterministic fault stage: the
+//! [`FaultInjector`] decides dropout / straggling / corruption as a pure
+//! function of `(fault_seed, round, client)`, late uploads wait in a
+//! pending queue and arrive staleness-downweighted, and every admitted
+//! upload (including the adversary's) passes the validation gate *before*
+//! the defense pipeline sees it. Because fault sampling never touches the
+//! simulation's own RNG streams, a zero-rate plan leaves a run
+//! byte-identical to one with no plan at all, and faulted runs stay
+//! bit-identical across thread counts. [`Simulation::checkpoint`] /
+//! [`Simulation::restore`] serialize the complete mutable state (server
+//! `V`, all RNG streams including cached Gaussian spares, touched client
+//! state, the pending queue, adversary state, recorded history) so a
+//! killed run resumes byte-identical to a straight-through one.
 
 use crate::adversary::{Adversary, RoundCtx};
+use crate::checkpoint::{
+    read_grad, read_history, read_rng, read_rng_state, write_grad, write_history, write_rng,
+    write_rng_state, ByteReader, ByteWriter,
+};
 use crate::client::{BenignClient, RoundScratch};
 use crate::config::FedConfig;
 use crate::defense::DefensePipeline;
-use crate::history::{RoundDefense, TrainingHistory};
+use crate::faults::{validate_grad, validate_upload, FaultDecision, FaultInjector, FaultPlan};
+use crate::history::{RoundDefense, RoundFaults, TrainingHistory};
 use crate::server::{Aggregator, Server, SumAggregator};
 use crate::store::{ClientStore, DenseStore, ShardedStore, StoreBackend};
 use fedrec_data::InteractionSource;
 use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
 use fedrec_recsys::UserRowSource;
 use std::sync::Arc;
+
+/// Checkpoint header magic ("FEDCKPT\0" little-endian-ish constant).
+const CHECKPOINT_MAGIC: u64 = 0x4645_4443_4B50_5400;
+/// Checkpoint layout version; bumped on any format change.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// A benign upload in flight: produced in `produced_round` against that
+/// round's item matrix, due to arrive (staleness-downweighted) in
+/// `due_round`.
+#[derive(Debug, Clone)]
+struct PendingUpload {
+    due_round: usize,
+    produced_round: usize,
+    client_id: usize,
+    /// `due_round − produced_round`: how many rounds stale the gradient
+    /// is at arrival.
+    staleness: usize,
+    grad: SparseGrad,
+}
 
 /// Pooled state of the parallel round engine, reused across epochs.
 #[derive(Debug, Default)]
@@ -97,6 +138,15 @@ pub struct Simulation {
     /// scale invariant.
     touched: Vec<bool>,
     touched_count: usize,
+    /// Fault sampler; `None` (the default) leaves the round loop exactly
+    /// as it was — no gate, no counters, byte-identical behavior.
+    faults: Option<FaultInjector>,
+    /// Straggler uploads waiting to arrive, in enqueue order (which is
+    /// `(produced_round, client_id)` order, so draining is deterministic).
+    pending: Vec<PendingUpload>,
+    /// The next epoch [`Simulation::run_segment`] will execute — the
+    /// resume cursor; manual [`Simulation::step`] calls do not advance it.
+    next_epoch: usize,
 }
 
 impl Simulation {
@@ -207,7 +257,33 @@ impl Simulation {
             engine: RoundEngine::default(),
             touched,
             touched_count: 0,
+            faults: None,
+            pending: Vec::new(),
+            next_epoch: 0,
         }
+    }
+
+    /// Attach a fault plan. `seed` is the fault stream's own seed
+    /// (derived per matrix cell); fault decisions are pure functions of
+    /// `(seed, round, client)` and never consume the simulation's RNGs,
+    /// so enabling a zero-rate plan changes nothing but the bookkeeping.
+    pub fn enable_faults(&mut self, plan: FaultPlan, seed: u64) {
+        self.faults = Some(FaultInjector::new(plan, seed));
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Straggler uploads currently in flight.
+    pub fn pending_uploads(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next epoch [`Simulation::run_segment`] will execute.
+    pub fn next_epoch(&self) -> usize {
+        self.next_epoch
     }
 
     /// The configuration in use.
@@ -271,13 +347,40 @@ impl Simulation {
     /// round's [`RoundDefense`] (if a detector is attached) is pushed
     /// *before* the hook fires, so hooks can read
     /// `history.defense.last()` for the round they observe.
-    pub fn run(&mut self, mut hook: Option<&mut EvalHook<'_>>) -> TrainingHistory {
+    pub fn run(&mut self, hook: Option<&mut EvalHook<'_>>) -> TrainingHistory {
         let mut history = TrainingHistory::new();
-        for epoch in 0..self.cfg.epochs {
-            let (loss, defense) = self.step_recorded(epoch);
+        self.run_segment(hook, &mut history, self.cfg.epochs);
+        history
+    }
+
+    /// Drive rounds from the internal resume cursor up to (exclusive)
+    /// `stop_after`, appending to `history` — the primitive both
+    /// [`Simulation::run`] and checkpoint-resumed continuation use. A
+    /// straight-through run and a run split into segments (with a
+    /// [`Simulation::checkpoint`] / [`Simulation::restore`] round-trip in
+    /// between) record byte-identical histories and end in byte-identical
+    /// states.
+    pub fn run_segment(
+        &mut self,
+        mut hook: Option<&mut EvalHook<'_>>,
+        history: &mut TrainingHistory,
+        stop_after: usize,
+    ) {
+        assert!(
+            stop_after <= self.cfg.epochs,
+            "stop_after {} exceeds configured epochs {}",
+            stop_after,
+            self.cfg.epochs
+        );
+        while self.next_epoch < stop_after {
+            let epoch = self.next_epoch;
+            let (loss, defense, faults) = self.step_faulted(epoch);
             history.losses.push(loss);
             if let Some(d) = defense {
                 history.defense.push(d);
+            }
+            if let Some(f) = faults {
+                history.faults.push(f);
             }
             if let Some(h) = hook.as_deref_mut() {
                 let snap = Snapshot {
@@ -288,10 +391,10 @@ impl Simulation {
                     rows_materialized: self.store.materialized(),
                     participants_touched: self.touched_count,
                 };
-                h(&snap, &mut history);
+                h(&snap, history);
             }
+            self.next_epoch = epoch + 1;
         }
-        history
     }
 
     /// Execute one round (epoch); returns the total benign loss.
@@ -302,6 +405,17 @@ impl Simulation {
     /// Execute one round; returns the total benign loss plus the round's
     /// defense record when the pipeline carries a detector.
     pub fn step_recorded(&mut self, epoch: usize) -> (f32, Option<RoundDefense>) {
+        let (loss, defense, _) = self.step_faulted(epoch);
+        (loss, defense)
+    }
+
+    /// Execute one round with full fault bookkeeping: the benign-loss
+    /// total, the defense record (when a detector is attached), and the
+    /// round's fault counters (when a fault plan is attached).
+    pub fn step_faulted(
+        &mut self,
+        epoch: usize,
+    ) -> (f32, Option<RoundDefense>, Option<RoundFaults>) {
         let num_benign = self.store.num_users();
         let total_slots = num_benign + self.num_malicious;
         let batch = ((total_slots as f64) * self.cfg.client_fraction).ceil() as usize;
@@ -328,6 +442,18 @@ impl Simulation {
 
         let (benign_produced, loss) = self.benign_updates(&benign_sel);
         let mut total = benign_produced;
+        let mut malicious_from = benign_produced;
+
+        // Fault stage: a pure function of (fault_seed, round, client) —
+        // it consumes none of the simulation's RNG streams, so the shape
+        // of every other stage is untouched and the faulted run stays
+        // thread-count- and resume-invariant.
+        let mut fault_rec = self.faults.map(|inj| {
+            let rec = self.fault_stage(inj, epoch, &benign_sel, benign_produced);
+            total = rec.0;
+            malicious_from = rec.0;
+            rec.1
+        });
 
         if !malicious_sel.is_empty() {
             let ctx = RoundCtx {
@@ -344,7 +470,17 @@ impl Simulation {
                 malicious_sel.len(),
                 "adversary must answer for every selected malicious client"
             );
+            let num_items = self.server.items().rows();
             for g in poisoned {
+                // The quarantine gate covers *every* upload when a fault
+                // plan is active — a malformed adversarial payload is
+                // rejected before the detector ever scores it.
+                if let Some(rec) = fault_rec.as_mut() {
+                    if validate_grad(&g, num_items).is_err() {
+                        rec.rejected += 1;
+                        continue;
+                    }
+                }
                 if total < self.engine.outs.len() {
                     self.engine.outs[total] = g;
                 } else {
@@ -359,13 +495,122 @@ impl Simulation {
         // aggregation of the survivors.
         let (aggregate, record) = self.defense.process(
             &mut self.engine.outs[..total],
-            benign_produced,
+            malicious_from,
             epoch,
             self.server.items().rows(),
             self.cfg.k,
         );
-        self.server.apply(&aggregate);
-        (loss, record)
+        let quorum_skipped = fault_rec.as_ref().is_some_and(|r| r.quorum_skipped);
+        if !quorum_skipped {
+            self.server.apply(&aggregate);
+        }
+        (loss, record, fault_rec)
+    }
+
+    /// Apply the fault injector to this round's produced benign uploads:
+    /// drop/defer/corrupt per decision, drain due stragglers into the
+    /// upload pool with staleness-aware downweighting, run the quarantine
+    /// gate on every admitted payload, and check the participation
+    /// quorum. Returns the number of admitted benign uploads (now
+    /// compacted at the front of the pool) and the round's counters.
+    fn fault_stage(
+        &mut self,
+        inj: FaultInjector,
+        epoch: usize,
+        benign_sel: &[usize],
+        benign_produced: usize,
+    ) -> (usize, RoundFaults) {
+        let mut rec = RoundFaults {
+            epoch,
+            selected: benign_sel.len(),
+            ..RoundFaults::default()
+        };
+        // Produced upload j belongs to the j-th selected benign client
+        // whose local round yielded an update (compaction preserved
+        // selection order, which is client-id order).
+        let producers: Vec<usize> = benign_sel
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.engine.losses[i].is_some())
+            .map(|(_, &c)| c)
+            .collect();
+        debug_assert_eq!(producers.len(), benign_produced);
+        let num_items = self.server.items().rows();
+        let k = self.cfg.k;
+
+        let mut kept = 0usize;
+        for (j, &client) in producers.iter().enumerate() {
+            match inj.decide(epoch, client) {
+                FaultDecision::None => {
+                    if validate_grad(&self.engine.outs[j], num_items).is_ok() {
+                        self.engine.outs.swap(kept, j);
+                        kept += 1;
+                    } else {
+                        rec.rejected += 1;
+                    }
+                }
+                FaultDecision::Dropped => rec.dropped += 1,
+                FaultDecision::TimedOut { retried } => {
+                    rec.dropped += 1;
+                    rec.retried += retried;
+                }
+                FaultDecision::Late { delay, retried } => {
+                    rec.deferred += 1;
+                    rec.retried += retried;
+                    let grad = std::mem::replace(&mut self.engine.outs[j], SparseGrad::new(k));
+                    self.pending.push(PendingUpload {
+                        due_round: epoch + delay,
+                        produced_round: epoch,
+                        client_id: client,
+                        staleness: delay,
+                        grad,
+                    });
+                }
+                FaultDecision::Corrupted(kind) => {
+                    // Corruption mangles the raw wire parts; the gate
+                    // must (and provably does) quarantine every kind.
+                    let (raw_items, raw_values) =
+                        inj.corrupt(&self.engine.outs[j], kind, epoch, client);
+                    let verdict = validate_upload(&raw_items, &raw_values, k, num_items);
+                    debug_assert!(verdict.is_err(), "corrupted payload passed the gate");
+                    rec.rejected += 1;
+                }
+            }
+        }
+
+        // Deliver stragglers that are due. The queue is in enqueue order
+        // = (produced_round, client_id) order, so arrival order is
+        // deterministic without a sort. A stale gradient was computed
+        // against the round-(t−d) item matrix; downweight it by its
+        // staleness so a long-delayed update cannot yank `V` as hard as a
+        // fresh one.
+        let (due, still): (Vec<PendingUpload>, Vec<PendingUpload>) =
+            self.pending.drain(..).partition(|p| p.due_round <= epoch);
+        self.pending = still;
+        for mut p in due {
+            debug_assert_eq!(p.due_round, p.produced_round + p.staleness);
+            p.grad.scale(1.0 / (1.0 + p.staleness as f32));
+            if validate_grad(&p.grad, num_items).is_ok() {
+                if kept < self.engine.outs.len() {
+                    self.engine.outs[kept] = p.grad;
+                } else {
+                    self.engine.outs.push(p.grad);
+                }
+                kept += 1;
+                rec.late += 1;
+            } else {
+                rec.rejected += 1;
+            }
+        }
+
+        // Quorum: below the participation floor the server does not
+        // apply this round's aggregate (the defense pipeline still runs
+        // so detection series stay aligned).
+        let arrived = kept;
+        if rec.selected > 0 && (arrived as f64) < inj.plan().quorum_floor * (rec.selected as f64) {
+            rec.quorum_skipped = true;
+        }
+        (kept, rec)
     }
 
     /// Compute the selected benign clients' updates (in parallel when
@@ -443,6 +688,164 @@ impl Simulation {
             }
         }
         (produced, loss)
+    }
+
+    /// Serialize the complete mutable state of the run — server `V`, all
+    /// RNG streams (full states, including cached Box–Muller spares),
+    /// every ever-touched client's private state, the pending straggler
+    /// queue, the adversary's state, and the recorded `history` prefix —
+    /// into a binary blob a fresh, identically-configured simulation can
+    /// [`Simulation::restore`] and continue **byte-identical** to a
+    /// straight-through run.
+    ///
+    /// Takes `&mut self` because reading touched clients goes through the
+    /// store's selected-clients path (a no-op materialization for clients
+    /// that already participated).
+    pub fn checkpoint(&mut self, history: &TrainingHistory) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(CHECKPOINT_MAGIC);
+        w.u64(CHECKPOINT_VERSION);
+        // Configuration fingerprint, asserted on restore: a checkpoint is
+        // only meaningful against the same run setup.
+        w.u64(self.cfg.seed);
+        w.usize(self.cfg.epochs);
+        w.usize(self.cfg.k);
+        w.usize(self.store.num_users());
+        w.usize(self.num_malicious);
+        match &self.faults {
+            Some(inj) => {
+                w.bool(true);
+                w.u64(inj.seed());
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.next_epoch);
+        write_rng(&mut w, &self.rng);
+        write_rng(&mut w, &self.adv_rng);
+        let v = self.server.items();
+        w.usize(v.rows());
+        w.usize(v.cols());
+        for r in 0..v.rows() {
+            for &x in v.row(r) {
+                w.f32(x);
+            }
+        }
+        // Touched clients as a sparse id list; untouched clients are
+        // still in their constructor-derived state and need no bytes.
+        let touched_ids: Vec<usize> = self
+            .touched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| t.then_some(i))
+            .collect();
+        w.usize(touched_ids.len());
+        for &id in &touched_ids {
+            w.usize(id);
+        }
+        for c in self.store.selected_mut(&touched_ids) {
+            let (user_vec, rng_state) = c.checkpoint_state();
+            w.f32_slice(user_vec);
+            write_rng_state(&mut w, rng_state);
+        }
+        w.usize(self.pending.len());
+        for p in &self.pending {
+            w.usize(p.due_round);
+            w.usize(p.produced_round);
+            w.usize(p.client_id);
+            w.usize(p.staleness);
+            write_grad(&mut w, &p.grad);
+        }
+        let mut blob = Vec::new();
+        self.adversary.checkpoint_state(&mut blob);
+        w.bytes(&blob);
+        write_history(&mut w, history);
+        w.into_bytes()
+    }
+
+    /// Restore a [`Simulation::checkpoint`] into this simulation, which
+    /// must have been freshly built with the *same* configuration (data,
+    /// config, adversary, defense, backend — the checkpoint carries a
+    /// fingerprint and panics on mismatch). Returns the history recorded
+    /// up to the checkpointed round; continue with
+    /// [`Simulation::run_segment`] to finish the run byte-identically.
+    pub fn restore(&mut self, bytes: &[u8]) -> TrainingHistory {
+        let mut r = ByteReader::new(bytes);
+        assert_eq!(r.u64(), CHECKPOINT_MAGIC, "not a fedrec checkpoint");
+        assert_eq!(r.u64(), CHECKPOINT_VERSION, "checkpoint version mismatch");
+        assert_eq!(r.u64(), self.cfg.seed, "checkpoint seed mismatch");
+        assert_eq!(r.usize(), self.cfg.epochs, "checkpoint epochs mismatch");
+        assert_eq!(r.usize(), self.cfg.k, "checkpoint k mismatch");
+        assert_eq!(
+            r.usize(),
+            self.store.num_users(),
+            "checkpoint population mismatch"
+        );
+        assert_eq!(
+            r.usize(),
+            self.num_malicious,
+            "checkpoint malicious-slot mismatch"
+        );
+        let had_faults = r.bool();
+        let fault_seed = r.u64();
+        match (&self.faults, had_faults) {
+            (Some(inj), true) => {
+                assert_eq!(inj.seed(), fault_seed, "checkpoint fault seed mismatch")
+            }
+            (None, false) => {}
+            (Some(_), false) | (None, true) => {
+                panic!("checkpoint fault configuration mismatch")
+            }
+        }
+        self.next_epoch = r.usize();
+        self.rng = read_rng(&mut r);
+        self.adv_rng = read_rng(&mut r);
+        let rows = r.usize();
+        let cols = r.usize();
+        assert_eq!(
+            rows,
+            self.server.items().rows(),
+            "checkpoint V row mismatch"
+        );
+        assert_eq!(cols, self.cfg.k, "checkpoint V column mismatch");
+        let mut v = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for x in v.row_mut(i) {
+                *x = r.f32();
+            }
+        }
+        self.server = Server::new(v, self.cfg.lr);
+        let nt = r.usize();
+        let touched_ids: Vec<usize> = (0..nt).map(|_| r.usize()).collect();
+        self.touched.fill(false);
+        for &id in &touched_ids {
+            self.touched[id] = true;
+        }
+        self.touched_count = touched_ids.len();
+        // Materialize-by-replay, then overwrite: the store rebuilds each
+        // touched client through its normal constructor path (so a lazy
+        // backend's materialization counters match a straight-through
+        // run), and the checkpointed private state replaces the freshly
+        // initialized one.
+        for c in self.store.selected_mut(&touched_ids) {
+            let user_vec = r.f32_vec();
+            let rng_state = read_rng_state(&mut r);
+            c.restore_state(&user_vec, rng_state);
+        }
+        let np = r.usize();
+        self.pending = (0..np)
+            .map(|_| PendingUpload {
+                due_round: r.usize(),
+                produced_round: r.usize(),
+                client_id: r.usize(),
+                staleness: r.usize(),
+                grad: read_grad(&mut r),
+            })
+            .collect();
+        let blob = r.bytes().to_vec();
+        self.adversary.restore_state(&blob);
+        let history = read_history(&mut r);
+        assert!(r.is_exhausted(), "trailing bytes in checkpoint");
+        history
     }
 }
 
@@ -598,5 +1001,220 @@ mod tests {
             without.items().row(0),
             "poisoned item row should differ"
         );
+    }
+
+    use crate::faults::FaultPlan;
+
+    #[test]
+    fn gate_only_plan_is_byte_identical_to_no_plan() {
+        let data = SyntheticConfig::smoke().generate(8);
+        let run = |gate: bool| {
+            let mut sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 4);
+            if gate {
+                sim.enable_faults(FaultPlan::gate_only(), 77);
+            }
+            let h = sim.run(None);
+            (h.losses, sim.items().clone(), h.faults.len())
+        };
+        let (l0, v0, f0) = run(false);
+        let (l1, v1, f1) = run(true);
+        assert_eq!(l0, l1, "a zero-rate plan must not change the loss curve");
+        assert_eq!(v0, v1, "a zero-rate plan must not change V");
+        assert_eq!((f0, f1), (0, 10), "only the gated run records counters");
+    }
+
+    #[test]
+    fn faulted_run_is_thread_count_invariant() {
+        let data = SyntheticConfig::smoke().generate(9);
+        let run = |threads: usize| {
+            let cfg = FedConfig {
+                threads,
+                ..smoke_cfg()
+            };
+            let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 4);
+            sim.enable_faults(FaultPlan::smoke(), 13);
+            let h = sim.run(None);
+            (h.losses, h.faults, sim.items().clone())
+        };
+        let (l1, f1, v1) = run(1);
+        for t in [2usize, 8] {
+            let (lt, ft, vt) = run(t);
+            assert_eq!(l1, lt, "faulted losses diverge at {t} threads");
+            assert_eq!(f1, ft, "fault counters diverge at {t} threads");
+            assert_eq!(v1, vt, "faulted V diverges at {t} threads");
+        }
+    }
+
+    #[test]
+    fn faults_actually_fire_and_stragglers_arrive() {
+        let data = SyntheticConfig::smoke().generate(10);
+        let cfg = FedConfig {
+            epochs: 30,
+            ..smoke_cfg()
+        };
+        let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 0);
+        sim.enable_faults(
+            FaultPlan {
+                dropout: 0.1,
+                straggler: 0.2,
+                corruption: 0.1,
+                ..FaultPlan::smoke()
+            },
+            21,
+        );
+        let h = sim.run(None);
+        assert_eq!(h.faults.len(), 30);
+        let (dropped, late, rejected, _retried, _skipped) = h.fault_totals();
+        let deferred: usize = h.faults.iter().map(|f| f.deferred).sum();
+        assert!(dropped > 0, "dropout rate 0.1 produced no drops");
+        assert!(rejected > 0, "corruption rate 0.1 produced no rejections");
+        assert!(deferred > 0, "straggler rate 0.2 deferred nothing");
+        assert!(late > 0, "no straggler upload ever arrived");
+        assert_eq!(
+            deferred,
+            late + sim.pending_uploads(),
+            "every deferred upload either arrived or is still pending"
+        );
+        // Training still descends through the churn.
+        assert!(h.losses[29] < h.losses[0], "faulted training diverged");
+    }
+
+    #[test]
+    fn quorum_floor_skips_starved_rounds() {
+        let data = SyntheticConfig::smoke().generate(11);
+        let mut sim = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 0);
+        sim.enable_faults(
+            FaultPlan {
+                dropout: 1.0,
+                straggler: 0.0,
+                corruption: 0.0,
+                quorum_floor: 0.5,
+                ..FaultPlan::gate_only()
+            },
+            5,
+        );
+        let before = sim.items().clone();
+        let h = sim.run(None);
+        assert!(
+            h.faults.iter().all(|f| f.quorum_skipped),
+            "total dropout must starve every round below quorum"
+        );
+        assert_eq!(
+            sim.items(),
+            &before,
+            "skipped rounds must not move the item matrix"
+        );
+    }
+
+    /// An adversary that uploads NaN-poisoned gradients: without the
+    /// quarantine gate these reach the aggregator and destroy `V`.
+    struct NanAdversary;
+
+    impl Adversary for NanAdversary {
+        fn poison(
+            &mut self,
+            items: &Matrix,
+            ctx: &RoundCtx<'_>,
+            _rng: &mut SeededRng,
+        ) -> Vec<SparseGrad> {
+            ctx.selected_malicious
+                .iter()
+                .map(|_| {
+                    let mut g = SparseGrad::new(items.cols());
+                    g.accumulate(0, 1.0, &vec![f32::NAN; items.cols()]);
+                    g
+                })
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+    }
+
+    #[test]
+    fn quarantine_gate_keeps_nan_uploads_out_of_v() {
+        let data = SyntheticConfig::smoke().generate(12);
+        let mut gated = Simulation::new(&data, smoke_cfg(), Box::new(NanAdversary), 3);
+        gated.enable_faults(FaultPlan::gate_only(), 1);
+        let h = gated.run(None);
+        assert!(
+            gated.items().row(0).iter().all(|x| x.is_finite()),
+            "gated run must keep V finite"
+        );
+        let (_, _, rejected, _, _) = h.fault_totals();
+        assert_eq!(rejected, 30, "3 NaN uploads × 10 rounds all quarantined");
+
+        let mut open = Simulation::new(&data, smoke_cfg(), Box::new(NanAdversary), 3);
+        let _ = open.run(None);
+        assert!(
+            open.items().row(0).iter().any(|x| x.is_nan()),
+            "without the gate the NaN upload must poison V (the regression \
+             this test pins)"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let data = SyntheticConfig::smoke().generate(13);
+        let cfg = FedConfig {
+            epochs: 12,
+            ..smoke_cfg()
+        };
+        let build = || {
+            let mut sim = Simulation::new(&data, cfg, Box::new(NoAttack), 4);
+            sim.enable_faults(FaultPlan::smoke(), 31);
+            sim
+        };
+        // Straight-through reference.
+        let mut straight = build();
+        let h_straight = straight.run(None);
+
+        // Killed at epoch 5, resumed in a fresh simulation.
+        let mut first = build();
+        let mut h_first = TrainingHistory::new();
+        first.run_segment(None, &mut h_first, 5);
+        let blob = first.checkpoint(&h_first);
+        drop(first);
+        let mut resumed = build();
+        let mut h_resumed = resumed.restore(&blob);
+        assert_eq!(resumed.next_epoch(), 5);
+        resumed.run_segment(None, &mut h_resumed, cfg.epochs);
+
+        assert_eq!(h_straight.losses, h_resumed.losses);
+        assert_eq!(h_straight.faults, h_resumed.faults);
+        assert_eq!(
+            straight.items(),
+            resumed.items(),
+            "resumed V must be byte-identical to straight-through V"
+        );
+        assert_eq!(straight.user_factors(), resumed.user_factors());
+        assert_eq!(
+            straight.rows_materialized(),
+            resumed.rows_materialized(),
+            "materialization counters must replay identically"
+        );
+        assert_eq!(
+            straight.participants_touched(),
+            resumed.participants_touched()
+        );
+        // And a second checkpoint at the end agrees byte-for-byte.
+        let b1 = straight.checkpoint(&h_straight);
+        let b2 = resumed.checkpoint(&h_resumed);
+        assert_eq!(b1, b2, "end-state checkpoints must be byte-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint seed mismatch")]
+    fn restore_rejects_mismatched_config() {
+        let data = SyntheticConfig::smoke().generate(14);
+        let mut a = Simulation::new(&data, smoke_cfg(), Box::new(NoAttack), 0);
+        let blob = a.checkpoint(&TrainingHistory::new());
+        let other_cfg = FedConfig {
+            seed: 999,
+            ..smoke_cfg()
+        };
+        let mut b = Simulation::new(&data, other_cfg, Box::new(NoAttack), 0);
+        let _ = b.restore(&blob);
     }
 }

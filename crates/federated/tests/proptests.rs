@@ -274,4 +274,200 @@ proptest! {
         };
         prop_assert_ne!(run(seed), run(seed + 10_000));
     }
+
+    /// A *faulted* run — dropout, stragglers arriving rounds late,
+    /// corrupted payloads quarantined at the gate — is byte-identical
+    /// across 1, 2 and 8 worker threads and across dense/sharded
+    /// backends: every loss, every per-round `RoundFaults` record, and
+    /// the final `V`. Fault sampling is a pure function of
+    /// `(fault_seed, round, client)`, so nothing about scheduling may
+    /// leak into the result.
+    #[test]
+    fn faulted_runs_byte_identical_for_1_2_8_threads(
+        seed in 0u64..150,
+        frac in 0.2f64..1.0,
+        fault_seed in 0u64..1000,
+        shard_rows in 1usize..40,
+    ) {
+        use fedrec_federated::FaultPlan;
+
+        let data = tiny_data(seed ^ 0xFA);
+        let cfg0 = FedConfig { epochs: 6, client_fraction: frac, ..tiny_cfg(seed) };
+        let plan = FaultPlan {
+            dropout: 0.1,
+            straggler: 0.15,
+            corruption: 0.05,
+            ..FaultPlan::smoke()
+        };
+        let run = |backend: StoreBackend, threads: usize| {
+            let cfg = FedConfig { threads, ..cfg0 };
+            let mut sim = Simulation::with_store(
+                Arc::new(data.clone()),
+                cfg,
+                Box::new(NoAttack),
+                3,
+                fedrec_federated::DefensePipeline::plain(
+                    Box::new(fedrec_federated::server::SumAggregator),
+                ),
+                backend,
+            );
+            sim.enable_faults(plan, fault_seed);
+            let h = sim.run(None);
+            (h, sim.items().clone())
+        };
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let (h1, v1) = run(StoreBackend::Dense, 1);
+        prop_assert_eq!(h1.faults.len(), 6, "one RoundFaults per round");
+        for backend in [StoreBackend::Dense, StoreBackend::Sharded { shard_rows }] {
+            for threads in [1usize, 2, 8] {
+                let (ht, vt) = run(backend, threads);
+                prop_assert_eq!(
+                    bits(&h1.losses), bits(&ht.losses),
+                    "faulted losses differ ({:?}, t={})", backend, threads
+                );
+                prop_assert_eq!(
+                    &h1.faults, &ht.faults,
+                    "fault counters differ ({:?}, t={})", backend, threads
+                );
+                prop_assert_eq!(
+                    bits(v1.as_slice()), bits(vt.as_slice()),
+                    "faulted V differs ({:?}, t={})", backend, threads
+                );
+            }
+        }
+    }
+
+    /// Crash-resume identity: a faulted run killed after a random number
+    /// of rounds and resumed from its checkpoint in a *fresh* simulation
+    /// is byte-identical to a straight-through run — histories, final
+    /// `V`, user factors, materialization counters, and even a second
+    /// checkpoint taken at the end.
+    #[test]
+    fn resume_matches_straight_through(
+        seed in 0u64..150,
+        frac in 0.2f64..1.0,
+        kill_after in 1usize..6,
+        threads in 1usize..5,
+        sharded_bit in 0usize..2,
+    ) {
+        use fedrec_federated::FaultPlan;
+        use fedrec_federated::history::TrainingHistory;
+
+        let data = tiny_data(seed ^ 0xC4A5);
+        let backend = if sharded_bit == 1 {
+            StoreBackend::Sharded { shard_rows: 8 }
+        } else {
+            StoreBackend::Dense
+        };
+        let cfg = FedConfig {
+            epochs: 6,
+            client_fraction: frac,
+            threads,
+            noise_scale: 0.05,
+            ..tiny_cfg(seed)
+        };
+        let build = || {
+            let mut sim = Simulation::with_store(
+                Arc::new(data.clone()),
+                cfg,
+                Box::new(NoAttack),
+                3,
+                fedrec_federated::DefensePipeline::plain(
+                    Box::new(fedrec_federated::server::SumAggregator),
+                ),
+                backend,
+            );
+            sim.enable_faults(FaultPlan::smoke(), seed ^ 0xFA17);
+            sim
+        };
+        let mut straight = build();
+        let h_straight = straight.run(None);
+
+        let mut first = build();
+        let mut h_part = TrainingHistory::new();
+        first.run_segment(None, &mut h_part, kill_after);
+        let blob = first.checkpoint(&h_part);
+        drop(first);
+
+        let mut resumed = build();
+        let mut h_resumed = resumed.restore(&blob);
+        resumed.run_segment(None, &mut h_resumed, cfg.epochs);
+
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&h_straight.losses), bits(&h_resumed.losses));
+        prop_assert_eq!(&h_straight.faults, &h_resumed.faults);
+        prop_assert_eq!(
+            bits(straight.items().as_slice()),
+            bits(resumed.items().as_slice()),
+            "resumed V differs from straight-through"
+        );
+        prop_assert_eq!(
+            bits(straight.user_factors().as_slice()),
+            bits(resumed.user_factors().as_slice()),
+            "resumed user factors differ"
+        );
+        prop_assert_eq!(straight.rows_materialized(), resumed.rows_materialized());
+        prop_assert_eq!(
+            straight.checkpoint(&h_straight),
+            resumed.checkpoint(&h_resumed),
+            "end-state checkpoints differ"
+        );
+    }
+
+    /// Quarantine regression: an adversary uploading NaN payloads never
+    /// reaches the aggregator when the gate is active — under plain sum,
+    /// Krum, and trimmed-mean alike `V` stays finite and every poisoned
+    /// upload is counted as rejected.
+    #[test]
+    fn quarantined_nan_never_reaches_any_aggregator(
+        seed in 0u64..100,
+        agg_pick in 0usize..3,
+    ) {
+        use fedrec_defense::{Krum, TrimmedMean};
+        use fedrec_federated::adversary::{Adversary, RoundCtx};
+        use fedrec_federated::server::{Aggregator, SumAggregator};
+        use fedrec_federated::{DefensePipeline, FaultPlan};
+        use fedrec_linalg::{Matrix, SeededRng, SparseGrad};
+
+        struct NanUploader;
+        impl Adversary for NanUploader {
+            fn poison(
+                &mut self,
+                items: &Matrix,
+                ctx: &RoundCtx<'_>,
+                _rng: &mut SeededRng,
+            ) -> Vec<SparseGrad> {
+                ctx.selected_malicious
+                    .iter()
+                    .map(|_| {
+                        let mut g = SparseGrad::new(items.cols());
+                        g.accumulate(1, 1.0, &vec![f32::NAN; items.cols()]);
+                        g
+                    })
+                    .collect()
+            }
+            fn name(&self) -> &'static str { "nan-uploader" }
+        }
+
+        let data = tiny_data(seed ^ 0xBAD);
+        let aggregator: Box<dyn Aggregator> = match agg_pick {
+            0 => Box::new(SumAggregator),
+            1 => Box::new(Krum { assumed_byzantine: 2 }),
+            _ => Box::new(TrimmedMean { trim_fraction: 0.1 }),
+        };
+        let mut sim = Simulation::with_defense(
+            &data,
+            tiny_cfg(seed),
+            Box::new(NanUploader),
+            3,
+            DefensePipeline::plain(aggregator),
+        );
+        sim.enable_faults(FaultPlan::gate_only(), 1);
+        let h = sim.run(None);
+        for &x in sim.items().as_slice() {
+            prop_assert!(x.is_finite(), "NaN leaked into V past the gate");
+        }
+        let (_, _, rejected, _, _) = h.fault_totals();
+        prop_assert_eq!(rejected, 3 * 4, "3 NaN uploads × 4 rounds quarantined");
+    }
 }

@@ -103,6 +103,25 @@ impl SeededRng {
         }
     }
 
+    /// Full snapshot *including* the cached Box–Muller spare.
+    ///
+    /// [`SeededRng::state`] is enough for replaying fork/integer streams,
+    /// but a generator checkpointed mid-run may sit between the two
+    /// outputs of a Box–Muller pair (e.g. after an odd number of
+    /// [`SeededRng::normal`] draws). Checkpoint/resume must carry that
+    /// spare or the restored Gaussian stream diverges by one draw.
+    #[inline]
+    pub fn full_state(&self) -> ([u64; 4], Option<f64>) {
+        (self.s, self.gauss_spare)
+    }
+
+    /// Restore a generator from a [`SeededRng::full_state`] snapshot,
+    /// byte-identical in both its `next_u64` and Gaussian streams.
+    #[inline]
+    pub fn from_full_state(s: [u64; 4], gauss_spare: Option<f64>) -> Self {
+        Self { s, gauss_spare }
+    }
+
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
@@ -352,6 +371,23 @@ impl StreamCheckpoints {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_state_round_trips_the_gaussian_spare() {
+        let mut rng = SeededRng::new(77);
+        // An odd number of Gaussian draws leaves a Box–Muller spare cached.
+        let _ = rng.gaussian();
+        let (s, spare) = rng.full_state();
+        assert!(spare.is_some(), "odd draw count must cache a spare");
+        let mut restored = SeededRng::from_full_state(s, spare);
+        for _ in 0..7 {
+            assert_eq!(rng.gaussian().to_bits(), restored.gaussian().to_bits());
+        }
+        assert_eq!(rng.next_u64(), restored.next_u64());
+        // The bare state snapshot deliberately drops the spare.
+        let dropped = SeededRng::from_state(s);
+        assert!(dropped.full_state().1.is_none());
+    }
 
     #[test]
     fn same_seed_same_stream() {
