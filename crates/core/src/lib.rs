@@ -39,7 +39,7 @@
 //! sim.run(None);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod approx;
 pub mod attack;

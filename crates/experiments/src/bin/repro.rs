@@ -19,6 +19,7 @@
 //! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
 //!       [--workers N] [--eval-users N] [--backend dense|sharded]
 //!       [--shard-rows N] [--seed N] [--out FILE]
+//! repro lint [--json] [--write-baseline] [--rules] [--root DIR] [--baseline FILE]
 //! ```
 //!
 //! `--scale smoke` (default) runs in seconds on miniature datasets;
@@ -40,6 +41,12 @@
 //! materialized no more client rows than participants were touched, and
 //! that dense and sharded backends are byte-identical across thread
 //! counts.
+//!
+//! `lint` runs the `fedrec-lint` determinism & checkpoint-safety static
+//! pass over the workspace sources (same engine as
+//! `cargo run -p fedrec-lint`) and exits nonzero on any violation that is
+//! neither suppressed in-source with a justification nor absorbed by the
+//! checked-in `lint-baseline.json`.
 
 use fedrec_baselines::registry::AttackMethod;
 use fedrec_experiments::matrix::{
@@ -98,7 +105,8 @@ fn usage() -> ! {
          \x20 repro report --dir DIR [--csv] [--out FILE]\n\
          \x20 repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]\n\
          \x20      [--workers N] [--eval-users N] [--backend dense|sharded]\n\
-         \x20      [--shard-rows N] [--seed N] [--out FILE]"
+         \x20      [--shard-rows N] [--seed N] [--out FILE]\n\
+         \x20 repro lint [--json] [--write-baseline] [--rules] [--root DIR] [--baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -131,6 +139,7 @@ fn parse_args() -> Args {
         backend_dense: None,
         shard_rows: None,
     };
+    // fedrec-lint: allow(wall-clock) — CLI entry point: argv selects the experiment, it never feeds simulation state
     let mut it = std::env::args().skip(1);
     match it.next() {
         Some(e) => args.experiment = e,
@@ -281,6 +290,7 @@ fn cmd_matrix(args: &Args) {
     if args.smoke {
         let _ = std::fs::remove_dir_all(&out_dir);
     }
+    // fedrec-lint: allow(wall-clock) — progress timing on stderr only; record bytes never include it
     let started = std::time::Instant::now();
     let outcomes =
         run_matrix(&cfg, &out_dir).unwrap_or_else(|e| fail(&format!("matrix run failed: {e}")));
@@ -530,6 +540,7 @@ fn cmd_scale(args: &Args) {
             shard_rows: args.shard_rows.unwrap_or(StoreBackend::DEFAULT_SHARD_ROWS),
         }
     };
+    // fedrec-lint: allow(wall-clock) — stderr summary timing; the JSON report's timings come from run_scale's own suppressed clocks
     let started = std::time::Instant::now();
     let report = run_scale(&spec, backend);
     let rendered = format!("{}\n", report.to_json());
@@ -614,6 +625,15 @@ fn emit(rendered: &str, args: &Args, tables: usize) {
 }
 
 fn main() {
+    // `repro lint` forwards its flags verbatim to the shared fedrec-lint
+    // CLI driver, bypassing the experiment-flag parser.
+    {
+        // fedrec-lint: allow(wall-clock) — CLI dispatch; argv never feeds simulation state
+        let mut raw = std::env::args().skip(1);
+        if raw.next().as_deref() == Some("lint") {
+            std::process::exit(fedrec_lint::run_cli(&raw.collect::<Vec<_>>()));
+        }
+    }
     let args = parse_args();
     match args.experiment.as_str() {
         "matrix" => return cmd_matrix(&args),
@@ -622,6 +642,7 @@ fn main() {
         "scale" => return cmd_scale(&args),
         _ => {}
     }
+    // fedrec-lint: allow(wall-clock) — progress timing on stderr only; table bytes never include it
     let started = std::time::Instant::now();
     let tables = run_one(&args.experiment, &args);
     let rendered: String = tables

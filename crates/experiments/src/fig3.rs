@@ -57,7 +57,7 @@ pub fn fig3_side_effects(scale: Scale, id: DatasetId, eval_every: usize, seed: u
         };
         let _ = malicious_count(train.num_users(), rho); // (documented derivation)
         let out = run_experiment(&spec);
-        let mut hr_at: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut hr_at: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for (e, v) in out
             .history
             .hr_at_10

@@ -211,9 +211,9 @@ pub fn write_rng_state(w: &mut ByteWriter, (s, spare): ([u64; 4], Option<f64>)) 
 
 /// Decode a tuple written by [`write_rng_state`].
 pub fn read_rng_state(r: &mut ByteReader<'_>) -> ([u64; 4], Option<f64>) {
-    let s = [r.u64(), r.u64(), r.u64(), r.u64()];
+    let state = [r.u64(), r.u64(), r.u64(), r.u64()];
     let spare = r.bool().then(|| r.f64());
-    (s, spare)
+    (state, spare)
 }
 
 /// Encode an RNG's full state via [`write_rng_state`].
@@ -223,8 +223,8 @@ pub fn write_rng(w: &mut ByteWriter, rng: &SeededRng) {
 
 /// Decode an RNG written by [`write_rng`].
 pub fn read_rng(r: &mut ByteReader<'_>) -> SeededRng {
-    let (s, spare) = read_rng_state(r);
-    SeededRng::from_full_state(s, spare)
+    let (state, spare) = read_rng_state(r);
+    SeededRng::from_full_state(state, spare)
 }
 
 /// Encode a sparse gradient (for the pending-late-upload queue).

@@ -28,7 +28,7 @@
 //! assert_eq!(history.losses.len(), 3);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod checkpoint;

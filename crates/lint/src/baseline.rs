@@ -1,0 +1,173 @@
+//! The checked-in violation baseline.
+//!
+//! The baseline (`lint-baseline.json` at the workspace root) records
+//! violations that existed when the gate was introduced, so the lint is
+//! zero-tolerance for *new* violations without demanding a flag-day fix of
+//! historical ones. This workspace's baseline is empty — every violation
+//! the first run surfaced was fixed or given a justified suppression — and
+//! the policy is to keep it that way: shrinking the baseline is always
+//! fine, growing it requires the same scrutiny as deleting a test.
+//!
+//! Entries are keyed `(rule, file, line)`. The format is a flat JSON
+//! document written and parsed in-house (same offline-devtools policy as
+//! the rest of the crate).
+
+use crate::diagnostics::{json_str, Diagnostic};
+use std::collections::BTreeSet;
+
+/// Parsed baseline: the set of grandfathered `(rule, file, line)` keys.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, u32)>,
+}
+
+impl Baseline {
+    /// The empty baseline.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Does the baseline absorb this diagnostic?
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        self.entries
+            .contains(&(d.rule.to_string(), d.file.clone(), d.line))
+    }
+
+    /// Number of grandfathered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse the baseline document. Accepts the exact shape
+    /// [`Baseline::render`] writes; anything else is an error (a corrupt
+    /// baseline must fail the gate, not silently pass it).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeSet::new();
+        // Entries are one-per-line objects; scan for the three fields.
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"rule\"") {
+                continue;
+            }
+            let rule = field(line, "rule").ok_or_else(|| bad(line, "rule"))?;
+            let file = field(line, "file").ok_or_else(|| bad(line, "file"))?;
+            let lineno: u32 = num_field(line, "line").ok_or_else(|| bad(line, "line"))?;
+            entries.insert((rule, file, lineno));
+        }
+        if !text.contains("\"version\": 1") {
+            return Err("baseline missing `\"version\": 1`".to_string());
+        }
+        Ok(Self { entries })
+    }
+
+    /// Build a baseline covering exactly `diags`.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        let entries = diags
+            .iter()
+            .map(|d| (d.rule.to_string(), d.file.clone(), d.line))
+            .collect();
+        Self { entries }
+    }
+
+    /// Render the baseline document (byte-stable: BTreeSet order).
+    pub fn render(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, (rule, file, line)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}}}{}\n",
+                json_str(rule),
+                json_str(file),
+                line,
+                comma
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn bad(line: &str, key: &str) -> String {
+    format!("malformed baseline entry (missing `{key}`): {line}")
+}
+
+/// Extract `"key": "value"` from a single-line JSON object. Values written
+/// by [`json_str`] only need unescaping of the five simple escapes.
+fn field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract `"key": 123` from a single-line JSON object.
+fn num_field(line: &str, key: &str) -> Option<u32> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_covers() {
+        let diags = vec![
+            diag("hash-iter", "a.rs", 3),
+            diag("wall-clock", "b/c.rs", 9),
+        ];
+        let b = Baseline::from_diagnostics(&diags);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.covers(&diags[0]));
+        assert!(parsed.covers(&diags[1]));
+        assert!(!parsed.covers(&diag("hash-iter", "a.rs", 4)));
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let b = Baseline::empty();
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn versionless_document_is_rejected() {
+        assert!(Baseline::parse("{\"entries\": []}").is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! A lightweight Rust lexer: just enough tokenization for the lint rules.
+//!
+//! The scanner classifies source bytes into identifiers, literals and
+//! punctuation while *discarding* the contents of comments and string
+//! literals, so a rule matching `Instant :: now` can never be fooled by
+//! `"Instant::now"` inside a string or a commented-out line. It is not a
+//! full Rust lexer — shebangs, raw identifiers and exotic literal suffixes
+//! are handled best-effort — but it is deterministic, dependency-free and
+//! fast enough to scan the whole workspace per test run.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Integer or float literal (value not interpreted).
+    Number,
+    /// String, raw-string, byte-string or char literal (contents dropped).
+    Literal,
+    /// Lifetime such as `'a` (label text dropped).
+    Lifetime,
+    /// A single punctuation byte (`.`, `:`, `(`, `)` …). Multi-byte
+    /// operators arrive as consecutive tokens: `::` is two `:` tokens.
+    Punct,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Source text for identifiers and punctuation; empty for literal
+    /// classes whose contents are deliberately dropped.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// Tokenize `src`, dropping comments and the contents of string literals.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 6);
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |s: &[u8]| -> u32 { s.iter().filter(|&&c| c == b'\n').count() as u32 };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: skip to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nesting like Rust's.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&b[start..i]);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i);
+                line += count_lines(&b[start..i]);
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: line - count_lines(&b[start..i]),
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start = i;
+                i = skip_raw_or_byte_string(b, i);
+                let startline = line;
+                line += count_lines(&b[start..i]);
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: startline,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(b, i) {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    line += count_lines(&b[start..i]);
+                    out.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i] == b'.' || b[i].is_ascii_alphanumeric())
+                {
+                    // Stop a number before `..` so ranges like `0..n`
+                    // lex as number, punct, punct, ident.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` string starting at `b[i] == '"'`, returning the index
+/// one past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Does `b[i..]` start a raw string (`r"`, `r#"`), byte string (`b"`),
+/// or raw byte string (`br#"`)? A plain identifier beginning with `r`/`b`
+/// must not match.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j > i && j < b.len() && b[j] == b'"'
+}
+
+/// Skip the raw/byte string starting at `i`; see [`is_raw_or_byte_string`].
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert!(i < b.len() && b[i] == b'"');
+    if hashes == 0 && i < b.len() {
+        // `b"…"` still processes escapes; `r"…"` does not, but treating
+        // backslashes as escapes in an r-string without hashes can only
+        // over-consume into content we drop anyway — the closing quote
+        // of `r"a\"` is rare enough to accept the best-effort parse.
+        return skip_string(b, i);
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// `'x` is a lifetime when what follows the quote is an identifier that is
+/// not itself terminated by a closing quote (`'a'` is a char literal).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !(first == b'_' || first.is_ascii_alphabetic()) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r#"
+            // Instant::now in a comment
+            let s = "Instant::now in a string";
+            /* HashMap::new() in a block
+               comment */
+            let t = real_ident;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_opaque() {
+        let src = r##"let a = r#"SystemTime::now"#; let c = 'x'; let esc = '\n';"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert_eq!(ids, vec!["let", "a", "let", "c", "let", "esc"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        // No spurious literal swallowed the rest of the signature.
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src);
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn double_colon_is_two_colon_puncts() {
+        let toks = lex("std::env::args()");
+        let colons = toks.iter().filter(|t| t.is_punct(':')).count();
+        assert_eq!(colons, 4);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_float_literals() {
+        let toks = lex("for i in 0..n {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+}

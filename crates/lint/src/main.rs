@@ -1,0 +1,7 @@
+//! `fedrec-lint` binary: lint the workspace, exit nonzero on any new
+//! violation. See `fedrec-lint --help` / `--rules`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fedrec_lint::run_cli(&args));
+}

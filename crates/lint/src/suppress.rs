@@ -1,0 +1,161 @@
+//! In-source suppressions.
+//!
+//! A violation is silenced by a comment of the form
+//!
+//! ```text
+//! // fedrec-lint: allow(<rule>[, <rule>…]) — <justification>
+//! ```
+//!
+//! either trailing the offending line or on a comment-only line directly
+//! above it (stacked suppression lines all bind to the next code line).
+//! The justification is mandatory: a suppression without one — or naming
+//! an unknown rule — is itself reported under the `bad-suppression` rule,
+//! and a suppression that silences nothing is reported under
+//! `unused-suppression`, so stale allowances cannot accumulate.
+
+use crate::rules::RULE_SLUGS;
+
+/// The marker that introduces a suppression inside a `//` comment.
+pub const MARKER: &str = "fedrec-lint: allow(";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on (1-based).
+    pub comment_line: u32,
+    /// Code line the suppression applies to (1-based).
+    pub target_line: u32,
+    /// Rule slugs named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Mandatory free-text justification after the closing paren.
+    pub justification: String,
+    /// Problem with the suppression itself, if any.
+    pub error: Option<String>,
+}
+
+/// Scan raw source lines for suppression comments and resolve each to its
+/// target line.
+pub fn scan(lines: &[&str]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = (idx + 1) as u32;
+        // Only look inside plain `//` comments: string literals can't
+        // carry suppressions, and doc comments (`///`, `//!`) merely
+        // *describe* the mechanism — they must not invoke it.
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        if raw[comment_at + 2..].starts_with(['/', '!']) {
+            continue;
+        }
+        let comment = &raw[comment_at..];
+        let Some(m) = comment.find(MARKER) else {
+            continue;
+        };
+        let after = &comment[m + MARKER.len()..];
+        let (rules_part, rest, mut error) = match after.find(')') {
+            Some(close) => (&after[..close], &after[close + 1..], None),
+            None => ("", "", Some("unclosed allow(...)".to_string())),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if error.is_none() {
+            if rules.is_empty() {
+                error = Some("allow() names no rule".to_string());
+            } else if let Some(bad) = rules.iter().find(|r| !RULE_SLUGS.contains(&r.as_str())) {
+                error = Some(format!("unknown rule `{bad}`"));
+            }
+        }
+        let justification = rest
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        if error.is_none() && justification.len() < 3 {
+            error = Some("missing justification after allow(...)".to_string());
+        }
+        // A trailing suppression binds to its own line; a comment-only
+        // line binds to the next line that holds code (skipping blank
+        // lines and further comment-only lines, so suppressions stack).
+        let own_line_has_code = !raw[..comment_at].trim().is_empty();
+        let target_line = if own_line_has_code {
+            lineno
+        } else {
+            let mut t = idx + 1;
+            while t < lines.len() {
+                let l = lines[t].trim();
+                if !l.is_empty() && !l.starts_with("//") {
+                    break;
+                }
+                t += 1;
+            }
+            (t + 1) as u32
+        };
+        out.push(Suppression {
+            comment_line: lineno,
+            target_line,
+            rules,
+            justification,
+            error,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_suppression_binds_to_its_own_line() {
+        let lines = vec!["let x = m.iter(); // fedrec-lint: allow(hash-iter) — sorted below"];
+        let s = scan(&lines);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].target_line, 1);
+        assert_eq!(s[0].rules, vec!["hash-iter"]);
+        assert_eq!(s[0].justification, "sorted below");
+        assert!(s[0].error.is_none());
+    }
+
+    #[test]
+    fn comment_only_suppression_binds_to_next_code_line() {
+        let lines = vec![
+            "// fedrec-lint: allow(wall-clock) — progress reporting only",
+            "// more prose",
+            "",
+            "let t = Instant::now();",
+        ];
+        let s = scan(&lines);
+        assert_eq!(s[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_and_unknown_rule_are_errors() {
+        let lines = vec![
+            "// fedrec-lint: allow(hash-iter)",
+            "let a = 1;",
+            "// fedrec-lint: allow(no-such-rule) — something",
+            "let b = 2;",
+        ];
+        let s = scan(&lines);
+        assert!(s[0].error.as_deref().unwrap().contains("justification"));
+        assert!(s[1].error.as_deref().unwrap().contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppressions_inside_strings_are_ignored() {
+        let lines = vec!["let s = \"fedrec-lint: allow(hash-iter) — nope\";"];
+        assert!(scan(&lines).is_empty());
+    }
+
+    #[test]
+    fn ascii_double_dash_separator_is_accepted() {
+        let lines = vec!["x(); // fedrec-lint: allow(rng-seed) -- replayed checkpoint state"];
+        let s = scan(&lines);
+        assert!(s[0].error.is_none());
+        assert_eq!(s[0].justification, "replayed checkpoint state");
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: threaded file merges floats in fixed shard order via a loop.
+use std::thread;
+
+fn total(shards: &[Vec<f32>]) -> f32 {
+    thread::scope(|s| {
+        for shard in shards {
+            s.spawn(move || shard.len());
+        }
+    });
+    let mut acc = 0.0;
+    for shard in shards {
+        for v in shard {
+            acc += v;
+        }
+    }
+    acc
+}

@@ -1,0 +1,12 @@
+//! Fixture: float reduction justified — operates on a single shard in order.
+use std::thread;
+
+fn total(shards: &[Vec<f32>]) -> f32 {
+    thread::scope(|s| {
+        for shard in shards {
+            s.spawn(move || shard.len());
+        }
+    });
+    // fedrec-lint: allow(float-merge) — single-shard, in-order sum; association is fixed
+    shards[0].iter().sum()
+}

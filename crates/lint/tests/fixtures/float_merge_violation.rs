@@ -1,0 +1,11 @@
+//! Fixture: float reduction in a file that spawns threads.
+use std::thread;
+
+fn total(shards: &[Vec<f32>]) -> f32 {
+    thread::scope(|s| {
+        for shard in shards {
+            s.spawn(move || shard.len());
+        }
+    });
+    shards.iter().flatten().sum()
+}

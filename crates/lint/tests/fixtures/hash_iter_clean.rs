@@ -1,0 +1,10 @@
+//! Fixture: membership-only hash use plus ordered iteration via BTreeMap.
+use std::collections::{BTreeMap, HashSet};
+
+fn emit(out: &mut Vec<(u32, f32)>, scores: BTreeMap<u32, f32>, seen: HashSet<u32>) {
+    for (item, score) in &scores {
+        if seen.contains(item) {
+            out.push((*item, *score));
+        }
+    }
+}

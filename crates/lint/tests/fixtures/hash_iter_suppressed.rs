@@ -1,0 +1,9 @@
+//! Fixture: hash iteration allowed because the result is sorted before use.
+use std::collections::HashMap;
+
+fn item_ids(scores: &HashMap<u32, f32>) -> Vec<u32> {
+    // fedrec-lint: allow(hash-iter) — keys are collected and sorted before any emission
+    let mut ids: Vec<u32> = scores.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}

@@ -1,0 +1,10 @@
+//! Fixture: iterating a hash collection that feeds emitted output.
+use std::collections::HashMap;
+
+fn emit(out: &mut Vec<(u32, f32)>, scores: HashMap<u32, f32>) {
+    for (item, score) in &scores {
+        out.push((*item, *score));
+    }
+    let keys: Vec<u32> = scores.keys().copied().collect();
+    out.extend(keys.into_iter().map(|k| (k, 0.0)));
+}

@@ -1,0 +1,7 @@
+//! Fixture: codec writes widen (or fail loudly) instead of truncating.
+impl Checkpoint for Attack {
+    fn checkpoint_state(&self, w: &mut ByteWriter) {
+        w.u64(self.round);
+        w.u64(u64::try_from(self.targets.len()).expect("len fits u64"));
+    }
+}

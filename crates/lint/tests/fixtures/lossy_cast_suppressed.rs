@@ -1,0 +1,7 @@
+//! Fixture: truncating codec cast justified by a checked invariant.
+impl Checkpoint for Attack {
+    fn checkpoint_state(&self, w: &mut ByteWriter) {
+        // fedrec-lint: allow(lossy-cast) — round is asserted < 2^32 at construction
+        w.u32(self.round as u32);
+    }
+}

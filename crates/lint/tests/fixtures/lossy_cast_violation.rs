@@ -1,0 +1,7 @@
+//! Fixture: truncating cast inside a byte-codec function.
+impl Checkpoint for Attack {
+    fn checkpoint_state(&self, w: &mut ByteWriter) {
+        w.u32(self.round as u32);
+        w.u16(self.targets.len() as u16);
+    }
+}

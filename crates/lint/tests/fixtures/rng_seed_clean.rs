@@ -1,0 +1,7 @@
+//! Fixture: every RNG visibly flows from a seed or replayed state.
+fn sample(seed: u64, client_state: u64) -> u64 {
+    let mut a = SeededRng::new(seed ^ 0x9E3779B97F4A7C15);
+    let b = SeededRng::from_state(client_state);
+    let c = SeededRng::new(7);
+    a.next_u64() ^ b.peek() ^ c.peek()
+}

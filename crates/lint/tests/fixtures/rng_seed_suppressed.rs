@@ -1,0 +1,6 @@
+//! Fixture: RNG argument justified as seed-derived under a different name.
+fn sample(round_key: u64) -> u64 {
+    // fedrec-lint: allow(rng-seed) — round_key is mix64(seed, round) computed by the caller
+    let mut rng = SeededRng::new(round_key);
+    rng.next_u64()
+}

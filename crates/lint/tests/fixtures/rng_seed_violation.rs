@@ -1,0 +1,6 @@
+//! Fixture: RNG built from a non-seed value plus an ambient entropy source.
+fn sample(client_id: u64) -> u64 {
+    let mut rng = SeededRng::new(client_id);
+    let _ambient = thread_rng();
+    rng.next_u64()
+}

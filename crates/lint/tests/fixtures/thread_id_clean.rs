@@ -1,0 +1,4 @@
+//! Fixture: explicit worker index passed by the scope — no thread identity.
+fn shard_of(worker_idx: usize, num_shards: usize) -> usize {
+    worker_idx % num_shards
+}

@@ -1,0 +1,7 @@
+//! Fixture: thread-identity read justified as log-only.
+use std::thread;
+
+fn debug_label() -> String {
+    // fedrec-lint: allow(thread-id) — label feeds the debug log only, never simulation state
+    format!("{:?}", thread::current().id())
+}

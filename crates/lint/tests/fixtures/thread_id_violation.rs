@@ -1,0 +1,11 @@
+//! Fixture: thread-identity dependence in round-loop code.
+use std::thread;
+
+thread_local! {
+    static SCRATCH: Vec<f32> = Vec::new();
+}
+
+fn shard_of(num_shards: u64) -> u64 {
+    let id = thread::current().id();
+    format!("{id:?}").len() as u64 % num_shards
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` with the adjacent SAFETY comment stating the invariant.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        // SAFETY: i < a.len() == b.len() by the loop bound and the assert above.
+        acc += unsafe { a.get_unchecked(i) * b.get_unchecked(i) };
+    }
+    acc
+}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe-safety violation silenced with a written justification.
+fn as_bytes(v: &[f32]) -> &[u8] {
+    // fedrec-lint: allow(unsafe-safety) — invariant documented on the module, not per call site
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}

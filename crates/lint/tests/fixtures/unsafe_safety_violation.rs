@@ -1,0 +1,8 @@
+//! Fixture: an `unsafe` block with no SAFETY comment.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += unsafe { a.get_unchecked(i) * b.get_unchecked(i) };
+    }
+    acc
+}

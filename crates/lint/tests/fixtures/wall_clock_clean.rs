@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads confined to test code are exempt.
+fn round(clients: usize) -> u64 {
+    clients as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: progress-timer wall-clock read with a written justification.
+use std::time::Instant;
+
+fn round(clients: usize) -> u64 {
+    let t0 = Instant::now(); // fedrec-lint: allow(wall-clock) — progress logging only; never reaches records
+    let _ = t0;
+    clients as u64
+}

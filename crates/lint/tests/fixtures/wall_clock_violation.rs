@@ -1,0 +1,8 @@
+//! Fixture: wall-clock read inside simulation code.
+use std::time::Instant;
+
+fn round(clients: usize) -> u64 {
+    let t0 = Instant::now();
+    let spent = t0.elapsed().as_millis() as u64;
+    spent * clients as u64
+}

@@ -1,0 +1,144 @@
+//! Fixture-driven rule coverage: every rule is exercised against a
+//! violating, a clean, and a suppressed snippet from `tests/fixtures/`.
+//!
+//! Fixtures are fed through [`fedrec_lint::engine::lint_source`] under a
+//! synthetic non-test path (`crates/<crate>/src/fixture.rs`) — paths under
+//! `tests/` are test-exempt by design, so the fixtures must pretend to be
+//! production code to trip the rules.
+
+use fedrec_lint::engine::lint_source;
+
+/// (rule, synthetic path, violating, clean, suppressed).
+const CASES: &[(&str, &str, &str, &str, &str)] = &[
+    (
+        "hash-iter",
+        "crates/federated/src/fixture.rs",
+        include_str!("fixtures/hash_iter_violation.rs"),
+        include_str!("fixtures/hash_iter_clean.rs"),
+        include_str!("fixtures/hash_iter_suppressed.rs"),
+    ),
+    (
+        "wall-clock",
+        "crates/federated/src/fixture.rs",
+        include_str!("fixtures/wall_clock_violation.rs"),
+        include_str!("fixtures/wall_clock_clean.rs"),
+        include_str!("fixtures/wall_clock_suppressed.rs"),
+    ),
+    (
+        "thread-id",
+        "crates/federated/src/fixture.rs",
+        include_str!("fixtures/thread_id_violation.rs"),
+        include_str!("fixtures/thread_id_clean.rs"),
+        include_str!("fixtures/thread_id_suppressed.rs"),
+    ),
+    (
+        "rng-seed",
+        "crates/federated/src/fixture.rs",
+        include_str!("fixtures/rng_seed_violation.rs"),
+        include_str!("fixtures/rng_seed_clean.rs"),
+        include_str!("fixtures/rng_seed_suppressed.rs"),
+    ),
+    (
+        "unsafe-safety",
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/unsafe_safety_violation.rs"),
+        include_str!("fixtures/unsafe_safety_clean.rs"),
+        include_str!("fixtures/unsafe_safety_suppressed.rs"),
+    ),
+    (
+        "lossy-cast",
+        "crates/attack/src/fixture.rs",
+        include_str!("fixtures/lossy_cast_violation.rs"),
+        include_str!("fixtures/lossy_cast_clean.rs"),
+        include_str!("fixtures/lossy_cast_suppressed.rs"),
+    ),
+    (
+        "float-merge",
+        "crates/federated/src/fixture.rs",
+        include_str!("fixtures/float_merge_violation.rs"),
+        include_str!("fixtures/float_merge_clean.rs"),
+        include_str!("fixtures/float_merge_suppressed.rs"),
+    ),
+];
+
+#[test]
+fn violating_fixtures_fire_their_rule() {
+    for (rule, path, violating, _, _) in CASES {
+        let (new, suppressed, meta) = lint_source(path, violating);
+        let hits = new.iter().filter(|d| d.rule == *rule).count();
+        assert!(
+            hits >= 1,
+            "{rule}: violating fixture produced no `{rule}` diagnostic; new={new:?}"
+        );
+        assert!(
+            suppressed.is_empty(),
+            "{rule}: violating fixture should not be suppressed"
+        );
+        assert!(
+            meta.is_empty(),
+            "{rule}: unexpected meta diagnostics {meta:?}"
+        );
+        for d in &new {
+            assert!(d.line >= 1, "{rule}: diagnostic without a line anchor");
+            assert_eq!(d.file, *path);
+            assert!(!d.snippet.is_empty(), "{rule}: empty snippet");
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for (rule, path, _, clean, _) in CASES {
+        let (new, suppressed, meta) = lint_source(path, clean);
+        assert!(
+            new.is_empty() && meta.is_empty(),
+            "{rule}: clean fixture flagged: new={new:?} meta={meta:?}"
+        );
+        assert!(
+            suppressed.is_empty(),
+            "{rule}: clean fixture should carry no suppressions"
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixtures_silence_exactly_their_rule() {
+    for (rule, path, _, _, suppressed_src) in CASES {
+        let (new, suppressed, meta) = lint_source(path, suppressed_src);
+        assert!(
+            new.is_empty(),
+            "{rule}: suppressed fixture still has new violations: {new:?}"
+        );
+        assert!(
+            suppressed.iter().any(|(d, _)| d.rule == *rule),
+            "{rule}: no suppressed `{rule}` diagnostic recorded; suppressed={suppressed:?}"
+        );
+        for (_, why) in &suppressed {
+            assert!(
+                why.len() >= 3,
+                "{rule}: suppression justification missing or trivial"
+            );
+        }
+        assert!(
+            meta.is_empty(),
+            "{rule}: suppression reported as bad/unused: {meta:?}"
+        );
+    }
+}
+
+#[test]
+fn fixtures_under_tests_paths_are_exempt() {
+    // The same violating sources produce nothing when they live under a
+    // `tests/` directory — except `unsafe-safety`, which always applies.
+    for (rule, _, violating, _, _) in CASES {
+        let (new, _, _) = lint_source("crates/federated/tests/fixture.rs", violating);
+        if *rule == "unsafe-safety" {
+            assert!(new.iter().any(|d| d.rule == "unsafe-safety"));
+        } else {
+            assert!(
+                new.is_empty(),
+                "{rule}: test-path fixture should be exempt; new={new:?}"
+            );
+        }
+    }
+}
