@@ -1,0 +1,199 @@
+//! Evaluation throughput: the pre-kernel rowwise sweep versus the blocked
+//! scoring kernel, norm-bound pruning and incremental re-evaluation, at
+//! the smoke50k and million scale-free presets. All four paths produce
+//! byte-identical `EvalReport`s (gated by proptests and `repro matrix
+//! --smoke`); only the work they spend differs. Measured numbers are
+//! recorded in BENCH_eval.json at the repository root.
+//!
+//! CI runs the smoke-form group only (`cargo bench -p fedrec-bench
+//! --bench eval_throughput -- eval_smoke50k`); the million group is the
+//! acceptance measurement and takes minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrec_data::scalefree::{ScaleFreeConfig, ScaleFreeDataset};
+use fedrec_data::split::TestSet;
+use fedrec_data::InteractionSource;
+use fedrec_linalg::{Matrix, SeededRng};
+use fedrec_recsys::eval::Evaluator;
+use fedrec_recsys::metrics::MetricsAccumulator;
+use fedrec_recsys::model::MfModel;
+use fedrec_recsys::scorer::DenseScores;
+use fedrec_recsys::{EvalMode, IncrementalEvalState};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Matches `EVAL_SHARD_ROWS` in the experiment matrix.
+const SHARD_ROWS: usize = 1_024;
+
+struct Workload {
+    data: Arc<ScaleFreeDataset>,
+    users: Matrix,
+    items: Matrix,
+    eval: Evaluator,
+    test: TestSet,
+    /// Evaluated user span (the partial-population protocol).
+    span: usize,
+}
+
+fn workload(cfg: ScaleFreeConfig, k: usize, span: usize, num_targets: u32) -> Workload {
+    workload_with_skew(cfg, k, span, num_targets, false)
+}
+
+/// With `skew`, item-row magnitudes follow a power law over item id —
+/// the norm profile BPR training produces on a scale-free catalog
+/// (popular items accumulate updates and grow long factor vectors).
+/// Uniform random factors are the pruning *worst case*: every norm
+/// bound ties, so the bound-pruned sweep can never stop early.
+fn workload_with_skew(
+    cfg: ScaleFreeConfig,
+    k: usize,
+    span: usize,
+    num_targets: u32,
+    skew: bool,
+) -> Workload {
+    let data = Arc::new(cfg.generate(7));
+    let mut rng = SeededRng::new(11);
+    let users = Matrix::random_normal(data.num_users(), k, 0.0, 0.1, &mut rng);
+    let mut items = Matrix::random_normal(data.num_items(), k, 0.0, 0.1, &mut rng);
+    if skew {
+        let rows = items.rows();
+        for i in 0..rows {
+            let scale = ((i + 1) as f32).powf(-0.5);
+            for x in &mut items.as_mut_slice()[i * k..(i + 1) * k] {
+                *x *= scale;
+            }
+        }
+    }
+    let m = data.num_items() as u32;
+    let targets: Vec<u32> = (m - num_targets..m).collect();
+    let test: TestSet = Vec::new(); // partial-population protocol: no holdout
+    let eval = Evaluator::new(&*data, &test, &targets, 5);
+    Workload {
+        data,
+        users,
+        items,
+        eval,
+        test,
+        span,
+    }
+}
+
+/// The pre-kernel evaluation loop this PR replaces: one dense score
+/// vector per user, no blocking, no pruning, no cross-epoch reuse.
+fn rowwise(w: &Workload) -> f64 {
+    let mut acc = MetricsAccumulator::new();
+    let mut scores = vec![0.0f32; w.items.rows()];
+    for u in 0..w.span {
+        MfModel::scores_for_vector(&w.items, w.users.row(u), &mut scores);
+        let mut src = DenseScores::new(&scores);
+        acc.push_user_attack(&mut src, w.data.user_items(u), w.eval.targets());
+    }
+    acc.attack_metrics().er_at_10
+}
+
+fn run_mode(
+    w: &Workload,
+    mode: EvalMode,
+    state: Option<&mut IncrementalEvalState>,
+    threads: usize,
+) -> f64 {
+    let (rep, _) = w.eval.evaluate_user_range_mode(
+        &w.items,
+        &w.users,
+        &*w.data,
+        &w.test,
+        0..w.span,
+        threads,
+        SHARD_ROWS,
+        mode,
+        state,
+    );
+    rep.attack.er_at_10
+}
+
+/// Kernel-only microbenchmark: one `USER_BLOCK × ITEM_TILE` tile at
+/// k = 32 (64·256·32·2 = 1.05 MFLOP per call), isolating the scoring
+/// arithmetic from heap feeding and metric pushes.
+fn bench_kernel_only(c: &mut Criterion) {
+    use fedrec_linalg::kernel;
+    let k = 32usize;
+    let (b_rows, t_rows) = (64usize, 256usize);
+    let mut rng = SeededRng::new(3);
+    let users = Matrix::random_normal(b_rows, k, 0.0, 0.1, &mut rng);
+    let items = Matrix::random_normal(t_rows, k, 0.0, 0.1, &mut rng);
+    let mut out = vec![0.0f32; b_rows * t_rows];
+    let mut g = c.benchmark_group("eval_kernel");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("score_block_64x256_k32", |b| {
+        b.iter(|| {
+            kernel::score_block(users.as_slice(), items.as_slice(), k, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
+/// Smoke-form group: 50k users / 2k evaluated, small enough for CI.
+fn bench_smoke50k(c: &mut Criterion) {
+    let w = workload(ScaleFreeConfig::smoke_50k(), 16, 2_000, 3);
+    let mut g = c.benchmark_group("eval_smoke50k");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("rowwise_2k_users", |b| b.iter(|| black_box(rowwise(&w))));
+    g.bench_function("blocked_full_2k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Full, None, 1)))
+    });
+    g.bench_function("pruned_2k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Pruned, None, 1)))
+    });
+    let mut state = IncrementalEvalState::new();
+    run_mode(&w, EvalMode::Incremental, Some(&mut state), 1); // warm the cache
+    g.bench_function("incremental_repeat_2k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Incremental, Some(&mut state), 1)))
+    });
+    g.finish();
+}
+
+/// Acceptance group: million-user preset, 10k evaluated users, k = 32 —
+/// the streamed-eval bottleneck this PR kills. Single-core except the
+/// final entry, so the kernel speedup is not confounded with threading.
+fn bench_million(c: &mut Criterion) {
+    let w = workload(ScaleFreeConfig::million(), 32, 10_000, 5);
+    let mut g = c.benchmark_group("eval_million");
+    g.sample_size(3);
+    g.warm_up_time(Duration::from_millis(1));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("rowwise_10k_users", |b| b.iter(|| black_box(rowwise(&w))));
+    g.bench_function("blocked_full_10k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Full, None, 1)))
+    });
+    g.bench_function("pruned_10k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Pruned, None, 1)))
+    });
+    let mut state = IncrementalEvalState::new();
+    run_mode(&w, EvalMode::Incremental, Some(&mut state), 1); // warm the cache
+    g.bench_function("incremental_repeat_10k_users", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Incremental, Some(&mut state), 1)))
+    });
+    g.bench_function("blocked_full_10k_users_8t", |b| {
+        b.iter(|| black_box(run_mode(&w, EvalMode::Full, None, 8)))
+    });
+    drop(w);
+    // Trained-model norm profile: the bound-pruned sweep stops after a
+    // short high-norm prefix instead of degenerating to a full sweep.
+    let ws = workload_with_skew(ScaleFreeConfig::million(), 32, 10_000, 5, true);
+    g.bench_function("blocked_full_10k_users_skewed", |b| {
+        b.iter(|| black_box(run_mode(&ws, EvalMode::Full, None, 1)))
+    });
+    g.bench_function("pruned_10k_users_skewed", |b| {
+        b.iter(|| black_box(run_mode(&ws, EvalMode::Pruned, None, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_only, bench_smoke50k, bench_million);
+criterion_main!(benches);

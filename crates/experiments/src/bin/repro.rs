@@ -11,10 +11,12 @@
 //! repro matrix [--attacks a,b,..|all] [--defenses d,e,..|all] [--rhos r1,r2,..]
 //!       [--population million|smoke50k|tiny|ml100k|ml1m|steam]
 //!       [--backend dense|sharded] [--shard-rows N] [--eval-users N]
+//!       [--eval-mode full|pruned|incremental] [--eval-threads N]
 //!       [--out-dir DIR] [--workers N] [--epochs N] [--scale ...] [--seed N]
 //!       [--dataset ...] [--eval-every N] [--smoke]
 //! repro cell --attack A --defense D --rho R [--epochs N] [--scale ...]
-//!       [--seed N] [--dataset ...] [--population ...] [--eval-every N] [--out FILE]
+//!       [--seed N] [--dataset ...] [--population ...] [--eval-every N]
+//!       [--eval-mode full|pruned|incremental] [--eval-threads N] [--out FILE]
 //! repro report --dir DIR [--csv] [--out FILE]
 //! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
 //!       [--workers N] [--eval-users N] [--backend dense|sharded]
@@ -31,9 +33,17 @@
 //! the attack × defense grid on the 50k-user scale-free preset, checks
 //! every record's schema, asserts the lazy-store invariant
 //! (`rows_materialized ≤ participants_touched`), reruns the grid on the
-//! dense backend to assert dense-vs-sharded byte-identity, and reruns
-//! one cell standalone to assert byte-identical output — the CI
-//! determinism gate.
+//! dense backend to assert dense-vs-sharded byte-identity, reruns one
+//! cell standalone to assert byte-identical output, and reruns a probe
+//! cell under `--eval-mode pruned` and `incremental` to assert the eval
+//! fast paths reproduce the full sweep's records byte-identically
+//! (modulo the mode bookkeeping fields) — the CI determinism gate.
+//!
+//! `--eval-mode` selects the streamed-evaluation strategy for scale-free
+//! populations: `full` (blocked exact sweep, default), `pruned`
+//! (norm-bound top-K pruning) or `incremental` (cross-epoch candidate
+//! caching with drift bounds). All three produce byte-identical metrics;
+//! only `eval_mode`/`items_scored`/`items_skipped` differ in the records.
 //!
 //! `scale` runs a scale-free population through the sharded client store
 //! (defaults: 1M users / 100k items, ~500 participants per round).
@@ -59,6 +69,7 @@ use fedrec_experiments::{
     table9_ablation, DatasetId, Scale, ScaleSpec, Table,
 };
 use fedrec_federated::StoreBackend;
+use fedrec_recsys::EvalMode;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -90,6 +101,8 @@ struct Args {
     eval_users: Option<usize>,
     backend_dense: Option<bool>,
     shard_rows: Option<usize>,
+    eval_mode: Option<EvalMode>,
+    eval_threads: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -100,6 +113,7 @@ fn usage() -> ! {
          \x20 repro matrix [--attacks a,b|all] [--defenses d,e|all] [--rhos r1,r2]\n\
          \x20      [--population million|smoke50k|tiny|ml100k|ml1m|steam]\n\
          \x20      [--backend dense|sharded] [--shard-rows N] [--eval-users N]\n\
+         \x20      [--eval-mode full|pruned|incremental] [--eval-threads N]\n\
          \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [shared flags]\n\
          \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
          \x20 repro report --dir DIR [--csv] [--out FILE]\n\
@@ -138,6 +152,8 @@ fn parse_args() -> Args {
         eval_users: None,
         backend_dense: None,
         shard_rows: None,
+        eval_mode: None,
+        eval_threads: None,
     };
     // fedrec-lint: allow(wall-clock) — CLI entry point: argv selects the experiment, it never feeds simulation state
     let mut it = std::env::args().skip(1);
@@ -187,6 +203,16 @@ fn parse_args() -> Args {
                     usage()
                 }
                 args.shard_rows = Some(v);
+            }
+            "--eval-mode" => {
+                args.eval_mode = Some(EvalMode::parse(&next()).unwrap_or_else(|| usage()))
+            }
+            "--eval-threads" => {
+                let v: usize = next().parse().unwrap_or_else(|_| usage());
+                if v == 0 {
+                    usage()
+                }
+                args.eval_threads = Some(v);
             }
             _ => usage(),
         }
@@ -270,6 +296,12 @@ fn matrix_config(args: &Args) -> MatrixConfig {
     if let Some(w) = args.workers {
         cfg.workers = w.max(1);
     }
+    if let Some(m) = args.eval_mode {
+        cfg.eval_mode = m;
+    }
+    if let Some(t) = args.eval_threads {
+        cfg.eval_threads = t;
+    }
     cfg
 }
 
@@ -331,12 +363,17 @@ fn cmd_matrix(args: &Args) {
 ///    `rows_materialized ≤ participants_touched`;
 /// 3. rerunning the whole grid on the **dense** backend reproduces every
 ///    record byte-identically after [`matrix::backend_invariant`]
-///    normalization (only the `backend`/`rows_materialized` fields may
-///    differ);
-/// 4. one cell rerun standalone reproduces its file bytes;
+///    normalization (only the `backend`/`rows_materialized` fields and
+///    volatile `eval_ms` may differ);
+/// 4. one cell rerun standalone reproduces its file bytes (modulo
+///    `eval_ms`, the wall-clock field);
 /// 5. the fedrecattack cell killed at a mid-run checkpoint and resumed
 ///    in a fresh simulation reproduces the straight run's records and
-///    final item matrix byte-identically at 1, 2 and 8 threads.
+///    final item matrix byte-identically at 1, 2 and 8 threads;
+/// 6. rerunning the probe cell under `--eval-mode pruned` and
+///    `incremental` (at 1 and 2 eval threads) reproduces the full
+///    sweep's records byte-identically after [`matrix::mode_invariant`]
+///    normalization — and the pruned rerun actually skips items.
 ///
 /// [`FaultPlan::smoke`]: fedrec_federated::FaultPlan::smoke
 fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
@@ -408,16 +445,62 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
         }
     }
 
+    let vol = |lines: &[String]| -> Vec<String> {
+        lines
+            .iter()
+            .map(|l| matrix::volatile_invariant(l))
+            .collect()
+    };
     let probe = outcomes
         .last()
         .unwrap_or_else(|| fail("smoke grid produced no cells"));
     let rerun = matrix::run_cell(cfg, &probe.cell);
     let original = sharded_cells.last().expect("non-empty grid");
-    if &rerun != original {
+    if vol(&rerun) != vol(original) {
         fail(&format!(
             "determinism: standalone rerun of cell {} diverged from its file",
             probe.cell.id()
         ));
+    }
+
+    // Eval-mode identity gate: the pruned and incremental fast paths must
+    // reproduce the full blocked sweep's records byte-identically modulo
+    // the mode bookkeeping fields, at both 1 and 2 eval threads.
+    let full_inv: Vec<String> = original.iter().map(|l| matrix::mode_invariant(l)).collect();
+    let mut pruned_skipped = 0u64;
+    for mode in [EvalMode::Pruned, EvalMode::Incremental] {
+        for threads in [1usize, 2] {
+            let mode_cfg = MatrixConfig {
+                eval_mode: mode,
+                eval_threads: threads,
+                ..cfg.clone()
+            };
+            let lines = matrix::run_cell(&mode_cfg, &probe.cell);
+            let inv: Vec<String> = lines.iter().map(|l| matrix::mode_invariant(l)).collect();
+            if inv != full_inv {
+                fail(&format!(
+                    "eval-mode identity: cell {} under {} x{threads} eval threads diverged \
+                     from the full sweep",
+                    probe.cell.id(),
+                    mode.label()
+                ));
+            }
+            if mode == EvalMode::Pruned && threads == 1 {
+                pruned_skipped = lines
+                    .iter()
+                    .filter_map(|l| matrix::parse_record(l))
+                    .filter_map(|pairs| {
+                        pairs
+                            .into_iter()
+                            .find(|(k, _)| k == "items_skipped")
+                            .and_then(|(_, v)| v.parse::<u64>().ok())
+                    })
+                    .sum();
+            }
+        }
+    }
+    if pruned_skipped == 0 {
+        fail("eval-mode identity: pruned evaluation never skipped an item");
     }
 
     // Crash-resume gate: kill the fedrecattack cell mid-run (checkpoint
@@ -434,7 +517,7 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
     let (straight_lines, straight_digest) = matrix::run_cell_traced(cfg, &crash_cell, 1);
     for threads in [1usize, 2, 8] {
         let (lines, digest) = matrix::run_cell_resumed(cfg, &crash_cell, 3, threads);
-        if lines != straight_lines {
+        if vol(&lines) != vol(&straight_lines) {
             fail(&format!(
                 "crash-resume: records of cell {} at {threads} thread(s) diverged from the \
                  uninterrupted run",
@@ -453,7 +536,9 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
     println!(
         "smoke OK: {checked} records schema-valid, rows_materialized <= participants_touched \
          in every record, dense/sharded byte-identical across {} cells, cell {} byte-identical \
-         on standalone rerun, cell {} kill-and-resume byte-identical at 1/2/8 threads",
+         on standalone rerun and under pruned/incremental eval modes at 1/2 eval threads \
+         ({pruned_skipped} items pruned), cell {} kill-and-resume byte-identical at 1/2/8 \
+         threads",
         outcomes.len(),
         probe.cell.id(),
         crash_cell.id()

@@ -31,11 +31,26 @@
 //! Every cell derives its RNG seed from the master seed and the cell's
 //! identity alone ([`CellSpec::cell_seed`]), never from scheduling: a
 //! cell rerun standalone (`repro cell`) reproduces its JSONL records
-//! **byte-identically**, regardless of worker count or which other cells
-//! ran. Dense and sharded backends are bit-identical too: a record
+//! **byte-identically** — modulo the single volatile wall-clock field
+//! `eval_ms`, which every identity gate strips via
+//! [`volatile_invariant`] — regardless of worker count or which other
+//! cells ran. Dense and sharded backends are bit-identical too: a record
 //! differs only in its `backend` and `rows_materialized` fields
 //! (normalized by [`backend_invariant`]). `repro matrix --smoke` asserts
 //! both on the 50k-user scale-free smoke preset.
+//!
+//! # Evaluation fast path
+//!
+//! Scale-free cells evaluate through the streamed
+//! [`EvalMode`] machinery: `full` (blocked kernel sweep), `pruned`
+//! (norm-bound exact top-K) or `incremental` (cross-epoch candidate
+//! caching, with per-cell [`IncrementalEvalState`] living for the cell's
+//! lifetime). All three produce byte-identical metric fields; only
+//! `eval_mode`/`items_scored`/`items_skipped` (and the volatile
+//! `eval_ms`) differ, normalized by [`mode_invariant`]. Dense populations
+//! always use the dense full-model sweep and record `eval_mode:"full"` —
+//! streamed and dense sweeps differ in float association, so modes only
+//! apply where the streamed path is already the baseline.
 
 use crate::report::Table;
 use crate::runner::{default_targets, malicious_count};
@@ -51,6 +66,7 @@ use fedrec_federated::server::SumAggregator;
 use fedrec_federated::simulation::Snapshot;
 use fedrec_federated::{FaultPlan, Simulation, StoreBackend};
 use fedrec_recsys::eval::{EvalReport, Evaluator};
+use fedrec_recsys::{EvalCounters, EvalMode, IncrementalEvalState};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -331,6 +347,14 @@ pub struct MatrixConfig {
     /// from the cell seed, so faulted grids keep the standalone-rerun
     /// byte-identity promise.
     pub faults: Option<FaultPlan>,
+    /// How scale-free cells compute their streamed evaluation (dense
+    /// populations always use the dense sweep and record `full`). All
+    /// modes produce byte-identical metric fields; see [`mode_invariant`].
+    pub eval_mode: EvalMode,
+    /// Worker threads inside each streamed evaluation (results are
+    /// thread-invariant; >1 only pays off when the grid itself is not
+    /// already saturating the machine with cells).
+    pub eval_threads: usize,
 }
 
 impl MatrixConfig {
@@ -357,6 +381,8 @@ impl MatrixConfig {
             kappa: 60,
             eval_users: 0,
             faults: None,
+            eval_mode: EvalMode::Full,
+            eval_threads: 1,
         }
     }
 
@@ -432,8 +458,12 @@ fn default_workers() -> usize {
 /// applied, quarantined payloads, straggler retries, quorum-skipped
 /// rounds); they read 0 when the grid runs without a fault plan, and they
 /// are backend-independent — fault decisions are a pure function of
-/// `(fault seed, round, client)`.
-pub const RECORD_KEYS: [&str; 29] = [
+/// `(fault seed, round, client)`. The trailing eval keys describe the
+/// record's evaluation pass: `eval_ms` (wall-clock, the one volatile
+/// field), `eval_mode` (`full`/`pruned`/`incremental`), and the
+/// deterministic work counters `items_scored`/`items_skipped` (top-K
+/// selection dot products spent vs avoided).
+pub const RECORD_KEYS: [&str; 33] = [
     "cell",
     "attack",
     "defense",
@@ -463,6 +493,10 @@ pub const RECORD_KEYS: [&str; 29] = [
     "f_rejected",
     "f_retried",
     "f_skipped",
+    "eval_ms",
+    "eval_mode",
+    "items_scored",
+    "items_skipped",
 ];
 
 /// The record keys whose values legitimately differ between the dense
@@ -472,15 +506,22 @@ pub const RECORD_KEYS: [&str; 29] = [
 /// detection counts, `participants_touched` — must be bit-identical.
 pub const BACKEND_DEPENDENT_KEYS: [&str; 2] = ["backend", "rows_materialized"];
 
-/// Normalize one JSONL record for dense-vs-sharded comparison by
-/// removing the [`BACKEND_DEPENDENT_KEYS`] fields. Two backends of the
-/// same cell must agree byte-for-byte after this projection — the
-/// invariant `repro matrix --smoke` enforces.
-pub fn backend_invariant(line: &str) -> String {
+/// The one record key whose value is wall-clock time rather than a
+/// deterministic function of the inputs. Every byte-identity gate strips
+/// it first (see [`volatile_invariant`]).
+pub const VOLATILE_KEYS: [&str; 1] = ["eval_ms"];
+
+/// The record keys that legitimately differ between [`EvalMode`]s of the
+/// same cell: the mode label and the work counters. The metric fields —
+/// losses, ER/NDCG/HR, detection — must be bit-identical across modes.
+pub const MODE_DEPENDENT_KEYS: [&str; 3] = ["eval_mode", "items_scored", "items_skipped"];
+
+/// Remove `keys` fields from one flat JSONL record. None of the stripped
+/// keys is ever first in a record (`"cell"` is), so the leading comma
+/// always exists and the remainder stays valid JSON.
+fn strip_keys(line: &str, keys: &[&str]) -> String {
     let mut out = line.to_string();
-    for key in BACKEND_DEPENDENT_KEYS {
-        // Neither key is ever first in a record ("cell" is), so the
-        // leading comma always exists and the remainder stays valid JSON.
+    for key in keys {
         let needle = format!(",\"{key}\":");
         if let Some(start) = out.find(&needle) {
             let vstart = start + needle.len();
@@ -492,6 +533,36 @@ pub fn backend_invariant(line: &str) -> String {
         }
     }
     out
+}
+
+/// Normalize one JSONL record for dense-vs-sharded comparison by
+/// removing the [`BACKEND_DEPENDENT_KEYS`] fields (and the volatile
+/// timing field). Two backends of the same cell must agree byte-for-byte
+/// after this projection — the invariant `repro matrix --smoke` enforces.
+pub fn backend_invariant(line: &str) -> String {
+    strip_keys(
+        line,
+        &[&BACKEND_DEPENDENT_KEYS[..], &VOLATILE_KEYS[..]].concat(),
+    )
+}
+
+/// Normalize one JSONL record for rerun comparison by removing the
+/// [`VOLATILE_KEYS`] fields. Two runs of the same cell under the same
+/// config must agree byte-for-byte after this projection.
+pub fn volatile_invariant(line: &str) -> String {
+    strip_keys(line, &VOLATILE_KEYS)
+}
+
+/// Normalize one JSONL record for cross-[`EvalMode`] comparison by
+/// removing the [`MODE_DEPENDENT_KEYS`] and volatile fields. The same
+/// cell under `full`, `pruned` and `incremental` evaluation must agree
+/// byte-for-byte after this projection — the mode-equivalence invariant
+/// `repro matrix --smoke` enforces.
+pub fn mode_invariant(line: &str) -> String {
+    strip_keys(
+        line,
+        &[&MODE_DEPENDENT_KEYS[..], &VOLATILE_KEYS[..]].concat(),
+    )
 }
 
 fn num(x: f64) -> String {
@@ -523,10 +594,26 @@ struct RecordPoint {
     participants_touched: usize,
 }
 
+/// What one evaluation pass cost: wall-clock (volatile), the mode that
+/// ran, and the deterministic dot-product counters.
+pub struct EvalStats {
+    /// Wall-clock milliseconds of the evaluation pass — the one record
+    /// field that is *not* a deterministic function of the inputs.
+    pub ms: u64,
+    /// The [`EvalMode`] label that produced the report.
+    pub mode: &'static str,
+    /// Top-K selection dot products computed.
+    pub items_scored: u64,
+    /// Top-K selection dot products avoided (exclusions, pruned bounds,
+    /// valid incremental caches).
+    pub items_skipped: u64,
+}
+
 fn render_line(
     ident: &CellIdentity<'_>,
     point: &RecordPoint,
     rep: &EvalReport,
+    eval: &EvalStats,
     det: Option<&RoundDefense>,
     excluded_total: usize,
     faults: (usize, usize, usize, usize, usize),
@@ -567,7 +654,8 @@ fn render_line(
          \"excluded_total\":{excluded_total},\"malicious\":{malicious},\
          \"rows_materialized\":{},\"participants_touched\":{},\
          \"f_dropped\":{f_dropped},\"f_late\":{f_late},\"f_rejected\":{f_rejected},\
-         \"f_retried\":{f_retried},\"f_skipped\":{f_skipped}}}",
+         \"f_retried\":{f_retried},\"f_skipped\":{f_skipped},\
+         \"eval_ms\":{},\"eval_mode\":\"{}\",\"items_scored\":{},\"items_skipped\":{}}}",
         cell.attack.label(),
         cell.defense.label(),
         num(cell.rho),
@@ -580,6 +668,10 @@ fn render_line(
         num(recall),
         rows_materialized,
         participants_touched,
+        eval.ms,
+        eval.mode,
+        eval.items_scored,
+        eval.items_skipped,
     )
 }
 
@@ -662,13 +754,24 @@ const EVAL_SHARD_ROWS: usize = 1_024;
 
 /// One cell's evaluation strategy: the dense full-model sweep for dense
 /// populations (the historical, byte-stable path), the streamed
-/// partial-population pass for scale-free ones.
+/// partial-population pass — in the configured [`EvalMode`] — for
+/// scale-free ones.
 struct CellEval<'w> {
     dense: Option<&'w Dataset>,
     source: &'w (dyn InteractionSource + Send + Sync),
     test: &'w TestSet,
     evaluator: Evaluator,
     eval_users: usize,
+    mode: EvalMode,
+    threads: usize,
+    /// Cross-epoch candidate caches for [`EvalMode::Incremental`]; lives
+    /// for the cell's lifetime (one eval per epoch snapshot warms the
+    /// next). A mutex only for interior mutability behind the harness's
+    /// shared borrow — evals within one cell run strictly sequentially.
+    /// Note: this state is *not* checkpointed; a crash-resumed cell
+    /// re-evaluates cold, which changes `items_scored` but — by the
+    /// exactness guarantee — never a metric byte.
+    inc: Mutex<IncrementalEvalState>,
 }
 
 impl CellEval<'_> {
@@ -676,22 +779,51 @@ impl CellEval<'_> {
         &self,
         items: &fedrec_linalg::Matrix,
         users: &dyn fedrec_recsys::UserRowSource,
-    ) -> EvalReport {
-        match self.dense {
+    ) -> (EvalReport, EvalStats) {
+        // fedrec-lint: allow(wall-clock) — times the eval pass for the volatile `eval_ms` record field; every identity gate strips it (volatile_invariant)
+        let started = std::time::Instant::now();
+        let (rep, counters, mode) = match self.dense {
             Some(train) => {
                 let model = crate::runner::assemble_model(items, users);
-                self.evaluator.evaluate(&model, train, self.test)
+                let rep = self.evaluator.evaluate(&model, train, self.test);
+                // The dense sweep scores every (user, item) pair.
+                let scored = (model.num_users() as u64) * (model.num_items() as u64);
+                (
+                    rep,
+                    EvalCounters {
+                        items_scored: scored,
+                        items_skipped: 0,
+                    },
+                    EvalMode::Full,
+                )
             }
-            None => self.evaluator.evaluate_user_range(
-                items,
-                users,
-                self.source,
-                self.test,
-                0..self.eval_users,
-                1,
-                EVAL_SHARD_ROWS,
-            ),
-        }
+            None => {
+                let mut inc = self.inc.lock().expect("eval state poisoned");
+                let state = match self.mode {
+                    EvalMode::Incremental => Some(&mut *inc),
+                    _ => None,
+                };
+                let (rep, counters) = self.evaluator.evaluate_user_range_mode(
+                    items,
+                    users,
+                    self.source,
+                    self.test,
+                    0..self.eval_users,
+                    self.threads,
+                    EVAL_SHARD_ROWS,
+                    self.mode,
+                    state,
+                );
+                (rep, counters, self.mode)
+            }
+        };
+        let stats = EvalStats {
+            ms: started.elapsed().as_millis() as u64,
+            mode: mode.label(),
+            items_scored: counters.items_scored,
+            items_skipped: counters.items_skipped,
+        };
+        (rep, stats)
     }
 }
 
@@ -712,7 +844,13 @@ struct CellHarness<'w> {
 }
 
 impl CellHarness<'_> {
-    fn line(&self, point: &RecordPoint, rep: &EvalReport, hist: &TrainingHistory) -> String {
+    fn line(
+        &self,
+        point: &RecordPoint,
+        rep: &EvalReport,
+        eval: &EvalStats,
+        hist: &TrainingHistory,
+    ) -> String {
         render_line(
             &CellIdentity {
                 cell: &self.cell,
@@ -724,6 +862,7 @@ impl CellHarness<'_> {
             },
             point,
             rep,
+            eval,
             hist.defense.last(),
             hist.total_excluded(),
             hist.fault_totals(),
@@ -737,7 +876,7 @@ impl CellHarness<'_> {
         if self.eval_every == 0 || !done.is_multiple_of(self.eval_every) || done == self.epochs {
             return None;
         }
-        let rep = self.eval.run(snap.items, snap.users);
+        let (rep, stats) = self.eval.run(snap.items, snap.users);
         Some(self.line(
             &RecordPoint {
                 epoch: done,
@@ -747,13 +886,14 @@ impl CellHarness<'_> {
                 participants_touched: snap.participants_touched,
             },
             &rep,
+            &stats,
             hist,
         ))
     }
 
     /// The summary record for a finished run.
     fn final_line(&self, sim: &Simulation, history: &TrainingHistory) -> String {
-        let rep = self.eval.run(sim.items(), sim.user_rows());
+        let (rep, stats) = self.eval.run(sim.items(), sim.user_rows());
         self.line(
             &RecordPoint {
                 epoch: self.epochs,
@@ -763,6 +903,7 @@ impl CellHarness<'_> {
                 participants_touched: sim.participants_touched(),
             },
             &rep,
+            &stats,
             history,
         )
     }
@@ -843,6 +984,9 @@ fn prepare_cell<'w>(
             test,
             evaluator,
             eval_users,
+            mode: cfg.eval_mode,
+            threads: cfg.eval_threads.max(1),
+            inc: Mutex::new(IncrementalEvalState::new()),
         },
         cell: *cell,
         id: cell.id(),
@@ -1112,6 +1256,15 @@ pub fn validate_record(line: &str) -> Result<(), String> {
             return Err(format!("{key} out of range ({v}): {line}"));
         }
     }
+    for key in ["eval_ms", "items_scored", "items_skipped"] {
+        let raw = get(key).expect("checked above");
+        raw.parse::<u64>()
+            .map_err(|_| format!("{key} is not a count ({raw:?}): {line}"))?;
+    }
+    let mode = get("eval_mode").expect("checked above");
+    if EvalMode::parse(mode).is_none() {
+        return Err(format!("eval_mode is not a known mode ({mode:?}): {line}"));
+    }
     match get("final") {
         Some("true") | Some("false") => Ok(()),
         other => Err(format!("final is not a bool ({other:?}): {line}")),
@@ -1201,6 +1354,12 @@ pub fn matrix_report_from(paths: &[PathBuf]) -> io::Result<Table> {
 mod tests {
     use super::*;
 
+    /// Strip the volatile timing field from every line — the projection
+    /// under which reruns are byte-identical.
+    fn vol(lines: &[String]) -> Vec<String> {
+        lines.iter().map(|l| volatile_invariant(l)).collect()
+    }
+
     fn tiny_cfg(seed: u64) -> MatrixConfig {
         MatrixConfig {
             attacks: vec![AttackMethod::None, AttackMethod::Random],
@@ -1289,7 +1448,8 @@ mod tests {
     }
 
     /// The acceptance criterion: rerunning any single cell standalone
-    /// reproduces its records byte-identically.
+    /// reproduces its records byte-identically (modulo `eval_ms`, the one
+    /// wall-clock field).
     #[test]
     fn standalone_cell_rerun_is_byte_identical() {
         let cfg = tiny_cfg(11);
@@ -1297,7 +1457,12 @@ mod tests {
         assert_eq!(all.len(), 8);
         for (cell, lines) in &all {
             let rerun = run_cell(&cfg, cell);
-            assert_eq!(&rerun, lines, "cell {} diverged on rerun", cell.id());
+            assert_eq!(
+                vol(&rerun),
+                vol(lines),
+                "cell {} diverged on rerun",
+                cell.id()
+            );
         }
     }
 
@@ -1310,7 +1475,7 @@ mod tests {
         });
         let three = run_matrix_collect(&MatrixConfig { workers: 3, ..base });
         let flat = |v: &[(CellSpec, Vec<String>)]| -> Vec<String> {
-            v.iter().flat_map(|(_, l)| l.clone()).collect()
+            v.iter().flat_map(|(_, l)| vol(l)).collect()
         };
         assert_eq!(flat(&one), flat(&three));
     }
@@ -1330,8 +1495,13 @@ mod tests {
             assert!(o.path.is_file());
             assert_eq!(o.records, 2);
             let text = std::fs::read_to_string(&o.path).unwrap();
-            let rerun = run_cell(&cfg, &o.cell).join("\n") + "\n";
-            assert_eq!(text, rerun, "file bytes differ from standalone rerun");
+            let written: Vec<String> = text.lines().map(String::from).collect();
+            let rerun = run_cell(&cfg, &o.cell);
+            assert_eq!(
+                vol(&written),
+                vol(&rerun),
+                "file bytes differ from standalone rerun"
+            );
         }
         let table = matrix_report(&dir).unwrap();
         assert_eq!(table.rows.len(), 2);
@@ -1434,6 +1604,26 @@ mod tests {
         let dense = "{\"cell\":\"x\",\"backend\":\"dense\",\"users\":600,\
                      \"rows_materialized\":600,\"participants_touched\":30}";
         assert_eq!(backend_invariant(dense), stripped);
+        // The volatile timing field is stripped too — dense and sharded
+        // runs never agree on wall-clock.
+        let timed = "{\"cell\":\"x\",\"backend\":\"dense\",\"users\":600,\
+                     \"rows_materialized\":600,\"eval_ms\":17,\
+                     \"participants_touched\":30}";
+        assert_eq!(backend_invariant(timed), stripped);
+    }
+
+    #[test]
+    fn volatile_and_mode_projections_strip_their_fields() {
+        let line = "{\"cell\":\"x\",\"eval_ms\":42,\"eval_mode\":\"pruned\",\
+                    \"items_scored\":100,\"items_skipped\":900,\"hr10\":0.5}";
+        assert_eq!(
+            volatile_invariant(line),
+            "{\"cell\":\"x\",\"eval_mode\":\"pruned\",\"items_scored\":100,\
+             \"items_skipped\":900,\"hr10\":0.5}"
+        );
+        assert_eq!(mode_invariant(line), "{\"cell\":\"x\",\"hr10\":0.5}");
+        // Idempotent.
+        assert_eq!(mode_invariant(&mode_invariant(line)), mode_invariant(line));
     }
 
     /// The tentpole invariant at miniature scale: the same attacked,
@@ -1539,8 +1729,8 @@ mod tests {
             fault_sum(faulted.last().unwrap()) > 0,
             "smoke fault rates fired nothing across the run"
         );
-        // Faulted reruns stay byte-identical.
-        assert_eq!(faulted, run_cell(&faulted_cfg, &cell));
+        // Faulted reruns stay byte-identical (modulo eval_ms).
+        assert_eq!(vol(&faulted), vol(&run_cell(&faulted_cfg, &cell)));
     }
 
     /// The crash-resume acceptance gate at miniature scale: a faulted
@@ -1560,17 +1750,84 @@ mod tests {
         };
         let (straight_lines, straight_digest) = run_cell_traced(&cfg, &cell, 1);
         // The plain sink path agrees with the traced one.
-        assert_eq!(straight_lines, run_cell(&cfg, &cell));
+        assert_eq!(vol(&straight_lines), vol(&run_cell(&cfg, &cell)));
         for threads in [1usize, 2, 8] {
             let (lines, digest) = run_cell_resumed(&cfg, &cell, 2, threads);
             assert_eq!(
-                lines, straight_lines,
+                vol(&lines),
+                vol(&straight_lines),
                 "resumed records diverged at {threads} threads"
             );
             assert_eq!(
                 digest, straight_digest,
                 "resumed item matrix diverged at {threads} threads"
             );
+        }
+    }
+
+    /// The eval fast-path invariant at miniature scale: the same grid run
+    /// under pruned and incremental evaluation is byte-identical to the
+    /// full blocked sweep modulo the mode-dependent bookkeeping fields
+    /// (`eval_mode`, `items_scored`, `items_skipped`) and `eval_ms`.
+    #[test]
+    fn eval_modes_are_byte_identical_to_full() {
+        let full_cfg = tiny_scale_cfg(43);
+        let full = run_matrix_collect(&full_cfg);
+        for mode in [EvalMode::Pruned, EvalMode::Incremental] {
+            for threads in [1usize, 2] {
+                let cfg = MatrixConfig {
+                    eval_mode: mode,
+                    eval_threads: threads,
+                    ..full_cfg.clone()
+                };
+                let got = run_matrix_collect(&cfg);
+                assert_eq!(got.len(), full.len());
+                for ((cell, g_lines), (_, f_lines)) in got.iter().zip(&full) {
+                    assert_eq!(g_lines.len(), f_lines.len(), "cell {}", cell.id());
+                    for (g, f) in g_lines.iter().zip(f_lines) {
+                        assert_eq!(
+                            mode_invariant(g),
+                            mode_invariant(f),
+                            "cell {} diverged under {} x{threads}",
+                            cell.id(),
+                            mode.label()
+                        );
+                        assert_eq!(record_field(g, "eval_mode"), mode.label());
+                        validate_record(g).unwrap();
+                    }
+                }
+            }
+        }
+        // Pruning must actually skip work somewhere, or the mode is a
+        // no-op relabeling.
+        let pruned = run_matrix_collect(&MatrixConfig {
+            eval_mode: EvalMode::Pruned,
+            ..full_cfg.clone()
+        });
+        let skipped: u64 = pruned
+            .iter()
+            .flat_map(|(_, lines)| lines.iter())
+            .map(|l| record_field(l, "items_skipped").parse::<u64>().unwrap())
+            .sum();
+        assert!(skipped > 0, "pruned mode never skipped an item");
+    }
+
+    /// Dense populations always evaluate through the exact dense path:
+    /// the mode knob applies only to scale-free streamed cells.
+    #[test]
+    fn dense_populations_always_record_full_mode() {
+        let cfg = MatrixConfig {
+            eval_mode: EvalMode::Pruned,
+            ..tiny_cfg(47)
+        };
+        let cell = CellSpec {
+            attack: AttackMethod::None,
+            defense: DefenseKind::None,
+            rho: 0.0,
+        };
+        for line in &run_cell(&cfg, &cell) {
+            assert_eq!(record_field(line, "eval_mode"), "full");
+            validate_record(line).unwrap();
         }
     }
 

@@ -27,6 +27,7 @@
 // `RUSTDOCFLAGS="-D warnings"` so link rot fails the build too.
 #![deny(missing_docs)]
 
+pub mod kernel;
 pub mod matrix;
 pub mod rng;
 pub mod rowstore;

@@ -12,13 +12,16 @@
 //! are still deterministic because the lane split is part of the kernel's
 //! definition, not of the target CPU.
 
-const LANES: usize = 8;
+/// Lane width of the chunked reduction kernels. Part of the kernels'
+/// *definition* (the lane split fixes the summation order), so the SIMD
+/// twins in [`crate::kernel`] reference it rather than re-deriving it.
+pub(crate) const LANES: usize = 8;
 
 /// Dot product `a · b`.
 ///
 /// This is the interaction function Υ of the matrix-factorization base
 /// recommender (Eq. 1 of the paper): `x̂_ij = u_i ⊙ v_j`.
-#[inline]
+#[inline(always)]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
     let mut lanes = [0.0f32; LANES];

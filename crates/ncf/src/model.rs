@@ -25,7 +25,7 @@
 //! the per-score jacobians differ.
 
 use crate::theta::Theta;
-use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
+use fedrec_linalg::{kernel, vector, Matrix, SeededRng, SparseGrad};
 
 /// Cached forward-pass state for one `(u, v)` scoring.
 #[derive(Debug, Clone)]
@@ -117,10 +117,50 @@ impl NcfModel {
     }
 
     /// Scores of every item for an explicit user vector.
+    ///
+    /// Algebraically the same pass as [`Self::forward_vec`] per item, but
+    /// restructured around the shared scoring kernel: the user half of
+    /// each hidden pre-activation `pre_h = W₁[h,..k]·u + W₁[h,k..]·v + b₁[h]`
+    /// is item-independent and hoisted, and the item halves are batched
+    /// through [`kernel::score_rows`] tile by tile — no per-item
+    /// allocation. (Sum association differs from `forward_vec`, so scores
+    /// agree to rounding, not bitwise.)
     pub fn scores_for_vector(theta: &Theta, items: &Matrix, u: &[f32], out: &mut [f32]) {
         assert_eq!(out.len(), items.rows());
-        for (item, slot) in out.iter_mut().enumerate() {
-            *slot = Self::forward_vec(theta, u, items.row(item)).score;
+        let k = theta.k;
+        assert_eq!(u.len(), k, "user vector dimension");
+        assert_eq!(items.cols(), k, "item dimension");
+        let hdim = theta.hidden;
+        let mut user_part = Vec::with_capacity(hdim);
+        for hrow in 0..hdim {
+            user_part.push(vector::dot(&theta.w1_row(hrow)[..k], u) + theta.b1()[hrow]);
+        }
+        const TILE: usize = 256;
+        let mut cols = vec![0.0f32; hdim * TILE];
+        let mut lo = 0usize;
+        while lo < items.rows() {
+            let hi = (lo + TILE).min(items.rows());
+            let t = hi - lo;
+            let tile_rows = &items.as_slice()[lo * k..hi * k];
+            for hrow in 0..hdim {
+                kernel::score_rows(
+                    tile_rows,
+                    k,
+                    &theta.w1_row(hrow)[k..],
+                    &mut cols[hrow * t..(hrow + 1) * t],
+                );
+            }
+            for ti in 0..t {
+                let mut score = theta.b2();
+                for hrow in 0..hdim {
+                    let pre = user_part[hrow] + cols[hrow * t + ti];
+                    if pre > 0.0 {
+                        score += theta.w2()[hrow] * pre;
+                    }
+                }
+                out[lo + ti] = score;
+            }
+            lo = hi;
         }
     }
 

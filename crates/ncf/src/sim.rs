@@ -12,6 +12,7 @@ use crate::theta::Theta;
 use fedrec_data::Dataset;
 use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
 use fedrec_recsys::metrics::MetricsAccumulator;
+use fedrec_recsys::scorer::DenseScores;
 
 /// Configuration for NCF federated training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -276,7 +277,7 @@ impl NcfSimulation {
                 model.user_factors.row(u),
                 &mut scores,
             );
-            acc.push_user_attack(&scores, train.user_items(u), targets);
+            acc.push_user_attack(&mut DenseScores::new(&scores), train.user_items(u), targets);
             if let Some(test_item) = *t {
                 let pos = train.user_items(u);
                 let available = train.num_items().saturating_sub(pos.len() + 1);
@@ -288,7 +289,7 @@ impl NcfSimulation {
                         negs.push(v);
                     }
                 }
-                acc.push_user_hr(&scores, test_item, &negs);
+                acc.push_user_hr(&mut DenseScores::new(&scores), test_item, &negs);
             }
         }
         let m = acc.attack_metrics();

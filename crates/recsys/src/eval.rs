@@ -8,6 +8,7 @@
 
 use crate::metrics::{AttackMetrics, MetricsAccumulator};
 use crate::model::MfModel;
+use crate::scorer::DenseScores;
 use fedrec_data::split::TestSet;
 use fedrec_data::InteractionSource;
 use fedrec_linalg::SeededRng;
@@ -120,9 +121,10 @@ impl Evaluator {
         let mut scores = vec![0.0f32; model.num_items()];
         for u in 0..train.num_users() {
             model.scores_for_user(u, &mut scores);
-            acc.push_user_attack(&scores, train.user_items(u), &self.targets);
+            let mut src = DenseScores::new(&scores);
+            acc.push_user_attack(&mut src, train.user_items(u), &self.targets);
             if let Some(test_item) = test.get(u).copied().flatten() {
-                acc.push_user_hr(&scores, test_item, &self.hr_negatives[u]);
+                acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
             }
         }
         EvalReport {

@@ -34,9 +34,11 @@ pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod ranking;
+pub mod scorer;
 pub mod stream_eval;
 pub mod topk;
 pub mod trainer;
 
 pub use model::MfModel;
-pub use stream_eval::UserRowSource;
+pub use scorer::ScoreSource;
+pub use stream_eval::{EvalCounters, EvalMode, IncrementalEvalState, UserRowSource};

@@ -13,7 +13,7 @@
 //!   under the NCF protocol the paper adopts from \[1\]: the held-out item
 //!   is ranked against 99 sampled negatives; a hit means top-K membership.
 
-use crate::topk;
+use crate::scorer::{DenseScores, ScoreSource};
 
 /// Per-user exposure contribution for ER@K: `|V^tar ∧ V^rec| / |V^tar ∧ V⁻|`.
 ///
@@ -77,6 +77,18 @@ pub fn ndcg_user(recommended: &[u32], user_pos: &[u32], targets: &[u32], k: usiz
 /// protocol: whether `test_item` ranks within the top `k` among itself
 /// plus `negatives` (item scores are `scores[v]`).
 pub fn hit_user(scores: &[f32], test_item: u32, negatives: &[u32], k: usize) -> bool {
+    hit_scored(&mut DenseScores::new(scores), test_item, negatives, k)
+}
+
+/// [`hit_user`] over any [`ScoreSource`]: only the test item and its
+/// negatives are ever queried, so pruned/incremental sources answer with
+/// ~100 direct dots instead of a dense sweep — bit-identical outcome.
+pub fn hit_scored<S: ScoreSource + ?Sized>(
+    scores: &mut S,
+    test_item: u32,
+    negatives: &[u32],
+    k: usize,
+) -> bool {
     #[inline]
     fn sane(x: f32) -> f32 {
         if x.is_nan() {
@@ -85,11 +97,11 @@ pub fn hit_user(scores: &[f32], test_item: u32, negatives: &[u32], k: usize) -> 
             x.clamp(f32::MIN, f32::MAX)
         }
     }
-    let ts = sane(scores[test_item as usize]);
+    let ts = sane(scores.score_of(test_item));
     let mut better = 0usize;
     for &n in negatives {
         debug_assert_ne!(n, test_item);
-        let s = sane(scores[n as usize]);
+        let s = sane(scores.score_of(n));
         if s > ts || (s == ts && n < test_item) {
             better += 1;
             if better >= k {
@@ -130,9 +142,17 @@ impl MetricsAccumulator {
         Self::default()
     }
 
-    /// Record one user's attack metrics given their full score vector.
-    pub fn push_user_attack(&mut self, scores: &[f32], user_pos: &[u32], targets: &[u32]) {
-        let top10 = topk::top_k_excluding(scores, user_pos, 10);
+    /// Record one user's attack metrics from any [`ScoreSource`] — a
+    /// dense vector ([`DenseScores`]), the bound-pruned scorer, or a
+    /// replayed exact ranking. Only the top-10 list is consumed, which is
+    /// what lets pruned sources skip provably-losing items.
+    pub fn push_user_attack<S: ScoreSource + ?Sized>(
+        &mut self,
+        scores: &mut S,
+        user_pos: &[u32],
+        targets: &[u32],
+    ) {
+        let top10 = scores.top_k_excluding(user_pos, 10);
         let top5 = &top10[..top10.len().min(5)];
         self.er5_sum += exposure_ratio_user(top5, user_pos, targets);
         self.er10_sum += exposure_ratio_user(&top10, user_pos, targets);
@@ -141,9 +161,14 @@ impl MetricsAccumulator {
     }
 
     /// Record one user's HR@10 outcome (skips users without a test item).
-    pub fn push_user_hr(&mut self, scores: &[f32], test_item: u32, negatives: &[u32]) {
+    pub fn push_user_hr<S: ScoreSource + ?Sized>(
+        &mut self,
+        scores: &mut S,
+        test_item: u32,
+        negatives: &[u32],
+    ) {
         self.hr_users += 1;
-        if hit_user(scores, test_item, negatives, 10) {
+        if hit_scored(scores, test_item, negatives, 10) {
             self.hr_hits += 1;
         }
     }
@@ -299,11 +324,11 @@ mod tests {
         // user A: target 0 at the very top.
         let mut s = vec![0.0f32; 12];
         s[0] = 9.0;
-        acc.push_user_attack(&s, &[], &[0]);
+        acc.push_user_attack(&mut DenseScores::new(&s), &[], &[0]);
         // user B: target 0 dead last.
         let mut s2 = vec![1.0f32; 12];
         s2[0] = -9.0;
-        acc.push_user_attack(&s2, &[], &[0]);
+        acc.push_user_attack(&mut DenseScores::new(&s2), &[], &[0]);
         let m = acc.attack_metrics();
         assert!((m.er_at_5 - 0.5).abs() < 1e-12);
         assert!((m.er_at_10 - 0.5).abs() < 1e-12);
@@ -315,9 +340,9 @@ mod tests {
     fn accumulator_hr_fraction() {
         let mut acc = MetricsAccumulator::new();
         let scores = vec![1.0f32, 0.0, 0.0];
-        acc.push_user_hr(&scores, 0, &[1, 2]); // hit
+        acc.push_user_hr(&mut DenseScores::new(&scores), 0, &[1, 2]); // hit
         let scores2 = vec![0.0f32, 1.0, 1.0];
-        acc.push_user_hr(&scores2, 0, &[1, 2]); // rank 2 still < 10: hit
+        acc.push_user_hr(&mut DenseScores::new(&scores2), 0, &[1, 2]); // rank 2 still < 10: hit
         assert!((acc.hr_at_10() - 1.0).abs() < 1e-12);
     }
 
@@ -335,16 +360,16 @@ mod tests {
         let mut s2 = vec![1.0f32; 12];
         s2[0] = -9.0;
         let mut whole = MetricsAccumulator::new();
-        whole.push_user_attack(&s, &[], &[0]);
-        whole.push_user_attack(&s2, &[], &[0]);
-        whole.push_user_hr(&s, 0, &[1, 2]);
+        whole.push_user_attack(&mut DenseScores::new(&s), &[], &[0]);
+        whole.push_user_attack(&mut DenseScores::new(&s2), &[], &[0]);
+        whole.push_user_hr(&mut DenseScores::new(&s), 0, &[1, 2]);
         whole.push_loss(0.5);
         let mut a = MetricsAccumulator::new();
-        a.push_user_attack(&s, &[], &[0]);
-        a.push_user_hr(&s, 0, &[1, 2]);
+        a.push_user_attack(&mut DenseScores::new(&s), &[], &[0]);
+        a.push_user_hr(&mut DenseScores::new(&s), 0, &[1, 2]);
         a.push_loss(0.5);
         let mut b = MetricsAccumulator::new();
-        b.push_user_attack(&s2, &[], &[0]);
+        b.push_user_attack(&mut DenseScores::new(&s2), &[], &[0]);
         a.merge(&b);
         assert_eq!(a.attack_metrics(), whole.attack_metrics());
         assert_eq!(a.hr_at_10(), whole.hr_at_10());

@@ -6,7 +6,7 @@
 //! is used by the centralized surrogate trainer and by evaluation (which
 //! reassembles the global state for measurement only).
 
-use fedrec_linalg::{vector, Matrix, SeededRng};
+use fedrec_linalg::{kernel, vector, Matrix, SeededRng};
 
 /// Standard deviation used to initialize feature entries. The paper
 /// initializes randomly; small Gaussians are the standard MF choice.
@@ -70,22 +70,19 @@ impl MfModel {
     }
 
     /// Scores of every item for one user, written into `out`
-    /// (`out.len() == m`). One pass of `m` dot products.
+    /// (`out.len() == m`). One pass of `m` dot products through the shared
+    /// scoring kernel (bit-identical to calling [`vector::dot`] per row).
     pub fn scores_for_user(&self, user: usize, out: &mut [f32]) {
         assert_eq!(out.len(), self.num_items());
         let u = self.user_factors.row(user);
-        for (item, slot) in out.iter_mut().enumerate() {
-            *slot = vector::dot(u, self.item_factors.row(item));
-        }
+        kernel::score_rows(self.item_factors.as_slice(), self.k(), u, out);
     }
 
     /// Scores of every item against an explicit user vector (the attacker
     /// scores items against its *approximated* user rows).
     pub fn scores_for_vector(items: &Matrix, u: &[f32], out: &mut [f32]) {
         assert_eq!(out.len(), items.rows());
-        for (item, slot) in out.iter_mut().enumerate() {
-            *slot = vector::dot(u, items.row(item));
-        }
+        kernel::score_rows(items.as_slice(), items.cols(), u, out);
     }
 }
 

@@ -1,0 +1,546 @@
+//! Score sources — the pruning interface between models and metrics.
+//!
+//! [`crate::metrics::MetricsAccumulator`] used to require a dense `&[f32]`
+//! score vector per user, forcing every evaluation path to compute all `m`
+//! dot products even though the metrics only consume the top-10 list and a
+//! handful of individual scores (the HR@10 test item and its 99
+//! negatives). [`ScoreSource`] is the replacement contract: a per-user
+//! scorer that can produce the exact top-K-excluding list and exact
+//! individual scores, however it wants to get there.
+//!
+//! Three implementations, all **byte-identical** in what they feed the
+//! metrics:
+//!
+//! * [`DenseScores`] — wraps a precomputed dense score vector; the
+//!   original behavior, kept for the dense [`crate::eval::Evaluator`]
+//!   path and for tests.
+//! * [`PrunedScores`] — computes dots on demand over [`PrunedItems`]
+//!   (the item matrix re-ordered by descending row norm) and skips whole
+//!   norm blocks once the Cauchy–Schwarz bound `u·v ≤ ‖u‖·‖v‖` proves no
+//!   remaining item can enter the heap. See the soundness notes on
+//!   [`PrunedItems`].
+//! * [`ListScores`] — replays an exact ranking computed earlier (by the
+//!   blocked kernel sweep or the incremental candidate rescore) and
+//!   answers point queries with direct dots.
+
+use crate::topk::TopKHeap;
+use fedrec_linalg::{kernel, vector, Matrix};
+use std::cmp::Ordering;
+
+/// Per-user scorer interface consumed by the metrics accumulator.
+///
+/// Implementations must reproduce, bit for bit, what a dense score sweep
+/// would produce: `top_k_excluding` must equal
+/// [`crate::topk::top_k_excluding`] over the full dense score vector
+/// (including its NaN sanitation and index tie rule), and `score_of` must
+/// equal the dense vector entry.
+pub trait ScoreSource {
+    /// The `k` best non-excluded items under the deterministic total
+    /// order of [`crate::topk`] (`exclude` sorted ascending).
+    fn top_k_excluding(&mut self, exclude: &[u32], k: usize) -> Vec<u32>;
+
+    /// The raw (unsanitized) score of one item.
+    fn score_of(&mut self, item: u32) -> f32;
+}
+
+/// A dense per-item score vector (`scores[v]` is item `v`'s score).
+#[derive(Debug)]
+pub struct DenseScores<'a> {
+    scores: &'a [f32],
+}
+
+impl<'a> DenseScores<'a> {
+    /// Wrap a dense score vector.
+    pub fn new(scores: &'a [f32]) -> Self {
+        Self { scores }
+    }
+}
+
+impl ScoreSource for DenseScores<'_> {
+    fn top_k_excluding(&mut self, exclude: &[u32], k: usize) -> Vec<u32> {
+        crate::topk::top_k_excluding(self.scores, exclude, k)
+    }
+
+    fn score_of(&mut self, item: u32) -> f32 {
+        self.scores[item as usize]
+    }
+}
+
+/// Items per pruning block. Blocks are the skip granularity: one bound
+/// comparison can discard this many items at once, while keeping the
+/// bound tight enough to fire early on norm-skewed catalogs.
+pub const PRUNE_BLOCK: usize = 256;
+
+/// Multiplicative slack applied to every Cauchy–Schwarz bound.
+///
+/// The f32 dot kernel accumulates with relative error at most
+/// `O(k · ε)` of `Σ|u_j v_j| ≤ ‖u‖‖v‖` (ε = 2⁻²⁴ ≈ 6e-8, and the 8-lane
+/// split of `vector::dot` shortens the dependency chains further), so a
+/// computed score can exceed the true mathematical bound by that margin.
+/// `1e-4` covers latent dimensions up to ~10³ with two orders of
+/// magnitude to spare; norms are themselves accumulated in f64 where the
+/// error is negligible. Skipping stays *sound*: a block is skipped only
+/// when even the inflated bound sits strictly below the heap minimum.
+pub const BOUND_SLACK: f64 = 1e-4;
+
+/// ℓ2 norm of a row, accumulated in f64 (an order of magnitude more
+/// headroom than the f32 kernels; used only for bounds, never scores).
+pub fn row_norm_f64(row: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in row {
+        acc += f64::from(x) * f64::from(x);
+    }
+    acc.sqrt()
+}
+
+/// The item matrix prepared for bound-based pruning: rows re-ordered by
+/// descending ℓ2 norm plus per-block norm bounds.
+///
+/// # Bound soundness
+///
+/// For any user vector `u` and item row `v`, `u·v ≤ ‖u‖·‖v‖`
+/// (Cauchy–Schwarz). Rows are visited in descending-norm blocks, so once
+/// the top-K heap is full and `‖u‖ · maxnorm(block) · (1 + slack)` falls
+/// *strictly below* the heap minimum, no remaining item can be admitted:
+/// admission needs a score above the minimum, or equal to it with a
+/// smaller id — and a strictly smaller score can do neither. Because the
+/// selection order of [`TopKHeap`] is total, visiting items norm-sorted
+/// instead of id-sorted yields the identical final list. Rows whose norm
+/// is NaN sort first (treated as +∞) and are therefore always scored,
+/// and a NaN or +∞ bound never satisfies the strict `<`, so degenerate
+/// inputs fall back to scoring everything rather than skipping unsafely.
+#[derive(Debug, Clone)]
+pub struct PrunedItems {
+    /// Item rows in visit order (row-major, width `k`), copied verbatim
+    /// so each dot is bit-identical to a dot against the original row.
+    rows: Vec<f32>,
+    /// Original item id at each visit position.
+    order: Vec<u32>,
+    /// Visit position of each original item id (inverse of `order`) —
+    /// lets a scorer turn an exclusion list into position bits instead
+    /// of binary-searching ids per visited item.
+    pos_of: Vec<u32>,
+    /// Per block of [`PRUNE_BLOCK`] positions: the block's maximum row
+    /// norm inflated by [`BOUND_SLACK`] (NaN norms become +∞).
+    bounds: Vec<f64>,
+    k: usize,
+}
+
+impl PrunedItems {
+    /// Re-order `items` by descending row norm and precompute the block
+    /// bounds. One `O(m·k)` pass plus an `O(m log m)` sort — done once
+    /// per eval epoch, amortized over every scored user.
+    pub fn build(items: &Matrix) -> Self {
+        let k = items.cols();
+        let m = items.rows();
+        // NaN norms are treated as +∞ so their rows are always visited.
+        let key = |n: f64| if n.is_nan() { f64::INFINITY } else { n };
+        let mut by_norm: Vec<(f64, u32)> = Vec::with_capacity(m);
+        for i in 0..m {
+            by_norm.push((key(row_norm_f64(items.row(i))), i as u32));
+        }
+        by_norm.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let mut rows = Vec::with_capacity(m * k);
+        let mut order = Vec::with_capacity(m);
+        let mut pos_of = vec![0u32; m];
+        for (p, &(_, item)) in by_norm.iter().enumerate() {
+            rows.extend_from_slice(items.row(item as usize));
+            order.push(item);
+            pos_of[item as usize] = p as u32;
+        }
+        let mut bounds = Vec::with_capacity(m.div_ceil(PRUNE_BLOCK));
+        for block in by_norm.chunks(PRUNE_BLOCK) {
+            // Sorted descending: the block maximum is its first norm.
+            bounds.push(block[0].0 * (1.0 + BOUND_SLACK));
+        }
+        Self {
+            rows,
+            order,
+            pos_of,
+            bounds,
+            k,
+        }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Latent dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// On-demand pruned scorer for one user vector against [`PrunedItems`].
+///
+/// `score_of` goes through the *original* item matrix (same rows, same
+/// bits), so point queries cost one dot regardless of pruning.
+#[derive(Debug)]
+pub struct PrunedScores<'a> {
+    pruned: &'a PrunedItems,
+    items: &'a Matrix,
+    u: &'a [f32],
+    unorm: f64,
+    scored: u64,
+}
+
+impl<'a> PrunedScores<'a> {
+    /// Scorer for user vector `u`. `items` must be the matrix
+    /// `pruned` was built from.
+    pub fn new(pruned: &'a PrunedItems, items: &'a Matrix, u: &'a [f32]) -> Self {
+        assert_eq!(pruned.num_items(), items.rows(), "item count mismatch");
+        assert_eq!(pruned.k(), items.cols(), "latent dimension mismatch");
+        assert_eq!(u.len(), pruned.k(), "user vector dimension mismatch");
+        Self {
+            pruned,
+            items,
+            u,
+            unorm: row_norm_f64(u),
+            scored: 0,
+        }
+    }
+
+    /// Number of top-K candidate dots actually computed so far
+    /// (`score_of` point queries are not counted).
+    pub fn items_scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// Exact ranked top-`k` (item, sanitized score) pairs excluding
+    /// `exclude`, written into `out` in the total order of
+    /// [`crate::topk`]. This is `top_k_excluding` plus the scores — the
+    /// incremental evaluator needs the score of the last kept candidate
+    /// as its validity floor.
+    pub fn top_ranked_excluding(&mut self, exclude: &[u32], k: usize, out: &mut Vec<(u32, f32)>) {
+        debug_assert!(exclude.windows(2).all(|w| w[0] < w[1]), "exclude unsorted");
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        let mut heap = TopKHeap::new(k);
+        let kdim = self.pruned.k;
+        let m = self.pruned.order.len();
+        // Exclusions as visit-position bits: one shift-and-test per
+        // visited item instead of a binary search over the id list.
+        let mut excl = vec![0u64; m.div_ceil(64)];
+        for &e in exclude {
+            let p = self.pruned.pos_of[e as usize] as usize;
+            excl[p / 64] |= 1 << (p % 64);
+        }
+        let mut scores = [0.0f32; PRUNE_BLOCK];
+        let mut pos = 0usize;
+        let mut block = 0usize;
+        while pos < m {
+            if heap.is_full() {
+                if let Some(min) = heap.min_score() {
+                    // Strictly below the heap minimum: nothing in this or
+                    // any later (lower-norm) block can be admitted.
+                    if self.unorm * self.pruned.bounds[block] < f64::from(min) {
+                        break;
+                    }
+                }
+            }
+            let end = (pos + PRUNE_BLOCK).min(m);
+            // Batch the block's dots through the blocked kernel — each
+            // output is still exactly `vector::dot(u, row)`, the kernel
+            // just computes four at a time. Excluded rows are scored too
+            // (their dots are wasted, a per-user-degree cost) but are
+            // neither offered to the heap nor counted in `scored`,
+            // keeping counters identical to the per-item formulation.
+            kernel::score_rows(
+                &self.pruned.rows[pos * kdim..end * kdim],
+                kdim,
+                self.u,
+                &mut scores[..end - pos],
+            );
+            // Feed in groups of 8 with the same exact pre-screen as the
+            // full-mode tile feed: once the heap is full, a group whose
+            // pairwise max is strictly below the floor cannot contribute
+            // (equal scores only enter on the id tie-break, which `<`
+            // excludes; NaN/-∞ sanitize to `f32::MIN`, covered by the
+            // `floor > f32::MIN` guard). Skipped groups still count
+            // their non-excluded members into `scored` — the group's
+            // dots were computed above — so counters are identical to
+            // the per-item formulation. `pos` is a multiple of 256, so
+            // groups stay aligned within the `u64` exclusion words.
+            let group_end = pos + (end - pos) / 8 * 8;
+            let mut p = pos;
+            'groups: while p < group_end {
+                if heap.is_full() {
+                    if let Some(floor) = heap.min_score() {
+                        if floor > f32::MIN {
+                            let g = &scores[p - pos..p - pos + 8];
+                            let gmax = g[0]
+                                .max(g[1])
+                                .max(g[2].max(g[3]))
+                                .max(g[4].max(g[5]).max(g[6].max(g[7])));
+                            if gmax < floor {
+                                let bits = excl[p / 64] >> (p % 64) & 0xFF;
+                                self.scored += 8 - u64::from(bits.count_ones());
+                                p += 8;
+                                continue 'groups;
+                            }
+                        }
+                    }
+                }
+                for d in p..p + 8 {
+                    if excl[d / 64] >> (d % 64) & 1 == 0 {
+                        self.scored += 1;
+                        heap.push(self.pruned.order[d], scores[d - pos]);
+                    }
+                }
+                p += 8;
+            }
+            for d in group_end..end {
+                if excl[d / 64] >> (d % 64) & 1 == 0 {
+                    self.scored += 1;
+                    heap.push(self.pruned.order[d], scores[d - pos]);
+                }
+            }
+            pos = end;
+            block += 1;
+        }
+        heap.drain_sorted_into(out);
+    }
+}
+
+impl ScoreSource for PrunedScores<'_> {
+    fn top_k_excluding(&mut self, exclude: &[u32], k: usize) -> Vec<u32> {
+        let mut ranked = Vec::with_capacity(k);
+        self.top_ranked_excluding(exclude, k, &mut ranked);
+        ranked.into_iter().map(|(item, _)| item).collect()
+    }
+
+    fn score_of(&mut self, item: u32) -> f32 {
+        vector::dot(self.u, self.items.row(item as usize))
+    }
+}
+
+/// Replays an exact precomputed ranking; point queries are direct dots.
+///
+/// `ranked` must be the exact top-`k'` (item, score) ranking for this
+/// user *with the exclusion set already applied*, for some `k'` at least
+/// as large as any `k` later requested — the blocked full sweep and the
+/// incremental candidate rescore both produce exactly that.
+#[derive(Debug)]
+pub struct ListScores<'a> {
+    ranked: &'a [(u32, f32)],
+    items: &'a Matrix,
+    u: &'a [f32],
+}
+
+impl<'a> ListScores<'a> {
+    /// Wrap an exact ranking for the user vector `u`.
+    pub fn new(ranked: &'a [(u32, f32)], items: &'a Matrix, u: &'a [f32]) -> Self {
+        Self { ranked, items, u }
+    }
+}
+
+impl ScoreSource for ListScores<'_> {
+    fn top_k_excluding(&mut self, _exclude: &[u32], k: usize) -> Vec<u32> {
+        debug_assert!(
+            self.ranked
+                .iter()
+                .all(|&(i, _)| _exclude.binary_search(&i).is_err()),
+            "precomputed ranking contains excluded items"
+        );
+        self.ranked.iter().take(k).map(|&(item, _)| item).collect()
+    }
+
+    fn score_of(&mut self, item: u32) -> f32 {
+        vector::dot(self.u, self.items.row(item as usize))
+    }
+}
+
+/// One epoch step of the incremental evaluator's drift tracking: the
+/// maximum ℓ2 row distance between two snapshots of the item matrix, and
+/// the maximum row norm of the new snapshot (both f64, the distance
+/// inflated by a relative `1e-9` to absorb its own rounding).
+///
+/// NaNs propagate: a NaN anywhere yields NaN, which fails every
+/// incremental validity comparison and forces the exact fallback sweep.
+pub fn drift_step(prev: &Matrix, now: &Matrix) -> (f64, f64) {
+    assert_eq!(prev.rows(), now.rows(), "item count changed between evals");
+    assert_eq!(prev.cols(), now.cols(), "latent dimension changed");
+    let mut max_delta = 0.0f64;
+    let mut max_norm = 0.0f64;
+    for i in 0..now.rows() {
+        let (p, n) = (prev.row(i), now.row(i));
+        let mut d2 = 0.0f64;
+        let mut n2 = 0.0f64;
+        for j in 0..n.len() {
+            let diff = f64::from(n[j]) - f64::from(p[j]);
+            d2 += diff * diff;
+            n2 += f64::from(n[j]) * f64::from(n[j]);
+        }
+        // max() would hide NaN (it returns the other operand); propagate
+        // explicitly so degenerate inputs disable the incremental path.
+        if d2.is_nan() || n2.is_nan() {
+            return (f64::NAN, f64::NAN);
+        }
+        max_delta = max_delta.max(d2);
+        max_norm = max_norm.max(n2);
+    }
+    (max_delta.sqrt() * (1.0 + 1e-9), max_norm.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk;
+    use fedrec_linalg::SeededRng;
+
+    fn random_items(m: usize, k: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        Matrix::random_normal(m, k, 0.0, 1.0, &mut rng)
+    }
+
+    fn dense_scores(items: &Matrix, u: &[f32]) -> Vec<f32> {
+        (0..items.rows())
+            .map(|i| vector::dot(u, items.row(i)))
+            .collect()
+    }
+
+    #[test]
+    fn pruned_matches_dense_topk_exactly() {
+        let items = random_items(500, 8, 3);
+        let pruned = PrunedItems::build(&items);
+        let mut rng = SeededRng::new(4);
+        for trial in 0..20 {
+            let u: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+            let dense = dense_scores(&items, &u);
+            let exclude: Vec<u32> = (0..items.rows() as u32).filter(|i| i % 7 == 0).collect();
+            for k in [1usize, 5, 10, 100, 600] {
+                let mut ps = PrunedScores::new(&pruned, &items, &u);
+                assert_eq!(
+                    ps.top_k_excluding(&exclude, k),
+                    topk::top_k_excluding(&dense, &exclude, k),
+                    "trial {trial} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_actually_prunes_on_norm_skew() {
+        // A few huge-norm rows dominate: the bound must fire early.
+        let mut items = random_items(2048, 8, 9);
+        for i in 0..16 {
+            for x in items.row_mut(i) {
+                *x *= 100.0;
+            }
+        }
+        let pruned = PrunedItems::build(&items);
+        let u = vec![1.0f32; 8];
+        let mut ps = PrunedScores::new(&pruned, &items, &u);
+        let dense = dense_scores(&items, &u);
+        assert_eq!(
+            ps.top_k_excluding(&[], 10),
+            topk::top_k_excluding(&dense, &[], 10)
+        );
+        assert!(
+            ps.items_scored() < items.rows() as u64 / 2,
+            "no pruning happened: scored {}",
+            ps.items_scored()
+        );
+    }
+
+    #[test]
+    fn pruned_handles_ties_zero_rows_and_nans() {
+        // Many identical rows (score ties resolved by id), zero rows, and
+        // a NaN row that must sink without breaking the selection.
+        let k = 4usize;
+        let m = 64usize;
+        let mut data = vec![0.0f32; m * k];
+        for i in 0..32 {
+            data[i * k] = 1.0; // 32 identical rows
+        }
+        data[40 * k] = f32::NAN;
+        let items = Matrix::from_vec(m, k, data);
+        let pruned = PrunedItems::build(&items);
+        let u = vec![1.0f32, 0.0, 0.0, 0.0];
+        let dense = dense_scores(&items, &u);
+        for (kreq, exclude) in [(10usize, vec![]), (40, vec![0u32, 1, 2]), (100, vec![])] {
+            let mut ps = PrunedScores::new(&pruned, &items, &u);
+            assert_eq!(
+                ps.top_k_excluding(&exclude, kreq),
+                topk::top_k_excluding(&dense, &exclude, kreq)
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_zero_user_vector_matches_dense() {
+        let items = random_items(100, 4, 5);
+        let pruned = PrunedItems::build(&items);
+        let u = vec![0.0f32; 4];
+        let dense = dense_scores(&items, &u);
+        let mut ps = PrunedScores::new(&pruned, &items, &u);
+        assert_eq!(
+            ps.top_k_excluding(&[], 10),
+            topk::top_k_excluding(&dense, &[], 10)
+        );
+    }
+
+    #[test]
+    fn score_of_is_bitwise_dense() {
+        let items = random_items(50, 8, 6);
+        let pruned = PrunedItems::build(&items);
+        let mut rng = SeededRng::new(7);
+        let u: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+        let dense = dense_scores(&items, &u);
+        let mut ps = PrunedScores::new(&pruned, &items, &u);
+        let mut ds = DenseScores::new(&dense);
+        for item in 0..50u32 {
+            assert_eq!(
+                ps.score_of(item).to_bits(),
+                ds.score_of(item).to_bits(),
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn list_scores_replay_prefixes() {
+        let items = random_items(30, 4, 8);
+        let u = vec![0.3f32, -0.1, 0.7, 0.2];
+        let dense = dense_scores(&items, &u);
+        let pruned = PrunedItems::build(&items);
+        let mut ps = PrunedScores::new(&pruned, &items, &u);
+        let mut ranked = Vec::new();
+        ps.top_ranked_excluding(&[], 20, &mut ranked);
+        let mut ls = ListScores::new(&ranked, &items, &u);
+        for k in [1usize, 5, 10, 20] {
+            assert_eq!(
+                ls.top_k_excluding(&[], k),
+                topk::top_k_excluding(&dense, &[], k)
+            );
+        }
+        assert_eq!(ls.score_of(3).to_bits(), dense[3].to_bits());
+    }
+
+    #[test]
+    fn drift_step_measures_the_moved_row() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 0.0, 3.0, 5.0]);
+        let (delta, vmax) = drift_step(&a, &b);
+        assert!((delta - 5.0).abs() < 1e-6, "delta={delta}");
+        assert!((vmax - 34.0f64.sqrt()).abs() < 1e-9, "vmax={vmax}");
+        let (zero, _) = drift_step(&a, &a);
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn drift_step_propagates_nan() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let b = Matrix::from_vec(1, 2, vec![f32::NAN, 0.0]);
+        let (delta, vmax) = drift_step(&a, &b);
+        assert!(delta.is_nan() && vmax.is_nan());
+    }
+}

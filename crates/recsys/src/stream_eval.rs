@@ -1,13 +1,14 @@
 //! Streaming sharded evaluation — metrics without the dense model.
 //!
-//! [`Evaluator::evaluate`] needs an [`MfModel`], i.e. a dense `n × k` user
+//! [`Evaluator::evaluate`] needs an [`MfModel`](crate::model::MfModel),
+//! i.e. a dense `n × k` user
 //! matrix assembled from wherever the user vectors actually live. At
 //! million-user scale that assembly alone costs more memory than the
-//! whole training run. The streaming path instead pulls one user row at a
-//! time through the [`UserRowSource`] abstraction, scores it against the
-//! server's `V`, and folds the result into a per-shard
-//! [`MetricsAccumulator`]; peak memory
-//! is `O(threads · (m + k))` regardless of the population size.
+//! whole training run. The streaming path instead pulls user rows through
+//! the [`UserRowSource`] abstraction, scores them against the server's
+//! `V`, and folds the result into per-shard [`MetricsAccumulator`]s; peak
+//! memory is `O(threads · (B·T + B·k))` regardless of the population
+//! size.
 //!
 //! Shards are distributed over scoped worker threads through an atomic
 //! cursor and their accumulators merged in shard-index order, so the
@@ -15,15 +16,176 @@
 //! count. (The merged floating-point sums may differ from the single-pass
 //! [`Evaluator::evaluate`] in the last bits — summation association
 //! differs — but never across thread counts.)
+//!
+//! # Evaluation modes
+//!
+//! Three [`EvalMode`]s produce **byte-identical** [`EvalReport`]s; they
+//! differ only in how many dot products they spend:
+//!
+//! * [`EvalMode::Full`] — every user × item pair, but through the blocked
+//!   [`fedrec_linalg::kernel::score_block`] kernel: users are scored in
+//!   blocks of [`USER_BLOCK`] against item tiles of [`ITEM_TILE`] rows,
+//!   so `V` streams from memory once per *block* instead of once per
+//!   *user*. Scores feed per-user [`TopKHeap`]s tile by tile — the heap's
+//!   total order makes the result independent of feeding order.
+//! * [`EvalMode::Pruned`] — exact top-K via Cauchy–Schwarz norm bounds
+//!   over the norm-sorted [`PrunedItems`]; provably-losing item blocks
+//!   are never scored (see the soundness notes in [`crate::scorer`]).
+//! * [`EvalMode::Incremental`] — reuses an [`IncrementalEvalState`]
+//!   across eval epochs: only `V` changes between evals, so each user's
+//!   cached candidate list (top-10 plus a margin band) is rescored and
+//!   accepted when the accumulated item-drift bound proves no outside
+//!   item can have entered the top-10; otherwise that user falls back to
+//!   the pruned sweep and refreshes their cache.
 
 use crate::eval::{EvalReport, Evaluator};
 use crate::metrics::MetricsAccumulator;
-use crate::model::MfModel;
+use crate::scorer::{self, ListScores, PrunedItems, PrunedScores};
+use crate::topk::TopKHeap;
 use fedrec_data::split::TestSet;
 use fedrec_data::InteractionSource;
-use fedrec_linalg::{Matrix, ShardedMatrix};
+use fedrec_linalg::{kernel, vector, Matrix, ShardedMatrix};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Users scored per blocked-kernel call in [`EvalMode::Full`]: the item
+/// tile is reused across this many users, dividing `V` memory traffic by
+/// the same factor.
+pub const USER_BLOCK: usize = 64;
+
+/// Item rows per cache tile in [`EvalMode::Full`]; at `k = 32` a tile is
+/// 32 KiB — comfortably L1/L2-resident while a user block consumes it.
+pub const ITEM_TILE: usize = 256;
+
+/// Margin band: candidates cached beyond the top-10 by the incremental
+/// evaluator. A wider band survives more drift before the exact fallback
+/// fires, at the cost of rescoring more candidates per eval epoch.
+const CAND_EXTRA: usize = 54;
+
+/// Cached candidates per user (top-10 plus the margin band).
+const CAND_K: usize = 10 + CAND_EXTRA;
+
+/// Relative slack absorbing f32 dot rounding in the incremental validity
+/// bound, applied as `DOT_SLACK · ‖u‖ · max‖V_i‖`. Same reasoning as
+/// [`scorer::BOUND_SLACK`]: the f32 kernel's error is `O(k·ε)` of
+/// `‖u‖‖v‖`, and `1e-4` dominates it for any realistic latent dimension.
+const DOT_SLACK: f64 = 1e-4;
+
+/// How the streamed evaluator computes each user's exact top-10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Blocked full sweep: every item scored through the tiled kernel.
+    Full,
+    /// Norm-bound pruning: skip item blocks that provably lose.
+    Pruned,
+    /// Cross-epoch candidate caching with drift-bound validity checks.
+    Incremental,
+}
+
+impl EvalMode {
+    /// Stable lowercase label (JSONL records, CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvalMode::Full => "full",
+            EvalMode::Pruned => "pruned",
+            EvalMode::Incremental => "incremental",
+        }
+    }
+
+    /// Inverse of [`Self::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(EvalMode::Full),
+            "pruned" => Some(EvalMode::Pruned),
+            "incremental" => Some(EvalMode::Incremental),
+            _ => None,
+        }
+    }
+}
+
+/// Work counters for one streamed evaluation: how many top-K candidate
+/// dot products were computed versus avoided.
+///
+/// `items_scored` counts the dots spent selecting top-10 lists;
+/// `items_skipped` is the remainder of `|range| · m` — items excluded by
+/// the user's interaction set, pruned by a norm bound, or covered by a
+/// still-valid incremental cache. HR@10 point queries are not counted.
+/// Both are deterministic for fixed inputs: they never depend on thread
+/// count or shard claiming order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCounters {
+    /// Dot products computed during top-K selection.
+    pub items_scored: u64,
+    /// `|range| · m − items_scored`.
+    pub items_skipped: u64,
+}
+
+/// One user's cached ranking context in the incremental evaluator.
+#[derive(Debug, Clone)]
+struct UserCache {
+    /// The user row the cache was built for; any bitwise change (the
+    /// user trained since) invalidates the cache.
+    row: Vec<f32>,
+    /// `‖row‖` in f64, for the drift bound.
+    unorm: f64,
+    /// Exact ranked top-[`CAND_K`] item ids at cache time (exclusion set
+    /// already applied). Targets need no special casing: the metrics
+    /// only test membership of the exact top-10 this cache reproduces.
+    cands: Vec<u32>,
+    /// Sanitized score of the worst cached candidate — every item
+    /// outside `cands` scored at or below this at cache time. `-∞` when
+    /// `cands` holds *all* non-excluded items (tiny catalogs), making
+    /// the cache unconditionally valid.
+    floor: f64,
+    /// Value of the cumulative drift when the cache was built.
+    drift_at: f64,
+}
+
+/// Cross-epoch state for [`EvalMode::Incremental`]; create once per cell
+/// with [`IncrementalEvalState::new`] and pass to every eval call.
+///
+/// Validity argument: between evals only `V` moves. For a user cached at
+/// drift `D_s` with floor `f`, any item outside the candidate set scored
+/// `≤ f` then, and its score can have grown by at most
+/// `‖u‖ · Σ max_i ‖ΔV_i‖ = ‖u‖ · (D_t − D_s)` since (triangle inequality
+/// over the per-epoch maximum row movements). If the rescored 10th
+/// candidate sits *strictly above* `f + ‖u‖(D_t − D_s)` plus the f32
+/// rounding slack, no outside item can enter the top-10 — not even via
+/// the index tie rule, which needs score equality. Otherwise the user is
+/// reswept exactly. NaN anywhere in the drift accounting poisons the
+/// bound, so degenerate models permanently fall back to exact sweeps.
+#[derive(Debug, Default)]
+pub struct IncrementalEvalState {
+    /// `V` as of the previous eval epoch (drift is measured step-wise).
+    base: Option<Matrix>,
+    /// Cumulative `Σ max_i ‖ΔV_i‖` across eval epochs (inflated per
+    /// step to absorb its own rounding).
+    drift: f64,
+    /// Largest item-row norm seen at any eval epoch; scales the dot
+    /// rounding slack.
+    vmax_seen: f64,
+    /// Per-user caches, indexed by absolute user id.
+    users: Vec<Option<UserCache>>,
+}
+
+impl IncrementalEvalState {
+    /// Empty state: the first evaluation performs a full (pruned) sweep
+    /// for every user and populates the caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of users currently holding a valid-as-of-last-eval cache.
+    pub fn cached_users(&self) -> usize {
+        let mut n = 0usize;
+        for c in &self.users {
+            if c.is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+}
 
 /// A source of current user feature rows that never requires the dense
 /// `n × k` matrix to exist.
@@ -73,10 +235,118 @@ impl UserRowSource for ShardedMatrix {
     }
 }
 
+/// Reusable per-worker buffers for the blocked full sweep — allocated
+/// once per worker and reused across every shard it claims (the round
+/// loop's `RoundScratch` pattern applied to evaluation).
+struct EvalScratch {
+    /// User block rows, `USER_BLOCK × k` row-major.
+    rows: Vec<f32>,
+    /// Kernel output tile, `USER_BLOCK × ITEM_TILE`.
+    tile: Vec<f32>,
+    /// One top-10 heap per block slot.
+    heaps: Vec<TopKHeap>,
+    /// Drained ranking of the user currently being pushed.
+    ranked: Vec<(u32, f32)>,
+}
+
+impl EvalScratch {
+    fn new(k: usize) -> Self {
+        let mut heaps = Vec::with_capacity(USER_BLOCK);
+        for _ in 0..USER_BLOCK {
+            heaps.push(TopKHeap::new(10));
+        }
+        Self {
+            rows: vec![0.0f32; USER_BLOCK * k],
+            tile: vec![0.0f32; USER_BLOCK * ITEM_TILE],
+            heaps,
+            ranked: Vec::with_capacity(16),
+        }
+    }
+}
+
+/// Bitwise row equality — exact cache-invalidation test (`==` on f32
+/// would treat NaN rows as always-changed *and* 0.0 == -0.0 as equal;
+/// bit equality is the conservative choice on both).
+fn rows_bits_equal(a: &[f32], b: &[f32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        if a[i].to_bits() != b[i].to_bits() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Feed one user's tile of scores (`tile[i]` scores item `tile_lo + i`)
+/// into their top-K heap, skipping `exclude` (sorted ascending ids).
+///
+/// Two exact shortcuts keep this off the per-item slow path, which at
+/// million scale is itself a multi-second cost (10⁹ heap offers per
+/// 10k-user sweep):
+///
+/// * **Exclusion cursor.** Items arrive in ascending id order, so one
+///   cursor walk over `exclude` replaces a binary search per item.
+/// * **Group pre-screen.** Once the heap is full, a candidate enters only
+///   with a sanitized score `> floor`, or `== floor` on a smaller id
+///   ([`TopKHeap::push`]). An 8-score group whose pairwise `f32::max`
+///   tree is *strictly below* the floor therefore cannot contribute and
+///   is skipped wholesale. This is exact, not approximate:
+///   - equal-to-floor scores (which may still enter on the id tie-break)
+///     never satisfy the strict `<`;
+///   - NaN and `-∞` sanitize to `f32::MIN`, and `f32::max` may ignore a
+///     NaN operand — both are covered by requiring `floor > f32::MIN`
+///     before screening, below which no sanitized score can sink;
+///   - an all-NaN group yields a NaN tree max, which fails `< floor` and
+///     falls through to the per-item path.
+fn feed_heap_tile(heap: &mut TopKHeap, tile: &[f32], tile_lo: usize, exclude: &[u32]) {
+    const GROUP: usize = 8;
+    let mut ec = exclude.partition_point(|&x| (x as usize) < tile_lo);
+    let mut offer = |heap: &mut TopKHeap, ti: usize, s: f32| {
+        let item = (tile_lo + ti) as u32;
+        while ec < exclude.len() && exclude[ec] < item {
+            ec += 1;
+        }
+        if ec < exclude.len() && exclude[ec] == item {
+            ec += 1;
+            return;
+        }
+        heap.push(item, s);
+    };
+    let mut ti = 0usize;
+    while ti + GROUP <= tile.len() {
+        if let Some(floor) = heap.min_score() {
+            if heap.is_full() && floor > f32::MIN {
+                let g = &tile[ti..ti + GROUP];
+                let gmax = g[0]
+                    .max(g[1])
+                    .max(g[2].max(g[3]))
+                    .max(g[4].max(g[5]).max(g[6].max(g[7])));
+                if gmax < floor {
+                    ti += GROUP;
+                    continue;
+                }
+            }
+        }
+        for d in 0..GROUP {
+            offer(heap, ti + d, tile[ti + d]);
+        }
+        ti += GROUP;
+    }
+    for (d, &s) in tile[ti..].iter().enumerate() {
+        offer(heap, ti + d, s);
+    }
+}
+
+/// Per-shard worker output: shard index, its metrics, dots spent, and
+/// (incremental mode only) user caches to install after the join.
+type ShardOut = (usize, MetricsAccumulator, u64, Vec<(usize, UserCache)>);
+
 impl Evaluator {
     /// Streaming sharded evaluation over the full population: equivalent
     /// in coverage to [`Evaluator::evaluate`], never building an
-    /// [`MfModel`].
+    /// [`MfModel`](crate::model::MfModel).
     pub fn evaluate_streamed<D>(
         &self,
         items: &Matrix,
@@ -117,6 +387,42 @@ impl Evaluator {
     where
         D: InteractionSource + Sync + ?Sized,
     {
+        self.evaluate_user_range_mode(
+            items,
+            users,
+            train,
+            test,
+            range,
+            threads,
+            shard_rows,
+            EvalMode::Full,
+            None,
+        )
+        .0
+    }
+
+    /// [`Self::evaluate_user_range`] with an explicit [`EvalMode`].
+    ///
+    /// All modes return byte-identical [`EvalReport`]s (a property the
+    /// proptests and `repro matrix --smoke` gate on); the [`EvalCounters`]
+    /// expose how much work the chosen mode avoided.
+    /// [`EvalMode::Incremental`] requires `state` and panics without it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_user_range_mode<D>(
+        &self,
+        items: &Matrix,
+        users: &dyn UserRowSource,
+        train: &D,
+        test: &TestSet,
+        range: Range<usize>,
+        threads: usize,
+        shard_rows: usize,
+        mode: EvalMode,
+        state: Option<&mut IncrementalEvalState>,
+    ) -> (EvalReport, EvalCounters)
+    where
+        D: InteractionSource + Sync + ?Sized,
+    {
         assert!(shard_rows > 0, "shard_rows must be positive");
         assert_eq!(users.num_users(), train.num_users(), "population mismatch");
         assert_eq!(users.k(), items.cols(), "latent dimension mismatch");
@@ -141,60 +447,310 @@ impl Evaluator {
         let span = range.end.saturating_sub(range.start);
         let num_shards = span.div_ceil(shard_rows);
         let workers = threads.max(1).min(num_shards.max(1));
+        let m = items.rows();
+        let k = items.cols();
+
+        // Mode-specific shared setup (before workers spawn).
+        let pruned = match mode {
+            EvalMode::Full => None,
+            // The pruned re-order is also the incremental fallback path.
+            EvalMode::Pruned | EvalMode::Incremental => Some(PrunedItems::build(items)),
+        };
+        let inc_state = match mode {
+            EvalMode::Incremental => {
+                let st = state.expect("EvalMode::Incremental requires an IncrementalEvalState");
+                match &mut st.base {
+                    None => {
+                        let (_, vmax) = scorer::drift_step(items, items);
+                        st.vmax_seen = vmax;
+                        st.drift = 0.0;
+                        st.base = Some(items.clone());
+                    }
+                    Some(base) => {
+                        let (step, vmax) = scorer::drift_step(base, items);
+                        st.drift += step;
+                        // max() hides NaN; propagate it so every validity
+                        // check fails and users fall back to exact sweeps.
+                        st.vmax_seen = if vmax.is_nan() || st.vmax_seen.is_nan() {
+                            f64::NAN
+                        } else {
+                            st.vmax_seen.max(vmax)
+                        };
+                        base.as_mut_slice().copy_from_slice(items.as_slice());
+                    }
+                }
+                if st.users.len() < range.end {
+                    st.users.resize_with(range.end, || None);
+                }
+                Some(st)
+            }
+            _ => None,
+        };
+
         let cursor = AtomicUsize::new(0);
+        let claim_shard = |si: usize| -> Option<(usize, usize)> {
+            if si >= num_shards {
+                return None;
+            }
+            let lo = range.start + si * shard_rows;
+            let hi = (lo + shard_rows).min(range.end);
+            Some((lo, hi))
+        };
 
         // One accumulator per shard, computed by whichever worker claims
         // the shard; merged below in shard-index order for determinism.
-        let run_worker = || {
-            let mut row = vec![0.0f32; items.cols()];
-            let mut scores = vec![0.0f32; items.rows()];
-            let mut done: Vec<(usize, MetricsAccumulator)> = Vec::new();
+        let run_worker = |snapshot: Option<&IncrementalEvalState>| -> Vec<ShardOut> {
+            let mut scratch = EvalScratch::new(k);
+            let mut row = vec![0.0f32; k];
+            let mut done: Vec<ShardOut> = Vec::new();
             loop {
                 let si = cursor.fetch_add(1, Ordering::Relaxed);
-                if si >= num_shards {
+                let Some((lo, hi)) = claim_shard(si) else {
                     return done;
-                }
-                let lo = range.start + si * shard_rows;
-                let hi = (lo + shard_rows).min(range.end);
+                };
                 let mut acc = MetricsAccumulator::new();
-                for u in lo..hi {
-                    users.write_user_row(u, &mut row);
-                    MfModel::scores_for_vector(items, &row, &mut scores);
-                    acc.push_user_attack(&scores, train.user_items(u), self.targets());
-                    if let Some(test_item) = test.get(u).copied().flatten() {
-                        acc.push_user_hr(&scores, test_item, &self.hr_negatives[u]);
+                let mut scored = 0u64;
+                let mut refreshes: Vec<(usize, UserCache)> = Vec::new();
+                match mode {
+                    EvalMode::Full => {
+                        self.eval_shard_full(
+                            items,
+                            users,
+                            train,
+                            test,
+                            lo,
+                            hi,
+                            &mut scratch,
+                            &mut acc,
+                            &mut scored,
+                        );
+                    }
+                    EvalMode::Pruned => {
+                        let pi = pruned.as_ref().expect("pruned items prepared");
+                        for u in lo..hi {
+                            users.write_user_row(u, &mut row);
+                            let mut src = PrunedScores::new(pi, items, &row);
+                            acc.push_user_attack(&mut src, train.user_items(u), self.targets());
+                            if let Some(test_item) = test.get(u).copied().flatten() {
+                                acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+                            }
+                            scored += src.items_scored();
+                        }
+                    }
+                    EvalMode::Incremental => {
+                        let st = snapshot.expect("incremental state prepared");
+                        let pi = pruned.as_ref().expect("pruned items prepared");
+                        for u in lo..hi {
+                            users.write_user_row(u, &mut row);
+                            scored += self.eval_user_incremental(
+                                items,
+                                train,
+                                test,
+                                u,
+                                &row,
+                                st,
+                                pi,
+                                &mut scratch,
+                                &mut acc,
+                                &mut refreshes,
+                            );
+                        }
                     }
                 }
-                done.push((si, acc));
+                done.push((si, acc, scored, refreshes));
             }
         };
 
-        let mut per_shard: Vec<(usize, MetricsAccumulator)> = if workers <= 1 {
-            run_worker()
+        let snapshot = inc_state.as_deref();
+        let mut per_shard: Vec<ShardOut> = if workers <= 1 {
+            run_worker(snapshot)
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| run_worker(snapshot)))
+                    .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("eval worker panicked"))
                     .collect()
             })
         };
-        per_shard.sort_unstable_by_key(|(si, _)| *si);
+        per_shard.sort_unstable_by_key(|(si, _, _, _)| *si);
         let mut total = MetricsAccumulator::new();
-        for (_, acc) in &per_shard {
-            total.merge(acc);
+        let mut items_scored = 0u64;
+        let mut all_refreshes: Vec<(usize, UserCache)> = Vec::new();
+        for (_, acc, scored, refreshes) in per_shard {
+            total.merge(&acc);
+            items_scored += scored;
+            all_refreshes.extend(refreshes);
         }
-        EvalReport {
+        if let Some(st) = inc_state {
+            // Installed after the join: validity decisions above read the
+            // pre-epoch snapshot, so claiming order cannot leak into the
+            // result. Each refresh targets a distinct user.
+            for (u, cache) in all_refreshes {
+                st.users[u] = Some(cache);
+            }
+        }
+        let report = EvalReport {
             attack: total.attack_metrics(),
             hr_at_10: total.hr_at_10(),
+        };
+        let budget = (span as u64) * (m as u64);
+        let counters = EvalCounters {
+            items_scored,
+            items_skipped: budget - items_scored,
+        };
+        (report, counters)
+    }
+
+    /// Blocked full sweep of users `lo..hi`: score [`USER_BLOCK`]-row
+    /// user blocks against [`ITEM_TILE`]-row item tiles through the
+    /// linalg kernel, feeding per-user top-10 heaps tile by tile.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_shard_full<D>(
+        &self,
+        items: &Matrix,
+        users: &dyn UserRowSource,
+        train: &D,
+        test: &TestSet,
+        lo: usize,
+        hi: usize,
+        scratch: &mut EvalScratch,
+        acc: &mut MetricsAccumulator,
+        scored: &mut u64,
+    ) where
+        D: InteractionSource + Sync + ?Sized,
+    {
+        let m = items.rows();
+        let k = items.cols();
+        let mut block_lo = lo;
+        while block_lo < hi {
+            let block_hi = (block_lo + USER_BLOCK).min(hi);
+            let b = block_hi - block_lo;
+            for (j, u) in (block_lo..block_hi).enumerate() {
+                users.write_user_row(u, &mut scratch.rows[j * k..(j + 1) * k]);
+            }
+            for heap in scratch.heaps.iter_mut().take(b) {
+                heap.reset(10);
+            }
+            let mut tile_lo = 0usize;
+            while tile_lo < m {
+                let tile_hi = (tile_lo + ITEM_TILE).min(m);
+                let t = tile_hi - tile_lo;
+                kernel::score_block(
+                    &scratch.rows[..b * k],
+                    &items.as_slice()[tile_lo * k..tile_hi * k],
+                    k,
+                    &mut scratch.tile[..b * t],
+                );
+                for (j, heap) in scratch.heaps.iter_mut().take(b).enumerate() {
+                    let exclude = train.user_items(block_lo + j);
+                    feed_heap_tile(heap, &scratch.tile[j * t..(j + 1) * t], tile_lo, exclude);
+                }
+                tile_lo = tile_hi;
+            }
+            *scored += (b as u64) * (m as u64);
+            for j in 0..b {
+                let u = block_lo + j;
+                scratch.heaps[j].drain_sorted_into(&mut scratch.ranked);
+                let urow = &scratch.rows[j * k..(j + 1) * k];
+                let mut src = ListScores::new(&scratch.ranked, items, urow);
+                acc.push_user_attack(&mut src, train.user_items(u), self.targets());
+                if let Some(test_item) = test.get(u).copied().flatten() {
+                    acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+                }
+            }
+            block_lo = block_hi;
         }
+    }
+
+    /// Evaluate one user incrementally; returns the dots spent and, on
+    /// cache miss/invalidation, appends the refreshed cache entry.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_user_incremental<D>(
+        &self,
+        items: &Matrix,
+        train: &D,
+        test: &TestSet,
+        u: usize,
+        row: &[f32],
+        st: &IncrementalEvalState,
+        pi: &PrunedItems,
+        scratch: &mut EvalScratch,
+        acc: &mut MetricsAccumulator,
+        refreshes: &mut Vec<(usize, UserCache)>,
+    ) -> u64
+    where
+        D: InteractionSource + Sync + ?Sized,
+    {
+        let exclude = train.user_items(u);
+        let mut scored = 0u64;
+        let mut valid = false;
+        if let Some(c) = st.users[u].as_ref() {
+            if rows_bits_equal(&c.row, row) {
+                // Rescore the cached candidates exactly; accept if the
+                // drift bound proves no outside item can have caught up.
+                let heap = &mut scratch.heaps[0];
+                heap.reset(10);
+                for &cand in &c.cands {
+                    heap.push(cand, vector::dot(row, items.row(cand as usize)));
+                }
+                scored += c.cands.len() as u64;
+                if c.floor == f64::NEG_INFINITY {
+                    // The cache holds every non-excluded item.
+                    valid = true;
+                } else if heap.is_full() {
+                    let kth = f64::from(heap.min_score().expect("full heap has a min"));
+                    let slack = DOT_SLACK * c.unorm * st.vmax_seen;
+                    let bound = c.floor + c.unorm * (st.drift - c.drift_at) + slack;
+                    // Strict: an outside item tying the 10th score could
+                    // still win on a smaller index.
+                    valid = kth > bound;
+                }
+                if valid {
+                    heap.drain_sorted_into(&mut scratch.ranked);
+                }
+            }
+        }
+        if !valid {
+            // Exact fallback sweep (pruned), caching the margin band.
+            let mut ps = PrunedScores::new(pi, items, row);
+            ps.top_ranked_excluding(exclude, CAND_K, &mut scratch.ranked);
+            scored = ps.items_scored();
+            let floor = if scratch.ranked.len() == CAND_K {
+                f64::from(scratch.ranked[CAND_K - 1].1)
+            } else {
+                f64::NEG_INFINITY
+            };
+            let mut cands = Vec::with_capacity(scratch.ranked.len());
+            for &(item, _) in &scratch.ranked {
+                cands.push(item);
+            }
+            refreshes.push((
+                u,
+                UserCache {
+                    row: row.to_vec(),
+                    unorm: scorer::row_norm_f64(row),
+                    cands,
+                    floor,
+                    drift_at: st.drift,
+                },
+            ));
+        }
+        let mut src = ListScores::new(&scratch.ranked, items, row);
+        acc.push_user_attack(&mut src, exclude, self.targets());
+        if let Some(test_item) = test.get(u).copied().flatten() {
+            acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+        }
+        scored
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::MfModel;
     use fedrec_data::split::leave_one_out;
     use fedrec_data::synthetic::SyntheticConfig;
     use fedrec_data::Dataset;
@@ -233,6 +789,53 @@ mod tests {
         assert_eq!(dense.hr_at_10, streamed.hr_at_10);
     }
 
+    /// The blocked kernel path must reproduce the original one-user-at-a-
+    /// time sweep bit for bit: same dots, same heap feeding order, same
+    /// accumulator pushes.
+    #[test]
+    fn blocked_full_matches_rowwise_reference() {
+        let (train, test, eval, model) = setup();
+        let shard_rows = 16usize;
+        let n = train.num_users();
+        // Reference: the pre-kernel implementation, single worker.
+        let mut per_shard: Vec<MetricsAccumulator> = Vec::new();
+        let mut row = vec![0.0f32; model.k()];
+        let mut scores = vec![0.0f32; model.num_items()];
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + shard_rows).min(n);
+            let mut acc = MetricsAccumulator::new();
+            for u in lo..hi {
+                model.user_factors.write_user_row(u, &mut row);
+                MfModel::scores_for_vector(&model.item_factors, &row, &mut scores);
+                let mut src = crate::scorer::DenseScores::new(&scores);
+                acc.push_user_attack(&mut src, train.user_items(u), eval.targets());
+                if let Some(test_item) = test.get(u).copied().flatten() {
+                    acc.push_user_hr(&mut src, test_item, &eval.hr_negatives[u]);
+                }
+            }
+            per_shard.push(acc);
+            lo = hi;
+        }
+        let mut total = MetricsAccumulator::new();
+        for acc in &per_shard {
+            total.merge(acc);
+        }
+        let reference = EvalReport {
+            attack: total.attack_metrics(),
+            hr_at_10: total.hr_at_10(),
+        };
+        let blocked = eval.evaluate_streamed(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            1,
+            shard_rows,
+        );
+        assert_eq!(reference, blocked);
+    }
+
     #[test]
     fn streamed_is_thread_count_invariant() {
         let (train, test, eval, model) = setup();
@@ -254,6 +857,258 @@ mod tests {
     }
 
     #[test]
+    fn pruned_mode_is_byte_identical_to_full() {
+        let (train, test, eval, model) = setup();
+        let n = train.num_users();
+        for (threads, shard_rows) in [(1usize, 16usize), (2, 7), (8, 16), (2, 64)] {
+            let (full, fc) = eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                threads,
+                shard_rows,
+                EvalMode::Full,
+                None,
+            );
+            let (pruned, pc) = eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                threads,
+                shard_rows,
+                EvalMode::Pruned,
+                None,
+            );
+            assert_eq!(full, pruned, "t={threads} s={shard_rows}");
+            assert_eq!(fc.items_scored, (n as u64) * (model.num_items() as u64));
+            assert_eq!(fc.items_skipped, 0);
+            assert_eq!(
+                pc.items_scored + pc.items_skipped,
+                fc.items_scored,
+                "counter budget mismatch"
+            );
+            assert!(pc.items_scored <= fc.items_scored);
+        }
+    }
+
+    #[test]
+    fn pruned_counters_are_thread_invariant() {
+        let (train, test, eval, model) = setup();
+        let n = train.num_users();
+        let run = |threads: usize| {
+            eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                threads,
+                16,
+                EvalMode::Pruned,
+                None,
+            )
+        };
+        let (r1, c1) = run(1);
+        for t in [2usize, 8] {
+            let (rt, ct) = run(t);
+            assert_eq!(r1, rt);
+            assert_eq!(c1, ct, "counters diverged at {t} threads");
+        }
+    }
+
+    /// Drive the incremental evaluator through several epochs of genuine
+    /// item-factor drift (as a federated round loop produces) and check
+    /// every epoch's report byte-equals the full sweep of the same state.
+    #[test]
+    fn incremental_tracks_full_across_epochs() {
+        let (train, test, eval, mut model) = setup();
+        let n = train.num_users();
+        let mut state = IncrementalEvalState::new();
+        let mut drift_rng = SeededRng::new(99);
+        let mut saved_some = false;
+        for epoch in 0..6 {
+            let (full, _) = eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                2,
+                16,
+                EvalMode::Full,
+                None,
+            );
+            let (pruned, pc) = eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                2,
+                16,
+                EvalMode::Pruned,
+                None,
+            );
+            let (inc, ic) = eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                2,
+                16,
+                EvalMode::Incremental,
+                Some(&mut state),
+            );
+            assert_eq!(full, inc, "incremental diverged at epoch {epoch}");
+            assert_eq!(full, pruned, "pruned diverged at epoch {epoch}");
+            assert_eq!(state.cached_users(), n);
+            // A validated cache costs CAND_K dots; an invalidated one costs
+            // the pruned sweep *plus* the candidate rescore. Beating the
+            // plain pruned sweep therefore requires genuine cache hits.
+            if epoch > 0 && ic.items_scored < pc.items_scored {
+                saved_some = true;
+            }
+            // Small drift: a few item rows move a little.
+            for _ in 0..3 {
+                let i = drift_rng.below(model.num_items());
+                for x in model.item_factors.row_mut(i) {
+                    *x += drift_rng.normal(0.0, 1e-3);
+                }
+            }
+        }
+        assert!(
+            saved_some,
+            "small drift never validated any incremental cache"
+        );
+    }
+
+    /// Changed user rows (participants who trained between evals) must
+    /// invalidate their cache; large item drift must force fallbacks. In
+    /// both cases the result stays exact.
+    #[test]
+    fn incremental_survives_row_changes_and_large_drift() {
+        let (train, test, eval, mut model) = setup();
+        let n = train.num_users();
+        let mut state = IncrementalEvalState::new();
+        let _ = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..n,
+            1,
+            16,
+            EvalMode::Incremental,
+            Some(&mut state),
+        );
+        // Violent change: rewrite half the item matrix and some users.
+        let mut rng = SeededRng::new(123);
+        for i in 0..model.num_items() / 2 {
+            for x in model.item_factors.row_mut(i) {
+                *x = rng.normal(0.0, 0.5);
+            }
+        }
+        for u in 0..n / 3 {
+            for x in model.user_factors.row_mut(u) {
+                *x = rng.normal(0.0, 0.5);
+            }
+        }
+        let (full, _) = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..n,
+            2,
+            16,
+            EvalMode::Full,
+            None,
+        );
+        let (inc, _) = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..n,
+            2,
+            16,
+            EvalMode::Incremental,
+            Some(&mut state),
+        );
+        assert_eq!(full, inc);
+    }
+
+    #[test]
+    fn incremental_is_thread_count_invariant() {
+        let (train, test, eval, mut model) = setup();
+        let n = train.num_users();
+        let run_epochs = |threads: usize, model: &mut MfModel| {
+            let mut state = IncrementalEvalState::new();
+            let mut rng = SeededRng::new(7);
+            let mut reports = Vec::new();
+            for _ in 0..3 {
+                let (rep, counters) = eval.evaluate_user_range_mode(
+                    &model.item_factors,
+                    &model.user_factors,
+                    &train,
+                    &test,
+                    0..n,
+                    threads,
+                    16,
+                    EvalMode::Incremental,
+                    Some(&mut state),
+                );
+                reports.push((rep, counters));
+                for _ in 0..2 {
+                    let i = rng.below(model.num_items());
+                    for x in model.item_factors.row_mut(i) {
+                        *x += rng.normal(0.0, 1e-3);
+                    }
+                }
+            }
+            reports
+        };
+        let mut m1 = model.clone();
+        let base = run_epochs(1, &mut m1);
+        for t in [2usize, 8] {
+            let mut mt = model.clone();
+            let got = run_epochs(t, &mut mt);
+            assert_eq!(base, got, "incremental diverged at {t} threads");
+        }
+        let _ = &mut model;
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an IncrementalEvalState")]
+    fn incremental_without_state_panics() {
+        let (train, test, eval, model) = setup();
+        let _ = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..4,
+            1,
+            16,
+            EvalMode::Incremental,
+            None,
+        );
+    }
+
+    #[test]
+    fn eval_mode_labels_roundtrip() {
+        for mode in [EvalMode::Full, EvalMode::Pruned, EvalMode::Incremental] {
+            assert_eq!(EvalMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(EvalMode::parse("nope"), None);
+    }
+
+    #[test]
     fn user_range_restricts_coverage() {
         let (train, test, eval, model) = setup();
         let half = train.num_users() / 2;
@@ -271,7 +1126,8 @@ mod tests {
         let mut scores = vec![0.0f32; model.num_items()];
         for u in 0..half {
             model.scores_for_user(u, &mut scores);
-            acc.push_user_attack(&scores, train.user_items(u), eval.targets());
+            let mut src = crate::scorer::DenseScores::new(&scores);
+            acc.push_user_attack(&mut src, train.user_items(u), eval.targets());
         }
         assert!(close(ranged.attack.er_at_10, acc.attack_metrics().er_at_10));
         // Empty range is a no-op report.

@@ -20,12 +20,17 @@ impl Eq for Scored {}
 
 impl Ord for Scored {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: reverse order on score, then on item for determinism.
+        // Min-heap: reverse order on score. Ties order by *ascending* id
+        // here so the heap's greatest element — the eviction victim — is
+        // the largest id among tied-lowest scores, matching the selection
+        // order (descending score, ties won by the smaller id). The
+        // reversed tie (`other.item.cmp(&self.item)`) would evict the
+        // smallest tied id and make the retained set depend on push order.
         other
             .score
             .partial_cmp(&self.score)
             .expect("NaN score in top-k")
-            .then_with(|| other.item.cmp(&self.item))
+            .then_with(|| self.item.cmp(&other.item))
     }
 }
 
@@ -47,6 +52,97 @@ fn sanitize(score: f32) -> f32 {
     }
 }
 
+/// Incremental top-K selection under the module's deterministic total
+/// order: descending sanitized score, ties broken by ascending item id.
+///
+/// This is the single implementation of the tie rule: the dense
+/// [`top_k_excluding`] sweep, the blocked/tile-fed evaluation path and
+/// the bound-pruned path all push candidates through this heap, so they
+/// cannot disagree on orderings. Because the order is total and the
+/// replacement rule is strict, the final selection is independent of the
+/// order in which candidates are pushed — the property the pruned
+/// evaluator relies on when it visits items norm-sorted instead of
+/// id-sorted.
+#[derive(Debug)]
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<Scored>,
+}
+
+impl TopKHeap {
+    /// Heap retaining the `k` best candidates.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Empty the heap for reuse (keeps the allocation), selecting `k`
+    /// from now on.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Offer one candidate. Non-finite scores are sanitized exactly as in
+    /// [`top_k_excluding`] (NaN → `f32::MIN`, ±∞ clamped).
+    #[inline]
+    pub fn push(&mut self, item: u32, score: f32) {
+        let score = sanitize(score);
+        if self.heap.len() < self.k {
+            self.heap.push(Scored { score, item });
+        } else if let Some(min) = self.heap.peek() {
+            // Replace the current minimum if strictly better (or equal
+            // score with smaller id, matching the deterministic ordering).
+            if score > min.score || (score == min.score && item < min.item) {
+                self.heap.pop();
+                self.heap.push(Scored { score, item });
+            }
+        }
+    }
+
+    /// Number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether all `k` slots are occupied — only then may a caller prune
+    /// on [`Self::min_score`].
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// Sanitized score of the current worst retained candidate.
+    ///
+    /// When the heap [`is full`](Self::is_full), a candidate with
+    /// sanitized score *strictly below* this value can never enter: the
+    /// replacement rule admits equal scores only on a smaller id, never
+    /// lower scores.
+    pub fn min_score(&self) -> Option<f32> {
+        self.heap.peek().map(|s| s.score)
+    }
+
+    /// Drain into `out` as `(item, sanitized score)` pairs sorted by the
+    /// total order (descending score, ties ascending id), emptying the
+    /// heap for reuse.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, f32)>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|s| (s.item, s.score)));
+        // Sanitized scores are never NaN, so the comparator is total.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN score in top-k")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+    }
+}
+
 /// The `k` highest-scoring items not in `exclude` (sorted ascending item
 /// ids), ordered by descending score (ties broken by ascending item id).
 ///
@@ -57,32 +153,17 @@ pub fn top_k_excluding(scores: &[f32], exclude: &[u32], k: usize) -> Vec<u32> {
     if k == 0 {
         return Vec::new();
     }
-    let mut heap: BinaryHeap<Scored> = BinaryHeap::with_capacity(k + 1);
+    let mut heap = TopKHeap::new(k);
     for (item, &score) in scores.iter().enumerate() {
-        let score = sanitize(score);
         let item = item as u32;
         if exclude.binary_search(&item).is_ok() {
             continue;
         }
-        if heap.len() < k {
-            heap.push(Scored { score, item });
-        } else if let Some(min) = heap.peek() {
-            // Replace the current minimum if strictly better (or equal
-            // score with smaller id, matching the deterministic ordering).
-            if score > min.score || (score == min.score && item < min.item) {
-                heap.pop();
-                heap.push(Scored { score, item });
-            }
-        }
+        heap.push(item, score);
     }
-    let mut out: Vec<Scored> = heap.into_vec();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("NaN score in top-k")
-            .then_with(|| a.item.cmp(&b.item))
-    });
-    out.into_iter().map(|s| s.item).collect()
+    let mut out = Vec::with_capacity(heap.len());
+    heap.drain_sorted_into(&mut out);
+    out.into_iter().map(|(item, _)| item).collect()
 }
 
 /// Rank (0-based) of `target` among items not in `exclude`, by descending
@@ -175,6 +256,49 @@ mod tests {
         let scores = [0.5, 0.5];
         assert_eq!(rank_of(&scores, &[], 0).unwrap(), 0);
         assert_eq!(rank_of(&scores, &[], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn heap_selection_is_push_order_independent() {
+        let scores = [0.5f32, 0.5, 0.9, 0.5, 0.1, 0.9, f32::NAN, 0.5];
+        let forward: Vec<u32> = (0..scores.len() as u32).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut shuffled = vec![3u32, 6, 0, 7, 2, 5, 1, 4];
+        for order in [forward, reversed, std::mem::take(&mut shuffled)] {
+            let mut heap = TopKHeap::new(3);
+            for &item in &order {
+                heap.push(item, scores[item as usize]);
+            }
+            let mut out = Vec::new();
+            heap.drain_sorted_into(&mut out);
+            let items: Vec<u32> = out.iter().map(|&(i, _)| i).collect();
+            assert_eq!(items, top_k_excluding(&scores, &[], 3), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn heap_reset_reuses_cleanly() {
+        let mut heap = TopKHeap::new(2);
+        heap.push(0, 1.0);
+        heap.push(1, 2.0);
+        heap.push(2, 3.0);
+        assert!(heap.is_full());
+        assert_eq!(heap.min_score(), Some(2.0));
+        heap.reset(1);
+        assert!(heap.is_empty());
+        heap.push(5, 0.5);
+        let mut out = Vec::new();
+        heap.drain_sorted_into(&mut out);
+        assert_eq!(out, vec![(5, 0.5)]);
+    }
+
+    #[test]
+    fn zero_capacity_heap_accepts_nothing() {
+        let mut heap = TopKHeap::new(0);
+        heap.push(0, 1.0);
+        assert!(heap.is_empty());
+        assert_eq!(heap.min_score(), None);
     }
 
     #[test]

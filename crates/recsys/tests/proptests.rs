@@ -1,7 +1,12 @@
 //! Property-based tests for the recommender core.
 
+use fedrec_data::split::leave_one_out;
+use fedrec_data::Dataset;
 use fedrec_linalg::{Matrix, SeededRng};
-use fedrec_recsys::{bpr, metrics, ranking, topk};
+use fedrec_recsys::eval::{EvalReport, Evaluator};
+use fedrec_recsys::{
+    bpr, metrics, ranking, topk, EvalCounters, EvalMode, IncrementalEvalState, MfModel,
+};
 use proptest::prelude::*;
 
 fn scores_strategy() -> impl Strategy<Value = Vec<f32>> {
@@ -135,5 +140,120 @@ proptest! {
         let hits_from_p = p * list.len() as f64;
         let hits_from_r = r * relevant.len() as f64;
         prop_assert!((hits_from_p - hits_from_r).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eval-mode equivalence: the pruned and incremental streamed-evaluation
+// fast paths must reproduce the full blocked sweep's EvalReport *exactly*
+// (same f64 bytes, not "close"), whatever the thread count or shard size.
+// ---------------------------------------------------------------------------
+
+/// Quantized factor entries make exact score ties ubiquitous — the
+/// adversarial case for top-K selection order.
+const QUANTA: [f32; 4] = [-0.5, 0.0, 0.5, 1.0];
+
+fn quantized(rows: usize, cols: usize, rng: &mut SeededRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| QUANTA[rng.below(QUANTA.len())])
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A small tie-heavy world: quantized factors, one all-zero user row and
+/// one all-zero item row (degenerate norms for the pruning bounds), and
+/// populations small enough that the top-10 list can cover every item
+/// (the k ≥ m case).
+fn eval_world(
+    n: usize,
+    m: usize,
+    k: usize,
+    seed: u64,
+) -> (Dataset, Vec<Option<u32>>, Evaluator, MfModel) {
+    let mut rng = SeededRng::new(seed);
+    let mut users = quantized(n, k, &mut rng);
+    let mut items = quantized(m, k, &mut rng);
+    users.as_mut_slice()[(seed as usize % n) * k..][..k].fill(0.0);
+    items.as_mut_slice()[(seed as usize % m) * k..][..k].fill(0.0);
+    let mut tuples = Vec::new();
+    for u in 0..n {
+        let deg = 2 + rng.below((m - 1).min(4));
+        for v in rng.sample_indices(m, deg) {
+            tuples.push((u as u32, v as u32));
+        }
+    }
+    let full = Dataset::from_tuples(n, m, tuples);
+    let (train, test) = leave_one_out(&full, seed ^ 0x9e37);
+    let targets = train.coldest_items(2);
+    let eval = Evaluator::new(&train, &test, &targets, seed.wrapping_add(1));
+    (train, test, eval, MfModel::from_factors(users, items))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pruned evaluation returns the full sweep's report exactly, across
+    /// thread counts and shard sizes, and accounts for every item either
+    /// as scored or skipped.
+    #[test]
+    fn pruned_reports_match_full_exactly(
+        n in 4usize..14,
+        m in 3usize..24,
+        k in 1usize..6,
+        seed in 0u64..64,
+    ) {
+        let (train, test, eval, model) = eval_world(n, m, k, seed);
+        for (threads, shard_rows) in [(1usize, 3usize), (2, 5), (8, 16)] {
+            let (full, fc) = eval.evaluate_user_range_mode(
+                &model.item_factors, &model.user_factors, &train, &test,
+                0..n, threads, shard_rows, EvalMode::Full, None);
+            let (pruned, pc) = eval.evaluate_user_range_mode(
+                &model.item_factors, &model.user_factors, &train, &test,
+                0..n, threads, shard_rows, EvalMode::Pruned, None);
+            prop_assert_eq!(full, pruned, "threads {} shard {}", threads, shard_rows);
+            prop_assert_eq!(
+                fc.items_scored + fc.items_skipped,
+                pc.items_scored + pc.items_skipped,
+                "budget mismatch at threads {} shard {}", threads, shard_rows
+            );
+        }
+    }
+
+    /// Incremental re-evaluation tracks the full sweep exactly across
+    /// drifting epochs, with identical reports *and counters* at 1, 2 and
+    /// 8 threads (each thread count replays the same drift sequence
+    /// against its own cache state).
+    #[test]
+    fn incremental_reports_match_full_across_epochs(
+        n in 4usize..12,
+        m in 3usize..20,
+        k in 1usize..5,
+        seed in 0u64..64,
+    ) {
+        let (train, test, eval, model) = eval_world(n, m, k, seed);
+        let mut per_thread: Vec<Vec<(EvalReport, EvalCounters)>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut state = IncrementalEvalState::new();
+            let mut items = model.item_factors.clone();
+            let mut drift_rng = SeededRng::new(seed ^ 0xabcd);
+            let mut reports = Vec::new();
+            for epoch in 0..4 {
+                let (full, _) = eval.evaluate_user_range_mode(
+                    &items, &model.user_factors, &train, &test,
+                    0..n, threads, 4, EvalMode::Full, None);
+                let (inc, ic) = eval.evaluate_user_range_mode(
+                    &items, &model.user_factors, &train, &test,
+                    0..n, threads, 4, EvalMode::Incremental, Some(&mut state));
+                prop_assert_eq!(full, inc, "epoch {} threads {}", epoch, threads);
+                reports.push((inc, ic));
+                // Drift one quantized item entry per epoch.
+                let row = drift_rng.below(m);
+                let col = drift_rng.below(k);
+                items.as_mut_slice()[row * k + col] += 0.25;
+            }
+            per_thread.push(reports);
+        }
+        prop_assert_eq!(&per_thread[0], &per_thread[1], "2-thread incremental diverged");
+        prop_assert_eq!(&per_thread[0], &per_thread[2], "8-thread incremental diverged");
     }
 }
