@@ -21,6 +21,8 @@
 //! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
 //!       [--workers N] [--eval-users N] [--backend dense|sharded]
 //!       [--shard-rows N] [--seed N] [--out FILE]
+//! repro serve [--users N] [--items N] [--requests N] [--threads N]
+//!       [--publish-every N] [--k N] [--seed N] [--smoke] [--out FILE]
 //! repro lint [--json] [--write-baseline] [--rules] [--root DIR] [--baseline FILE]
 //! ```
 //!
@@ -52,6 +54,14 @@
 //! that dense and sharded backends are byte-identical across thread
 //! counts.
 //!
+//! `serve` drives the online top-K serving layer (`fedrec-serve`) in a
+//! closed loop at the million-user preset — 300k requests over 1M lazy
+//! users / 100k items with a snapshot publish every 50k — and reports
+//! req/s, p50/p99 latency, cache hit rate and epochs-behind as JSON
+//! (the `BENCH_serve.json` generator). `serve --smoke` is the CI-sized
+//! shrink that gates the machine-independent invariants (every request
+//! answered, caches engaging, zero user rows materialized by serving).
+//!
 //! `lint` runs the `fedrec-lint` determinism & checkpoint-safety static
 //! pass over the workspace sources (same engine as
 //! `cargo run -p fedrec-lint`) and exits nonzero on any violation that is
@@ -64,9 +74,10 @@ use fedrec_experiments::matrix::{
     MatrixConfig, Population,
 };
 use fedrec_experiments::{
-    fig3_side_effects, run_scale, scale_smoke, table2_datasets, table3_xi_sweep, table4_rho_sweep,
-    table5_kappa_sweep, table6_data_poisoning, table7_effectiveness, table8_model_poisoning,
-    table9_ablation, DatasetId, Scale, ScaleSpec, Table,
+    fig3_side_effects, run_scale, run_serve, scale_smoke, serve_smoke, table2_datasets,
+    table3_xi_sweep, table4_rho_sweep, table5_kappa_sweep, table6_data_poisoning,
+    table7_effectiveness, table8_model_poisoning, table9_ablation, DatasetId, Scale, ScaleSpec,
+    ServeSpec, Table,
 };
 use fedrec_federated::StoreBackend;
 use fedrec_recsys::EvalMode;
@@ -103,6 +114,12 @@ struct Args {
     shard_rows: Option<usize>,
     eval_mode: Option<EvalMode>,
     eval_threads: Option<usize>,
+    serve: bool,
+    // serve options
+    requests: Option<usize>,
+    threads: Option<usize>,
+    publish_every: Option<usize>,
+    k: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -114,12 +131,15 @@ fn usage() -> ! {
          \x20      [--population million|smoke50k|tiny|ml100k|ml1m|steam]\n\
          \x20      [--backend dense|sharded] [--shard-rows N] [--eval-users N]\n\
          \x20      [--eval-mode full|pruned|incremental] [--eval-threads N]\n\
-         \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [shared flags]\n\
+         \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [--serve]\n\
+         \x20      [shared flags]\n\
          \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
          \x20 repro report --dir DIR [--csv] [--out FILE]\n\
          \x20 repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]\n\
          \x20      [--workers N] [--eval-users N] [--backend dense|sharded]\n\
          \x20      [--shard-rows N] [--seed N] [--out FILE]\n\
+         \x20 repro serve [--users N] [--items N] [--requests N] [--threads N]\n\
+         \x20      [--publish-every N] [--k N] [--seed N] [--smoke] [--out FILE]\n\
          \x20 repro lint [--json] [--write-baseline] [--rules] [--root DIR] [--baseline FILE]"
     );
     std::process::exit(2);
@@ -154,6 +174,11 @@ fn parse_args() -> Args {
         shard_rows: None,
         eval_mode: None,
         eval_threads: None,
+        serve: false,
+        requests: None,
+        threads: None,
+        publish_every: None,
+        k: None,
     };
     // fedrec-lint: allow(wall-clock) — CLI entry point: argv selects the experiment, it never feeds simulation state
     let mut it = std::env::args().skip(1);
@@ -213,6 +238,25 @@ fn parse_args() -> Args {
                     usage()
                 }
                 args.eval_threads = Some(v);
+            }
+            "--serve" => args.serve = true,
+            "--requests" => args.requests = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--threads" => {
+                let v: usize = next().parse().unwrap_or_else(|_| usage());
+                if v == 0 {
+                    usage()
+                }
+                args.threads = Some(v);
+            }
+            "--publish-every" => {
+                args.publish_every = Some(next().parse().unwrap_or_else(|_| usage()))
+            }
+            "--k" => {
+                let v: usize = next().parse().unwrap_or_else(|_| usage());
+                if v == 0 {
+                    usage()
+                }
+                args.k = Some(v);
             }
             _ => usage(),
         }
@@ -302,6 +346,9 @@ fn matrix_config(args: &Args) -> MatrixConfig {
     if let Some(t) = args.eval_threads {
         cfg.eval_threads = t;
     }
+    if args.serve {
+        cfg.serve = true;
+    }
     cfg
 }
 
@@ -373,7 +420,14 @@ fn cmd_matrix(args: &Args) {
 /// 6. rerunning the probe cell under `--eval-mode pruned` and
 ///    `incremental` (at 1 and 2 eval threads) reproduces the full
 ///    sweep's records byte-identically after [`matrix::mode_invariant`]
-///    normalization — and the pruned rerun actually skips items.
+///    normalization — and the pruned rerun actually skips items;
+/// 7. every cell served live mid-training top-K traffic
+///    ([`MatrixConfig::serve`] is on for the smoke grid): publish counts
+///    strictly increase across each cell's records, the final record
+///    observed real staleness (probes queued one emitting epoch drain at
+///    the next), and — enforced inside the harness, which panics
+///    otherwise — every served response was byte-identical to offline
+///    evaluation of the snapshot its epoch tag names (no torn `V`).
 ///
 /// [`FaultPlan::smoke`]: fedrec_federated::FaultPlan::smoke
 fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
@@ -410,6 +464,38 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
                 ));
             }
             checked += 1;
+        }
+        // Serve gate: the smoke grid runs with the live serving probe on,
+        // so every cell must have published each emitting epoch's snapshot
+        // (strictly increasing counts) and its final record must have
+        // observed genuine staleness — probes queued at one emitting epoch
+        // are served at the next, one eval cadence behind training.
+        let serve_counts: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                matrix::parse_record(l)
+                    .and_then(|p| p.into_iter().find(|(k, _)| k == "serve_publishes"))
+                    .and_then(|(_, v)| v.parse().ok())
+                    .unwrap_or_else(|| fail(&format!("record missing serve_publishes: {l}")))
+            })
+            .collect();
+        if serve_counts.windows(2).any(|w| w[0] >= w[1]) || serve_counts.last() == Some(&0) {
+            fail(&format!(
+                "serve gate: publish counts not strictly increasing in cell {}: {serve_counts:?}",
+                o.cell.id()
+            ));
+        }
+        let final_lag: u64 = lines
+            .last()
+            .and_then(|l| matrix::parse_record(l))
+            .and_then(|p| p.into_iter().find(|(k, _)| k == "served_epoch_lag"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| fail("final record missing served_epoch_lag"));
+        if final_lag == 0 {
+            fail(&format!(
+                "serve gate: cell {} never observed serving staleness",
+                o.cell.id()
+            ));
         }
     }
 
@@ -538,7 +624,7 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
          in every record, dense/sharded byte-identical across {} cells, cell {} byte-identical \
          on standalone rerun and under pruned/incremental eval modes at 1/2 eval threads \
          ({pruned_skipped} items pruned), cell {} kill-and-resume byte-identical at 1/2/8 \
-         threads",
+         threads, every cell served offline-identical mid-training top-K traffic",
         outcomes.len(),
         probe.cell.id(),
         crash_cell.id()
@@ -644,6 +730,63 @@ fn cmd_scale(args: &Args) {
     );
 }
 
+fn cmd_serve(args: &Args) {
+    if args.smoke {
+        match serve_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => fail(&format!("serve smoke failed: {e}")),
+        }
+        return;
+    }
+    let mut spec = ServeSpec::million();
+    if let Some(u) = args.users {
+        if u == 0 {
+            fail("--users must be positive");
+        }
+        spec.users = u;
+        spec.hot_users = spec.hot_users.min(u);
+    }
+    if let Some(m) = args.items {
+        if m == 0 {
+            fail("--items must be positive");
+        }
+        spec.items = m;
+    }
+    if let Some(r) = args.requests {
+        spec.requests = r;
+    }
+    if let Some(t) = args.threads {
+        spec.threads = t;
+    }
+    if let Some(p) = args.publish_every {
+        spec.publish_every = p;
+    }
+    if let Some(k) = args.k {
+        spec.top_k = k;
+    }
+    spec.seed = args.seed;
+    let report = run_serve(&spec);
+    let rendered = format!("{}\n", report.to_json());
+    emit(&rendered, args, 1);
+    eprintln!(
+        "serve run: {} requests over {} users / {} items at {:.0} req/s \
+         ({} threads), p50 {:.1} us, p99 {:.1} us, hit rate {:.3}, \
+         {} publishes, mean epoch lag {:.2} ({:.1}s build, {:.1}s serve)",
+        report.requests,
+        report.users,
+        report.items,
+        report.req_per_sec,
+        report.threads,
+        report.p50_us,
+        report.p99_us,
+        report.hit_rate,
+        report.publishes,
+        report.mean_epoch_lag,
+        report.build_secs,
+        report.serve_secs
+    );
+}
+
 fn cmd_report(args: &Args) {
     let dir = args.dir.clone().unwrap_or_else(|| usage());
     let table = matrix_report(&dir).unwrap_or_else(|e| fail(&format!("report failed: {e}")));
@@ -725,6 +868,7 @@ fn main() {
         "cell" => return cmd_cell(&args),
         "report" => return cmd_report(&args),
         "scale" => return cmd_scale(&args),
+        "serve" => return cmd_serve(&args),
         _ => {}
     }
     // fedrec-lint: allow(wall-clock) — progress timing on stderr only; table bytes never include it

@@ -66,11 +66,13 @@ use fedrec_federated::server::SumAggregator;
 use fedrec_federated::simulation::Snapshot;
 use fedrec_federated::{FaultPlan, Simulation, StoreBackend};
 use fedrec_recsys::eval::{EvalReport, Evaluator};
+use fedrec_recsys::scorer::{PrunedItems, PrunedScores};
 use fedrec_recsys::{EvalCounters, EvalMode, IncrementalEvalState};
+use fedrec_serve::{ServeConfig, ServedTopK, Service};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Presets of the lazily generated scale-free population a grid can run
 /// on (see [`ScaleFreeConfig`]).
@@ -355,6 +357,14 @@ pub struct MatrixConfig {
     /// thread-invariant; >1 only pays off when the grid itself is not
     /// already saturating the machine with cells).
     pub eval_threads: usize,
+    /// Drive a live [`fedrec_serve::Service`] while each cell trains:
+    /// every emitting epoch publishes the item snapshot, drains the probe
+    /// requests queued at the previous one, and verifies each response
+    /// byte-identical to offline evaluation of the snapshot its epoch tag
+    /// names before the record is emitted. Adds the volatile
+    /// `serve_publishes`/`served_epoch_lag` record fields; every
+    /// deterministic field is untouched.
+    pub serve: bool,
 }
 
 impl MatrixConfig {
@@ -383,6 +393,7 @@ impl MatrixConfig {
             faults: None,
             eval_mode: EvalMode::Full,
             eval_threads: 1,
+            serve: false,
         }
     }
 
@@ -407,10 +418,13 @@ impl MatrixConfig {
     /// training dominates a CI budget) × every defense × the tiny-ρ arms,
     /// on the 50k-user scale-free preset through the sharded store — under
     /// the [`FaultPlan::smoke`] fault preset, so the gate exercises
-    /// dropouts, stragglers and quarantined corruption on every cell.
+    /// dropouts, stragglers and quarantined corruption on every cell —
+    /// with the live serving probe on, so every cell also serves verified
+    /// mid-training top-K traffic.
     pub fn smoke(seed: u64) -> Self {
         Self {
             faults: Some(FaultPlan::smoke()),
+            serve: true,
             attacks: vec![
                 AttackMethod::None,
                 AttackMethod::Random,
@@ -459,11 +473,15 @@ fn default_workers() -> usize {
 /// rounds); they read 0 when the grid runs without a fault plan, and they
 /// are backend-independent — fault decisions are a pure function of
 /// `(fault seed, round, client)`. The trailing eval keys describe the
-/// record's evaluation pass: `eval_ms` (wall-clock, the one volatile
-/// field), `eval_mode` (`full`/`pruned`/`incremental`), and the
-/// deterministic work counters `items_scored`/`items_skipped` (top-K
-/// selection dot products spent vs avoided).
-pub const RECORD_KEYS: [&str; 33] = [
+/// record's evaluation pass: `eval_ms` (wall-clock, volatile), `eval_mode`
+/// (`full`/`pruned`/`incremental`), and the deterministic work counters
+/// `items_scored`/`items_skipped` (top-K selection dot products spent vs
+/// avoided). The trailing serve keys describe the live serving probe
+/// ([`MatrixConfig::serve`]): cumulative snapshot publishes and the worst
+/// epochs-behind observed on any served response — both volatile, because
+/// serving state is deliberately not checkpointed (a crash-resumed cell
+/// restarts its service cold).
+pub const RECORD_KEYS: [&str; 35] = [
     "cell",
     "attack",
     "defense",
@@ -497,6 +515,8 @@ pub const RECORD_KEYS: [&str; 33] = [
     "eval_mode",
     "items_scored",
     "items_skipped",
+    "serve_publishes",
+    "served_epoch_lag",
 ];
 
 /// The record keys whose values legitimately differ between the dense
@@ -506,10 +526,13 @@ pub const RECORD_KEYS: [&str; 33] = [
 /// detection counts, `participants_touched` — must be bit-identical.
 pub const BACKEND_DEPENDENT_KEYS: [&str; 2] = ["backend", "rows_materialized"];
 
-/// The one record key whose value is wall-clock time rather than a
-/// deterministic function of the inputs. Every byte-identity gate strips
-/// it first (see [`volatile_invariant`]).
-pub const VOLATILE_KEYS: [&str; 1] = ["eval_ms"];
+/// The record keys whose values are not a deterministic function of the
+/// cell inputs alone: `eval_ms` is wall-clock time, and the serve probe
+/// counters depend on serving state that is deliberately not checkpointed
+/// (a crash-resumed cell restarts its service cold, so its cumulative
+/// publish count and observed lag restart too). Every byte-identity gate
+/// strips them first (see [`volatile_invariant`]).
+pub const VOLATILE_KEYS: [&str; 3] = ["eval_ms", "serve_publishes", "served_epoch_lag"];
 
 /// The record keys that legitimately differ between [`EvalMode`]s of the
 /// same cell: the mode label and the work counters. The metric fields —
@@ -592,6 +615,12 @@ struct RecordPoint {
     loss: f32,
     rows_materialized: usize,
     participants_touched: usize,
+    /// Cumulative snapshot publishes by the cell's live serving probe
+    /// (0 when serving is off). Volatile: not checkpointed.
+    serve_publishes: u64,
+    /// Worst epochs-behind observed on any served probe response so far
+    /// (0 when serving is off). Volatile: not checkpointed.
+    served_epoch_lag: u64,
 }
 
 /// What one evaluation pass cost: wall-clock (volatile), the mode that
@@ -632,6 +661,8 @@ fn render_line(
         loss,
         rows_materialized,
         participants_touched,
+        serve_publishes,
+        served_epoch_lag,
     } = *point;
     let (inspected, flagged, excluded, precision, recall, malicious) = match det {
         Some(d) => (
@@ -655,7 +686,8 @@ fn render_line(
          \"rows_materialized\":{},\"participants_touched\":{},\
          \"f_dropped\":{f_dropped},\"f_late\":{f_late},\"f_rejected\":{f_rejected},\
          \"f_retried\":{f_retried},\"f_skipped\":{f_skipped},\
-         \"eval_ms\":{},\"eval_mode\":\"{}\",\"items_scored\":{},\"items_skipped\":{}}}",
+         \"eval_ms\":{},\"eval_mode\":\"{}\",\"items_scored\":{},\"items_skipped\":{},\
+         \"serve_publishes\":{serve_publishes},\"served_epoch_lag\":{served_epoch_lag}}}",
         cell.attack.label(),
         cell.defense.label(),
         num(cell.rho),
@@ -827,6 +859,29 @@ impl CellEval<'_> {
     }
 }
 
+/// Probe users submitted to the live serving layer at each emitting
+/// epoch when [`MatrixConfig::serve`] is on.
+const SERVE_PROBE_USERS: usize = 4;
+
+/// Live-serving probe state for one cell ([`MatrixConfig::serve`]): a
+/// real [`Service`] whose queue is fed a few probe users per emitting
+/// epoch and drained at the next one, so grid runs continuously exercise
+/// the batched serving path against genuine mid-training snapshots. The
+/// previously published matrix is kept so every drained response can be
+/// verified byte-identical to offline evaluation of exactly the snapshot
+/// its epoch tag names — a torn or stale `V` cannot pass. None of this
+/// state is checkpointed, which is why the two record fields it feeds
+/// ([`VOLATILE_KEYS`]) are volatile.
+struct CellServe {
+    svc: Service,
+    tx: mpsc::Sender<ServedTopK>,
+    rx: mpsc::Receiver<ServedTopK>,
+    /// The last published (epoch tag, item matrix): the offline reference
+    /// for the probes queued against it, drained at the next tick.
+    published: Option<(u64, fedrec_linalg::Matrix)>,
+    lag_max: u64,
+}
+
 /// Everything a prepared cell carries besides the simulation itself:
 /// the evaluation harness, the record identity fields, and the streaming
 /// cadence. Split from [`Simulation`] so record-emitting hooks can borrow
@@ -841,6 +896,10 @@ struct CellHarness<'w> {
     users: usize,
     epochs: usize,
     eval_every: usize,
+    /// Live serving probe; `None` unless [`MatrixConfig::serve`] is on.
+    /// A mutex for interior mutability behind the hooks' shared borrow —
+    /// ticks within one cell run strictly sequentially.
+    serve: Option<Mutex<CellServe>>,
 }
 
 impl CellHarness<'_> {
@@ -876,6 +935,7 @@ impl CellHarness<'_> {
         if self.eval_every == 0 || !done.is_multiple_of(self.eval_every) || done == self.epochs {
             return None;
         }
+        let (serve_publishes, served_epoch_lag) = self.serve_tick(done, snap.items, snap.users);
         let (rep, stats) = self.eval.run(snap.items, snap.users);
         Some(self.line(
             &RecordPoint {
@@ -884,6 +944,8 @@ impl CellHarness<'_> {
                 loss: snap.loss,
                 rows_materialized: snap.rows_materialized,
                 participants_touched: snap.participants_touched,
+                serve_publishes,
+                served_epoch_lag,
             },
             &rep,
             &stats,
@@ -893,6 +955,8 @@ impl CellHarness<'_> {
 
     /// The summary record for a finished run.
     fn final_line(&self, sim: &Simulation, history: &TrainingHistory) -> String {
+        let (serve_publishes, served_epoch_lag) =
+            self.serve_tick(self.epochs, sim.items(), sim.user_rows());
         let (rep, stats) = self.eval.run(sim.items(), sim.user_rows());
         self.line(
             &RecordPoint {
@@ -901,11 +965,80 @@ impl CellHarness<'_> {
                 loss: history.losses.last().copied().unwrap_or(0.0),
                 rows_materialized: sim.rows_materialized(),
                 participants_touched: sim.participants_touched(),
+                serve_publishes,
+                served_epoch_lag,
             },
             &rep,
             &stats,
             history,
         )
+    }
+
+    /// One live-serving step at an emitting epoch (`done` epochs have
+    /// finished): drain the probe requests queued at the previous tick —
+    /// verifying every response byte-identical to offline evaluation of
+    /// the snapshot its epoch tag names, with the user rows the drain
+    /// itself served from — then publish this epoch's snapshot and queue
+    /// fresh probes against it. Returns the `(serve_publishes,
+    /// served_epoch_lag)` record fields; `(0, 0)` when serving is off.
+    fn serve_tick(
+        &self,
+        done: usize,
+        items: &fedrec_linalg::Matrix,
+        users: &dyn fedrec_recsys::UserRowSource,
+    ) -> (u64, u64) {
+        let Some(state) = &self.serve else {
+            return (0, 0);
+        };
+        let mut st = state.lock().expect("serve state poisoned");
+        let k = st.svc.config().k;
+        if let Some((prev_tag, prev_items)) = st.published.take() {
+            let served = st.svc.drain_now(users, 1);
+            let pruned = PrunedItems::build(&prev_items);
+            let mut row = vec![0.0f32; prev_items.cols()];
+            let mut seen = 0usize;
+            while let Ok(resp) = st.rx.try_recv() {
+                seen += 1;
+                assert_eq!(
+                    resp.epoch, prev_tag,
+                    "serve identity (cell {}): response tagged epoch {} but only \
+                     epoch {prev_tag} was published when it was queued",
+                    self.id, resp.epoch
+                );
+                st.lag_max = st.lag_max.max((done as u64).saturating_sub(resp.epoch));
+                users.write_user_row(resp.user as usize, &mut row);
+                let mut offline = Vec::new();
+                PrunedScores::new(&pruned, &prev_items, &row).top_ranked_excluding(
+                    &[],
+                    k,
+                    &mut offline,
+                );
+                let matches = resp.top.len() == offline.len()
+                    && resp
+                        .top
+                        .iter()
+                        .zip(&offline)
+                        .all(|(s, o)| s.0 == o.0 && s.1.to_bits() == o.1.to_bits());
+                assert!(
+                    matches,
+                    "serve identity (cell {}): user {} response at epoch {prev_tag} is \
+                     not byte-identical to offline evaluation of that snapshot",
+                    self.id, resp.user
+                );
+            }
+            assert_eq!(
+                seen, served,
+                "serve identity (cell {}): drained {served} responses but received {seen}",
+                self.id
+            );
+        }
+        st.svc.publish(done as u64, items);
+        st.published = Some((done as u64, items.clone()));
+        for u in 0..self.users.min(SERVE_PROBE_USERS) as u32 {
+            let tx = st.tx.clone();
+            assert!(st.svc.submit(u, Vec::new(), tx), "serve queue closed");
+        }
+        (st.svc.publish_count(), st.lag_max)
     }
 }
 
@@ -996,6 +1129,16 @@ fn prepare_cell<'w>(
         users: source.num_users(),
         epochs: fed.epochs,
         eval_every: cfg.eval_every,
+        serve: cfg.serve.then(|| {
+            let (tx, rx) = mpsc::channel();
+            Mutex::new(CellServe {
+                svc: Service::new(ServeConfig::default()),
+                tx,
+                rx,
+                published: None,
+                lag_max: 0,
+            })
+        }),
     };
     (sim, harness)
 }
@@ -1256,7 +1399,13 @@ pub fn validate_record(line: &str) -> Result<(), String> {
             return Err(format!("{key} out of range ({v}): {line}"));
         }
     }
-    for key in ["eval_ms", "items_scored", "items_skipped"] {
+    for key in [
+        "eval_ms",
+        "items_scored",
+        "items_skipped",
+        "serve_publishes",
+        "served_epoch_lag",
+    ] {
         let raw = get(key).expect("checked above");
         raw.parse::<u64>()
             .map_err(|_| format!("{key} is not a count ({raw:?}): {line}"))?;
@@ -1667,6 +1816,53 @@ mod tests {
             validate_record(s_lines.last().unwrap()).unwrap();
         }
         assert!(saw_lazy_win, "sharded runs must not materialize everyone");
+    }
+
+    /// The live serving probe changes the two volatile serve fields and
+    /// nothing else: a cell run with serving on is byte-identical to the
+    /// same cell with serving off after [`volatile_invariant`], and the
+    /// serve fields themselves report real publishes and real staleness
+    /// (each drain serves probes queued one emitting epoch earlier).
+    /// `serve_tick` panics internally if any served response is not
+    /// byte-identical to offline evaluation of its tagged snapshot, so
+    /// this test also gates the serve identity contract mid-training.
+    #[test]
+    fn serving_probe_is_volatile_only_and_reports_staleness() {
+        let off_cfg = tiny_scale_cfg(41);
+        let on_cfg = MatrixConfig {
+            serve: true,
+            ..off_cfg.clone()
+        };
+        let cell = CellSpec {
+            attack: AttackMethod::Random,
+            defense: DefenseKind::NormClip,
+            rho: 0.01,
+        };
+        let off = run_cell(&off_cfg, &cell);
+        let on = run_cell(&on_cfg, &cell);
+        let vol = |lines: &[String]| -> Vec<String> {
+            lines.iter().map(|l| volatile_invariant(l)).collect()
+        };
+        assert_eq!(vol(&on), vol(&off), "serving leaked into a record byte");
+        for line in &off {
+            assert_eq!(record_field(line, "serve_publishes"), "0");
+            assert_eq!(record_field(line, "served_epoch_lag"), "0");
+        }
+        let publishes: Vec<u64> = on
+            .iter()
+            .map(|l| record_field(l, "serve_publishes").parse().unwrap())
+            .collect();
+        assert!(
+            publishes.windows(2).all(|w| w[0] < w[1]),
+            "publish counts must strictly increase across records: {publishes:?}"
+        );
+        assert_eq!(*publishes.last().unwrap(), on.len() as u64);
+        // Probes queued at epoch 2 drain at epoch 4: observed lag 2.
+        let lag: u64 = record_field(on.last().unwrap(), "served_epoch_lag")
+            .parse()
+            .unwrap();
+        assert_eq!(lag, 2, "expected eval-cadence staleness");
+        validate_record(on.last().unwrap()).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | slug | hazard |
 //! |------|--------|
 //! | `hash-iter` | iterating a `HashMap`/`HashSet` (nondeterministic order feeding aggregation, JSONL emission or checkpoint bytes) |
-//! | `wall-clock` | `Instant::now`/`SystemTime::now`/`std::env` reads outside `crates/bench`, `crates/devtools`, `crates/lint` |
+//! | `wall-clock` | `Instant::now`/`SystemTime::now`/`std::env` reads outside `crates/bench`, `crates/devtools`, `crates/lint` and the pinned telemetry file `crates/serve/src/telemetry.rs` |
 //! | `thread-id` | thread-identity dependence (`thread::current().id()`, `thread_local!`) in round-loop code |
 //! | `rng-seed` | RNG construction whose argument does not visibly flow from a seed/state, or ambient entropy (`thread_rng`, `RandomState`) |
 //! | `unsafe-safety` | an `unsafe` token without an adjacent `// SAFETY:` comment |
@@ -41,7 +41,7 @@ pub const RULE_SLUGS: &[&str] = &[
 /// `fedrec-lint --rules` and the architecture docs.
 pub const RULE_SUMMARIES: &[(&str, &str)] = &[
     ("hash-iter", "HashMap/HashSet iteration: order is nondeterministic; use BTreeMap/BTreeSet or sort before iterating"),
-    ("wall-clock", "Instant::now/SystemTime::now/std::env reads outside bench/devtools: ambient state must not reach simulation code"),
+    ("wall-clock", "Instant::now/SystemTime::now/std::env reads outside bench/devtools/lint and serve's telemetry file: ambient state must not reach simulation code"),
     ("thread-id", "thread::current()/ThreadId/thread_local!: results must be thread-count- and thread-identity-invariant"),
     ("rng-seed", "RNG built from a value that does not visibly flow from a seed/state argument, or from ambient entropy"),
     ("unsafe-safety", "unsafe without an adjacent // SAFETY: comment"),
@@ -121,6 +121,14 @@ fn crate_of(rel_path: &str) -> String {
 /// from `wall-clock` and `thread-id`.
 const CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "devtools", "lint"];
 
+/// Individual production files allowed to read the wall clock (and only
+/// that — `thread-id` still applies). The serving layer's latency
+/// telemetry is inherently a wall-clock quantity; confining the exemption
+/// to one file keeps every other serving path (scoring, caching, snapshot
+/// publication) under the rule, so timestamps can never leak into ranked
+/// output or recorded experiment bytes.
+const CLOCK_EXEMPT_PATHS: &[&str] = &["crates/serve/src/telemetry.rs"];
+
 /// Files allowed to perform float reductions in (or for use by) threaded
 /// contexts: the linalg kernels and the metrics accumulator whose `merge`
 /// fixes the summation association.
@@ -136,7 +144,9 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
     if !f.is_test_file {
         rule_hash_iter(f, &mut out);
         if !CLOCK_EXEMPT_CRATES.contains(&f.crate_name.as_str()) {
-            rule_wall_clock(f, &mut out);
+            if !CLOCK_EXEMPT_PATHS.contains(&f.rel_path.as_str()) {
+                rule_wall_clock(f, &mut out);
+            }
             rule_thread_id(f, &mut out);
         }
         rule_rng_seed(f, &mut out);
@@ -306,10 +316,11 @@ fn rule_wall_clock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                 "wall-clock",
                 a.line,
                 format!(
-                    "{what} outside crates/bench and crates/devtools: wall-clock and \
-                     environment reads are ambient inputs the byte-identity gates \
-                     cannot replay — keep them out of simulation code or suppress \
-                     with a justification"
+                    "{what} outside the timing-exempt crates (bench/devtools/lint) \
+                     and files (serve telemetry): wall-clock and environment reads \
+                     are ambient inputs the byte-identity gates cannot replay — \
+                     keep them out of simulation code or suppress with a \
+                     justification"
                 ),
             ));
         }
@@ -839,6 +850,18 @@ mod tests {
         assert!(check_file(&file("crates/lint/src/x.rs", src)).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { fn f() { let t = Instant::now(); } }\n";
         assert!(check_file(&file("crates/federated/src/x.rs", test_src)).is_empty());
+        // The path exemption covers exactly the serve telemetry file and
+        // grants only wall-clock — not thread-id — and nothing else in
+        // the serve crate.
+        assert!(check_file(&file("crates/serve/src/telemetry.rs", src)).is_empty());
+        assert_eq!(
+            check_file(&file("crates/serve/src/service.rs", src)).len(),
+            1
+        );
+        let tid = "fn f() { let t = Instant::now(); thread_local! { static X: u8 = 0; } }\n";
+        let hits = check_file(&file("crates/serve/src/telemetry.rs", tid));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "thread-id");
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod topk;
 pub mod trainer;
 
 pub use model::MfModel;
-pub use scorer::ScoreSource;
+pub use scorer::{top_ranked_block, PrunedItems, PrunedScores, ScoreSource};
 pub use stream_eval::{EvalCounters, EvalMode, IncrementalEvalState, UserRowSource};

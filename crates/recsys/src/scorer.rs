@@ -259,55 +259,181 @@ impl<'a> PrunedScores<'a> {
                 self.u,
                 &mut scores[..end - pos],
             );
-            // Feed in groups of 8 with the same exact pre-screen as the
-            // full-mode tile feed: once the heap is full, a group whose
-            // pairwise max is strictly below the floor cannot contribute
-            // (equal scores only enter on the id tie-break, which `<`
-            // excludes; NaN/-∞ sanitize to `f32::MIN`, covered by the
-            // `floor > f32::MIN` guard). Skipped groups still count
-            // their non-excluded members into `scored` — the group's
-            // dots were computed above — so counters are identical to
-            // the per-item formulation. `pos` is a multiple of 256, so
-            // groups stay aligned within the `u64` exclusion words.
-            let group_end = pos + (end - pos) / 8 * 8;
-            let mut p = pos;
-            'groups: while p < group_end {
-                if heap.is_full() {
-                    if let Some(floor) = heap.min_score() {
-                        if floor > f32::MIN {
-                            let g = &scores[p - pos..p - pos + 8];
-                            let gmax = g[0]
-                                .max(g[1])
-                                .max(g[2].max(g[3]))
-                                .max(g[4].max(g[5]).max(g[6].max(g[7])));
-                            if gmax < floor {
-                                let bits = excl[p / 64] >> (p % 64) & 0xFF;
-                                self.scored += 8 - u64::from(bits.count_ones());
-                                p += 8;
-                                continue 'groups;
-                            }
-                        }
-                    }
-                }
-                for d in p..p + 8 {
-                    if excl[d / 64] >> (d % 64) & 1 == 0 {
-                        self.scored += 1;
-                        heap.push(self.pruned.order[d], scores[d - pos]);
-                    }
-                }
-                p += 8;
-            }
-            for d in group_end..end {
-                if excl[d / 64] >> (d % 64) & 1 == 0 {
-                    self.scored += 1;
-                    heap.push(self.pruned.order[d], scores[d - pos]);
-                }
-            }
+            feed_pruned_scores(
+                &mut heap,
+                &self.pruned.order,
+                &scores[..end - pos],
+                pos,
+                &excl,
+                &mut self.scored,
+            );
             pos = end;
             block += 1;
         }
         heap.drain_sorted_into(out);
     }
+}
+
+/// Feed one pruning block's precomputed scores (`scores[i]` is visit
+/// position `pos + i`) into a user's heap, in groups of 8 with the same
+/// exact pre-screen as the full-mode tile feed: once the heap is full, a
+/// group whose pairwise max is strictly below the floor cannot contribute
+/// (equal scores only enter on the id tie-break, which `<` excludes;
+/// NaN/-∞ sanitize to `f32::MIN`, covered by the `floor > f32::MIN`
+/// guard). Skipped groups still count their non-excluded members into
+/// `scored` — the group's dots were already computed — so counters are
+/// identical to the per-item formulation. `pos` is a multiple of 256, so
+/// groups stay aligned within the `u64` exclusion words.
+///
+/// Shared by the rowwise [`PrunedScores`] sweep and the batched
+/// [`top_ranked_block`]: identical feeding order is what makes the two
+/// paths byte-identical.
+fn feed_pruned_scores(
+    heap: &mut TopKHeap,
+    order: &[u32],
+    scores: &[f32],
+    pos: usize,
+    excl: &[u64],
+    scored: &mut u64,
+) {
+    let end = pos + scores.len();
+    let group_end = pos + scores.len() / 8 * 8;
+    let mut p = pos;
+    'groups: while p < group_end {
+        if heap.is_full() {
+            if let Some(floor) = heap.min_score() {
+                if floor > f32::MIN {
+                    let g = &scores[p - pos..p - pos + 8];
+                    let gmax = g[0]
+                        .max(g[1])
+                        .max(g[2].max(g[3]))
+                        .max(g[4].max(g[5]).max(g[6].max(g[7])));
+                    if gmax < floor {
+                        let bits = excl[p / 64] >> (p % 64) & 0xFF;
+                        *scored += 8 - u64::from(bits.count_ones());
+                        p += 8;
+                        continue 'groups;
+                    }
+                }
+            }
+        }
+        for d in p..p + 8 {
+            if excl[d / 64] >> (d % 64) & 1 == 0 {
+                *scored += 1;
+                heap.push(order[d], scores[d - pos]);
+            }
+        }
+        p += 8;
+    }
+    for d in group_end..end {
+        if excl[d / 64] >> (d % 64) & 1 == 0 {
+            *scored += 1;
+            heap.push(order[d], scores[d - pos]);
+        }
+    }
+}
+
+/// Batched exact top-`k` for up to a user block: every user's ranked
+/// `(item, sanitized score)` list is **byte-identical** to what
+/// [`PrunedScores::top_ranked_excluding`] produces for that user alone —
+/// same dots (the blocked kernel computes bit-identical
+/// [`vector::dot`]s), same block visit order, same per-user bound
+/// deactivation at block boundaries, same group pre-screen, same heap
+/// total order. The batch only amortizes `V` memory traffic: each
+/// [`PRUNE_BLOCK`] item tile is streamed once for all still-active users
+/// instead of once per user.
+///
+/// `users` holds the row-major user vectors (`excludes.len()` rows of
+/// width `pruned.k()`); each exclusion list must be sorted ascending.
+/// Users whose bound fires are dropped from subsequent kernel calls, so a
+/// batch of mostly-prunable users converges to the cheap rows quickly.
+/// Returns the summed per-user dot counts under [`PrunedScores`]
+/// semantics (non-excluded offers in visited blocks; excluded rows are
+/// scored by the kernel but never counted).
+pub fn top_ranked_block(
+    pruned: &PrunedItems,
+    users: &[f32],
+    excludes: &[&[u32]],
+    k: usize,
+    out: &mut [Vec<(u32, f32)>],
+) -> u64 {
+    let b = excludes.len();
+    let kdim = pruned.k;
+    assert_eq!(users.len(), b * kdim, "user block shape mismatch");
+    assert_eq!(out.len(), b, "output slot count mismatch");
+    for o in out.iter_mut() {
+        o.clear();
+    }
+    if b == 0 || k == 0 {
+        return 0;
+    }
+    let m = pruned.order.len();
+    let words = m.div_ceil(64);
+    let mut excl = vec![0u64; b * words];
+    for (j, exclude) in excludes.iter().enumerate() {
+        debug_assert!(exclude.windows(2).all(|w| w[0] < w[1]), "exclude unsorted");
+        for &e in *exclude {
+            let p = pruned.pos_of[e as usize] as usize;
+            excl[j * words + p / 64] |= 1 << (p % 64);
+        }
+    }
+    let mut heaps: Vec<TopKHeap> = (0..b).map(|_| TopKHeap::new(k)).collect();
+    let unorms: Vec<f64> = (0..b)
+        .map(|j| row_norm_f64(&users[j * kdim..(j + 1) * kdim]))
+        .collect();
+    let mut active: Vec<usize> = (0..b).collect();
+    let mut packed = vec![0.0f32; b * kdim];
+    let mut tile = vec![0.0f32; b * PRUNE_BLOCK];
+    let mut scored = 0u64;
+    let mut pos = 0usize;
+    let mut block = 0usize;
+    while pos < m {
+        // Same strictly-below test as the rowwise sweep's `break`, made
+        // per-user: a deactivated user is never fed again, which is
+        // exactly what breaking out of the rowwise loop does.
+        active.retain(|&j| {
+            if heaps[j].is_full() {
+                if let Some(min) = heaps[j].min_score() {
+                    if unorms[j] * pruned.bounds[block] < f64::from(min) {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        if active.is_empty() {
+            break;
+        }
+        let end = (pos + PRUNE_BLOCK).min(m);
+        let t = end - pos;
+        let a = active.len();
+        for (slot, &j) in active.iter().enumerate() {
+            packed[slot * kdim..(slot + 1) * kdim]
+                .copy_from_slice(&users[j * kdim..(j + 1) * kdim]);
+        }
+        kernel::score_block(
+            &packed[..a * kdim],
+            &pruned.rows[pos * kdim..end * kdim],
+            kdim,
+            &mut tile[..a * t],
+        );
+        for (slot, &j) in active.iter().enumerate() {
+            feed_pruned_scores(
+                &mut heaps[j],
+                &pruned.order,
+                &tile[slot * t..(slot + 1) * t],
+                pos,
+                &excl[j * words..(j + 1) * words],
+                &mut scored,
+            );
+        }
+        pos = end;
+        block += 1;
+    }
+    for (j, o) in out.iter_mut().enumerate() {
+        heaps[j].drain_sorted_into(o);
+    }
+    scored
 }
 
 impl ScoreSource for PrunedScores<'_> {
@@ -523,6 +649,73 @@ mod tests {
             );
         }
         assert_eq!(ls.score_of(3).to_bits(), dense[3].to_bits());
+    }
+
+    /// The batched block scorer must reproduce the rowwise pruned sweep
+    /// bit for bit — ranked lists, score bits, and summed dot counters —
+    /// across norm skew (users deactivate at different blocks), partial
+    /// tail blocks, exclusions, and varying k.
+    #[test]
+    fn top_ranked_block_matches_rowwise_pruned_exactly() {
+        // 1000 items = 3 full blocks + a 232-item tail; skew the front so
+        // bounds actually fire for small-norm users.
+        let mut items = random_items(1000, 8, 11);
+        for i in 0..24 {
+            for x in items.row_mut(i) {
+                *x *= 50.0;
+            }
+        }
+        let pruned = PrunedItems::build(&items);
+        let mut rng = SeededRng::new(12);
+        for k in [1usize, 10, 74, 1200] {
+            let b = 13usize;
+            let mut users = Vec::with_capacity(b * 8);
+            let mut excludes: Vec<Vec<u32>> = Vec::with_capacity(b);
+            for j in 0..b {
+                // Mix magnitudes so some users' bounds fire early and
+                // others never do.
+                let scale = if j % 3 == 0 { 0.02f32 } else { 1.0 };
+                for _ in 0..8 {
+                    users.push(rng.normal(0.0, 1.0) * scale);
+                }
+                excludes.push(
+                    (0..items.rows() as u32)
+                        .filter(|i| (i + j as u32).is_multiple_of(11))
+                        .collect(),
+                );
+            }
+            let excl_refs: Vec<&[u32]> = excludes.iter().map(|e| e.as_slice()).collect();
+            let mut batched: Vec<Vec<(u32, f32)>> = vec![Vec::new(); b];
+            let batched_scored = top_ranked_block(&pruned, &users, &excl_refs, k, &mut batched);
+            let mut rowwise_scored = 0u64;
+            for j in 0..b {
+                let u = &users[j * 8..(j + 1) * 8];
+                let mut ps = PrunedScores::new(&pruned, &items, u);
+                let mut ranked = Vec::new();
+                ps.top_ranked_excluding(&excludes[j], k, &mut ranked);
+                rowwise_scored += ps.items_scored();
+                assert_eq!(ranked.len(), batched[j].len(), "k={k} user {j}");
+                for (r, bt) in ranked.iter().zip(&batched[j]) {
+                    assert_eq!(r.0, bt.0, "k={k} user {j}");
+                    assert_eq!(r.1.to_bits(), bt.1.to_bits(), "k={k} user {j}");
+                }
+            }
+            assert_eq!(batched_scored, rowwise_scored, "counter mismatch k={k}");
+        }
+    }
+
+    #[test]
+    fn top_ranked_block_handles_empty_and_degenerate_batches() {
+        let items = random_items(64, 4, 13);
+        let pruned = PrunedItems::build(&items);
+        let mut out: Vec<Vec<(u32, f32)>> = Vec::new();
+        assert_eq!(top_ranked_block(&pruned, &[], &[], 10, &mut out), 0);
+        // k = 0 clears outputs and scores nothing.
+        let u = vec![1.0f32, 0.0, 0.0, 0.0];
+        let mut out = vec![vec![(7u32, 0.5f32)]];
+        let ex: &[u32] = &[];
+        assert_eq!(top_ranked_block(&pruned, &u, &[ex], 0, &mut out), 0);
+        assert!(out[0].is_empty());
     }
 
     #[test]

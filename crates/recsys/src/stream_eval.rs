@@ -62,14 +62,39 @@ pub const ITEM_TILE: usize = 256;
 /// fires, at the cost of rescoring more candidates per eval epoch.
 const CAND_EXTRA: usize = 54;
 
-/// Cached candidates per user (top-10 plus the margin band).
-const CAND_K: usize = 10 + CAND_EXTRA;
+/// Cached candidates per user (top-10 plus the margin band). Public so
+/// the serving layer's per-user candidate caches use the identical band —
+/// its drift-bound validity argument is the same one documented on
+/// [`IncrementalEvalState`].
+pub const CAND_K: usize = 10 + CAND_EXTRA;
 
 /// Relative slack absorbing f32 dot rounding in the incremental validity
 /// bound, applied as `DOT_SLACK · ‖u‖ · max‖V_i‖`. Same reasoning as
 /// [`scorer::BOUND_SLACK`]: the f32 kernel's error is `O(k·ε)` of
 /// `‖u‖‖v‖`, and `1e-4` dominates it for any realistic latent dimension.
-const DOT_SLACK: f64 = 1e-4;
+/// Public for the serving layer, whose cache-validity check must apply
+/// the identical slack to stay byte-identical to this evaluator.
+pub const DOT_SLACK: f64 = 1e-4;
+
+/// Users probed per shard before [`EvalMode::Pruned`] commits to a
+/// strategy for the shard's remainder (see the adaptive fallback note on
+/// [`Evaluator::evaluate_user_range_mode`]).
+pub const PRUNE_PROBE_USERS: usize = 32;
+
+/// Probe decision threshold: the pruned sweep keeps going only when the
+/// probe skipped at least `1/PRUNE_PROBE_MIN_SKIP` of its candidate dots.
+/// The blocked-full kernel moves roughly 2× the FLOP rate of the rowwise
+/// pruned path, so a skip rate this low can never pay for the lost block
+/// reuse; a sweep that prunes for real skips orders of magnitude more.
+const PRUNE_PROBE_MIN_SKIP: u64 = 16;
+
+/// Early probe checkpoint: the skip-rate test also runs after this many
+/// users. A uniform-norm catalog (the fallback's reason to exist) shows
+/// exactly zero skips from the first user, so the shard bails to
+/// blocked-full after paying the rowwise worst case for only this prefix
+/// instead of the full probe; shards with a nonzero-but-borderline skip
+/// rate still fund all `PRUNE_PROBE_USERS` before deciding.
+const PRUNE_PROBE_EARLY: usize = 8;
 
 /// How the streamed evaluator computes each user's exact top-10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -406,6 +431,16 @@ impl Evaluator {
     /// All modes return byte-identical [`EvalReport`]s (a property the
     /// proptests and `repro matrix --smoke` gate on); the [`EvalCounters`]
     /// expose how much work the chosen mode avoided.
+    ///
+    /// [`EvalMode::Pruned`] is adaptive per shard: up to
+    /// [`PRUNE_PROBE_USERS`] users run through the norm-bound scorer, and
+    /// if they skipped less than `1/PRUNE_PROBE_MIN_SKIP` of their
+    /// candidate dots — checked at an early checkpoint and again after the
+    /// full probe — the shard's remainder falls back to the blocked-full
+    /// kernel (uniform-norm factors make the bound worthless, and the
+    /// rowwise sweep then loses to block reuse). The fallback changes only
+    /// the counters, never a report byte, and the decision depends only on
+    /// the shard's own users — counters stay thread-invariant.
     /// [`EvalMode::Incremental`] requires `state` and panics without it.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate_user_range_mode<D>(
@@ -527,14 +562,78 @@ impl Evaluator {
                     }
                     EvalMode::Pruned => {
                         let pi = pruned.as_ref().expect("pruned items prepared");
-                        for u in lo..hi {
-                            users.write_user_row(u, &mut row);
-                            let mut src = PrunedScores::new(pi, items, &row);
-                            acc.push_user_attack(&mut src, train.user_items(u), self.targets());
-                            if let Some(test_item) = test.get(u).copied().flatten() {
-                                acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+                        // Adaptive probe: sweep the first few users through
+                        // the norm-bound scorer and watch the realized skip
+                        // rate. On adversarially uniform norms the bound
+                        // never fires, and the rowwise pruned sweep then
+                        // pays full price without the blocked kernel's
+                        // 64-user item-tile reuse — slower than just
+                        // sweeping everything. If the probe skipped
+                        // (almost) nothing, finish the shard blocked-full;
+                        // both paths produce byte-identical reports, so
+                        // the switch can never change a metric byte. The
+                        // decision reads only this shard's own probe
+                        // users, so counters stay deterministic and
+                        // thread-invariant. (Counter semantics differ
+                        // slightly by design: the fallback, like
+                        // `EvalMode::Full`, counts every kernel dot
+                        // including excluded items, while the pruned path
+                        // counts non-excluded offers only.)
+                        // The probe itself pays the rowwise worst case, so
+                        // it checks its skip rate at an early checkpoint
+                        // first: an adversarially uniform catalog shows
+                        // zero skips immediately and the shard bails to
+                        // blocked-full after PRUNE_PROBE_EARLY users; only
+                        // ambiguous shards fund the full probe.
+                        let early_hi = (lo + PRUNE_PROBE_EARLY).min(hi);
+                        let probe_hi = (lo + PRUNE_PROBE_USERS).min(hi);
+                        let mut probe_scored = 0u64;
+                        let mut probe_budget = 0u64;
+                        let mut done = lo;
+                        let mut fallback_from = None;
+                        for checkpoint in [early_hi, probe_hi] {
+                            for u in done..checkpoint {
+                                users.write_user_row(u, &mut row);
+                                let mut src = PrunedScores::new(pi, items, &row);
+                                acc.push_user_attack(&mut src, train.user_items(u), self.targets());
+                                if let Some(test_item) = test.get(u).copied().flatten() {
+                                    acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+                                }
+                                probe_scored += src.items_scored();
+                                probe_budget += (m - train.user_items(u).len()) as u64;
                             }
-                            scored += src.items_scored();
+                            done = checkpoint;
+                            let probe_skipped = probe_budget - probe_scored;
+                            if checkpoint < hi
+                                && probe_skipped * PRUNE_PROBE_MIN_SKIP < probe_budget
+                            {
+                                fallback_from = Some(checkpoint);
+                                break;
+                            }
+                        }
+                        scored += probe_scored;
+                        if let Some(from) = fallback_from {
+                            self.eval_shard_full(
+                                items,
+                                users,
+                                train,
+                                test,
+                                from,
+                                hi,
+                                &mut scratch,
+                                &mut acc,
+                                &mut scored,
+                            );
+                        } else {
+                            for u in done..hi {
+                                users.write_user_row(u, &mut row);
+                                let mut src = PrunedScores::new(pi, items, &row);
+                                acc.push_user_attack(&mut src, train.user_items(u), self.targets());
+                                if let Some(test_item) = test.get(u).copied().flatten() {
+                                    acc.push_user_hr(&mut src, test_item, &self.hr_negatives[u]);
+                                }
+                                scored += src.items_scored();
+                            }
                         }
                     }
                     EvalMode::Incremental => {
@@ -918,6 +1017,133 @@ mod tests {
             assert_eq!(r1, rt);
             assert_eq!(c1, ct, "counters diverged at {t} threads");
         }
+    }
+
+    /// Uniform-norm item factors are the norm bound's adversarial case:
+    /// no block can ever be skipped. The per-shard probe must detect the
+    /// zero skip rate and fall back to the blocked-full kernel for the
+    /// shard remainder — without changing a report byte and with
+    /// thread-invariant counters.
+    #[test]
+    fn pruned_probe_falls_back_on_uniform_norms() {
+        let (train, test, eval, mut model) = setup();
+        // Rescale every item row to unit norm: directions (and therefore
+        // rankings) stay distinct, but every Cauchy–Schwarz bound is flat.
+        for i in 0..model.item_factors.rows() {
+            let row = model.item_factors.row_mut(i);
+            let mut sq = 0.0f64;
+            for v in row.iter() {
+                sq += f64::from(*v) * f64::from(*v);
+            }
+            let inv = (1.0 / sq.sqrt()) as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        let n = train.num_users();
+        // Wider than PRUNE_PROBE_USERS so every shard has a post-probe
+        // remainder for the fallback to cover.
+        let shard_rows = PRUNE_PROBE_USERS * 2;
+        let run = |threads: usize, mode: EvalMode| {
+            eval.evaluate_user_range_mode(
+                &model.item_factors,
+                &model.user_factors,
+                &train,
+                &test,
+                0..n,
+                threads,
+                shard_rows,
+                mode,
+                None,
+            )
+        };
+        let (full, fc) = run(1, EvalMode::Full);
+        let (pruned, pc) = run(1, EvalMode::Pruned);
+        assert_eq!(full, pruned, "fallback changed report bytes");
+        assert_eq!(pc.items_scored + pc.items_skipped, fc.items_scored);
+        // Fallback engaged: the rowwise pruned path skips exactly the
+        // users' exclusion lists here (the bound fires for nothing), while
+        // the blocked fallback charges remainder users the full `m` dots.
+        // Fewer skips than the combined exclusion lists proves the
+        // remainder went through the kernel.
+        let mut excluded = 0u64;
+        for u in 0..n {
+            excluded += train.user_items(u).len() as u64;
+        }
+        assert!(excluded > 0, "smoke train set unexpectedly empty");
+        assert!(
+            pc.items_skipped < excluded,
+            "probe kept rowwise pruning on uniform norms: skipped={} excluded={excluded}",
+            pc.items_skipped
+        );
+        // The shard-local decision must not depend on worker count.
+        for t in [2usize, 8] {
+            let (rt, ct) = run(t, EvalMode::Pruned);
+            assert_eq!(pruned, rt, "fallback report diverged at {t} threads");
+            assert_eq!(pc, ct, "fallback counters diverged at {t} threads");
+        }
+    }
+
+    /// Norm-skewed factors (the realistic post-training shape) must keep
+    /// the rowwise pruned sweep: the probe sees a healthy skip rate and
+    /// never falls back, so `items_skipped` stays well above the pure
+    /// exclusion count. Needs a catalog wider than one [`PRUNE_BLOCK`] —
+    /// the block bound can't skip anything inside the block holding the
+    /// top candidates.
+    #[test]
+    fn pruned_probe_keeps_pruning_on_skewed_norms() {
+        let full_ds = SyntheticConfig {
+            name: "probe-skew",
+            num_items: 900,
+            ..SyntheticConfig::smoke()
+        }
+        .generate(33);
+        let (train, test) = leave_one_out(&full_ds, 4);
+        let targets = train.coldest_items(2);
+        let eval = Evaluator::new(&train, &test, &targets, 5);
+        let mut rng = SeededRng::new(6);
+        let mut model = MfModel::init(train.num_users(), train.num_items(), 8, &mut rng);
+        // Exaggerate the norm spread: geometric decay across item rows.
+        for i in 0..model.item_factors.rows() {
+            let scale = 0.99f32.powi(i as i32) * 4.0;
+            for v in model.item_factors.row_mut(i).iter_mut() {
+                *v *= scale;
+            }
+        }
+        let n = train.num_users();
+        let shard_rows = PRUNE_PROBE_USERS * 2;
+        let (full, _) = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..n,
+            1,
+            shard_rows,
+            EvalMode::Full,
+            None,
+        );
+        let (pruned, pc) = eval.evaluate_user_range_mode(
+            &model.item_factors,
+            &model.user_factors,
+            &train,
+            &test,
+            0..n,
+            1,
+            shard_rows,
+            EvalMode::Pruned,
+            None,
+        );
+        assert_eq!(full, pruned);
+        let mut excluded = 0u64;
+        for u in 0..n {
+            excluded += train.user_items(u).len() as u64;
+        }
+        assert!(
+            pc.items_skipped > excluded,
+            "skewed norms should prune beyond exclusions: skipped={} excluded={excluded}",
+            pc.items_skipped
+        );
     }
 
     /// Drive the incremental evaluator through several epochs of genuine

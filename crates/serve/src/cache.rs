@@ -1,0 +1,217 @@
+//! Per-user candidate caches with drift-bound validity — the serving
+//! twin of the offline incremental evaluator.
+//!
+//! A cache miss ranks the user's top-[`CAND_K`] candidates exactly (via
+//! the batched pruned scorer) and remembers the candidate ids plus the
+//! score *floor* — the sanitized score of the worst cached candidate —
+//! and the cumulative drift at cache time. A later request against a
+//! newer snapshot rescores just those `CAND_K` candidates (a few dozen
+//! dots instead of a full catalog sweep) and serves them iff the drift
+//! bound proves no outside item can have caught up:
+//!
+//! `kth_rescored > floor + ‖u‖·(drift_now − drift_then) + DOT_SLACK·‖u‖·vmax`
+//!
+//! This is byte-for-byte the validity test of
+//! [`IncrementalEvalState`](fedrec_recsys::IncrementalEvalState) (same
+//! [`CAND_K`] band, same [`DOT_SLACK`] slack, same strict inequality so a
+//! tying outside item that would win on a smaller id forces a miss), so
+//! the hit path inherits the offline evaluator's exactness proof: a hit
+//! serves the identical bytes a full sweep of the pinned snapshot would.
+//! NaN drift (degenerate training) fails the comparison and degrades
+//! every lookup to a miss — wrong-but-fast is never an outcome.
+//!
+//! Entries are sharded `user id % 64` across mutexes; each shard is an
+//! id-sorted vec probed by binary search, so lookups take no allocation
+//! and the lock is held for microseconds. Invalidation is lazy: publishes
+//! touch no cache state, entries simply fail their validity check against
+//! the newer snapshot and get replaced on the next miss.
+
+use crate::snapshot::ItemSnapshot;
+use fedrec_linalg::vector;
+use fedrec_recsys::scorer::row_norm_f64;
+use fedrec_recsys::stream_eval::DOT_SLACK;
+
+#[cfg(doc)]
+use fedrec_recsys::stream_eval::CAND_K;
+use fedrec_recsys::topk::TopKHeap;
+use std::sync::Mutex;
+
+/// Cache shards (locks); 64 keeps cross-user contention negligible at
+/// serving thread counts this side of absurd.
+const SHARDS: usize = 64;
+
+/// One user's cached ranking context.
+#[derive(Debug, Clone)]
+pub struct CachedUser {
+    /// User row the candidates were ranked for; any bitwise change (the
+    /// user trained since) invalidates the entry.
+    row: Vec<f32>,
+    /// Exclusion list the ranking was computed under; a request with a
+    /// different list cannot reuse it.
+    exclude: Vec<u32>,
+    /// `‖row‖` in f64, for the drift bound.
+    unorm: f64,
+    /// Exact ranked top-[`CAND_K`] candidate ids at cache time
+    /// (exclusions already applied).
+    cands: Vec<u32>,
+    /// Sanitized score of the worst cached candidate at cache time;
+    /// `-∞` when `cands` holds every non-excluded item (tiny catalogs),
+    /// making the entry unconditionally valid.
+    floor: f64,
+    /// Cumulative drift at cache time.
+    drift_at: f64,
+    /// Publish sequence the entry was built against: a request pinned to
+    /// an *older* snapshot must not consult a future cache (drift only
+    /// bounds forward movement), and installs never clobber newer
+    /// entries with older ones.
+    seq_at: u64,
+}
+
+/// Sharded per-user candidate cache.
+#[derive(Debug)]
+pub struct CandidateCache {
+    shards: Vec<Mutex<Vec<(u32, CachedUser)>>>,
+}
+
+impl Default for CandidateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bitwise row equality — the serving twin of the incremental
+/// evaluator's check: any retrained user row (even a sign-of-zero
+/// change) misses.
+fn rows_bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl CandidateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of cached users (test/report helper; takes every shard
+    /// lock in turn).
+    pub fn len(&self) -> usize {
+        let mut n = 0usize;
+        for s in &self.shards {
+            n += s.lock().expect("cache shard poisoned").len();
+        }
+        n
+    }
+
+    /// True when no user is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Try to serve `user`'s exact top-`k` from cache against the pinned
+    /// `snap`. On success writes the ranked `(item, sanitized score)`
+    /// list into `out` — byte-identical to a full sweep of `snap` — and
+    /// returns `true`. Costs at most [`CAND_K`] dots; never allocates
+    /// under the shard lock beyond the entry clone-out.
+    pub fn try_serve(
+        &self,
+        user: u32,
+        row: &[f32],
+        exclude: &[u32],
+        snap: &ItemSnapshot,
+        k: usize,
+        out: &mut Vec<(u32, f32)>,
+    ) -> bool {
+        let entry = {
+            let shard = self.shards[user as usize % SHARDS]
+                .lock()
+                .expect("cache shard poisoned");
+            match shard.binary_search_by_key(&user, |(u, _)| *u) {
+                Ok(i) => shard[i].1.clone(),
+                Err(_) => return false,
+            }
+        };
+        // A cache built against a newer publish can't serve an older
+        // pinned snapshot: drift only bounds forward movement.
+        if entry.seq_at > snap.seq || !rows_bits_equal(&entry.row, row) || entry.exclude != exclude
+        {
+            return false;
+        }
+        // Rescore the cached candidates exactly against the pinned
+        // snapshot; accept iff the drift bound proves no outside item
+        // can have caught up (mirrors `eval_user_incremental`).
+        let mut heap = TopKHeap::new(k);
+        for &cand in &entry.cands {
+            heap.push(cand, vector::dot(row, snap.items().row(cand as usize)));
+        }
+        let valid = if entry.floor == f64::NEG_INFINITY {
+            // The cache holds every non-excluded item: the rescore *is*
+            // the exact full ranking, whatever the drift.
+            true
+        } else if heap.is_full() {
+            let kth = f64::from(heap.min_score().expect("full heap has a min"));
+            let slack = DOT_SLACK * entry.unorm * snap.vmax_seen;
+            let bound = entry.floor + entry.unorm * (snap.drift - entry.drift_at) + slack;
+            // Strict: an outside item tying the kth score could still
+            // win on a smaller index.
+            kth > bound
+        } else {
+            // Fewer candidates than k and the band isn't the whole
+            // catalog: the cache can't answer this k.
+            false
+        };
+        if valid {
+            heap.drain_sorted_into(out);
+        }
+        valid
+    }
+
+    /// Install (or refresh) `user`'s entry from a miss resolved against
+    /// `snap`: `ranked` is the exact ranked top-`cand_k` list
+    /// (exclusions applied) and `full_catalog` says whether it covers
+    /// every non-excluded item. Never replaces an entry built against a
+    /// newer publish (two workers pinning different snapshots race
+    /// benignly: the newer snapshot's entry wins).
+    pub fn install(
+        &self,
+        user: u32,
+        row: &[f32],
+        exclude: &[u32],
+        snap: &ItemSnapshot,
+        ranked: &[(u32, f32)],
+        cand_k: usize,
+    ) {
+        let floor = if ranked.len() == cand_k {
+            f64::from(ranked[cand_k - 1].1)
+        } else {
+            // Short list ⇒ the exclusion-filtered catalog fits entirely
+            // in the band: unconditionally valid.
+            f64::NEG_INFINITY
+        };
+        let mut cands = Vec::with_capacity(ranked.len());
+        for &(item, _) in ranked {
+            cands.push(item);
+        }
+        let entry = CachedUser {
+            row: row.to_vec(),
+            exclude: exclude.to_vec(),
+            unorm: row_norm_f64(row),
+            cands,
+            floor,
+            drift_at: snap.drift,
+            seq_at: snap.seq,
+        };
+        let mut shard = self.shards[user as usize % SHARDS]
+            .lock()
+            .expect("cache shard poisoned");
+        match shard.binary_search_by_key(&user, |(u, _)| *u) {
+            Ok(i) => {
+                if shard[i].1.seq_at <= snap.seq {
+                    shard[i].1 = entry;
+                }
+            }
+            Err(i) => shard.insert(i, (user, entry)),
+        }
+    }
+}
