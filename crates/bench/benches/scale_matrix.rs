@@ -11,11 +11,17 @@
 //!   and for FedRecAttack;
 //! * `million_cell/random_gated` — a 1M-user / 100k-item cell (3 rounds,
 //!   streamed 10k-user evaluation): the acceptance measurement that a
-//!   million-user attack × defense cell is minutes-not-hours territory.
+//!   million-user attack × defense cell is minutes-not-hours territory;
+//! * `ncf_round/*` — the same 50k-user smoke cell trained through the
+//!   NCF model seam (MLP gradients through the round loop's shared `Θ`
+//!   block, full-mode MLP evaluation) next to its MF twin: what the
+//!   model axis costs per cell. Recorded in BENCH_ncf_round.json.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedrec_baselines::registry::AttackMethod;
-use fedrec_experiments::matrix::{run_cell, CellSpec, DefenseKind, MatrixConfig, ScalePreset};
+use fedrec_experiments::matrix::{
+    run_cell, CellSpec, DefenseKind, MatrixConfig, ModelKind, ScalePreset,
+};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -28,6 +34,7 @@ fn scale_cfg(preset: ScalePreset, epochs: usize) -> MatrixConfig {
 
 fn cell(attack: AttackMethod, rho: f64) -> CellSpec {
     CellSpec {
+        model: ModelKind::Mf,
         attack,
         defense: DefenseKind::DetectorGated,
         rho,
@@ -70,5 +77,33 @@ fn bench_million_cell(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_smoke50k_cell, bench_million_cell);
+/// The model-axis cost: one 50k-user smoke cell per model family, same
+/// attack × defense × ρ, so the delta is exactly what NCF adds per cell
+/// (MLP backprop in every client round, `Θ` upload/aggregation, and the
+/// full-mode MLP evaluation sweep instead of the pruned dot-product one).
+fn bench_ncf_round(c: &mut Criterion) {
+    let cfg = scale_cfg(ScalePreset::Smoke50k, 8);
+    let mut g = c.benchmark_group("ncf_round");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    for (name, model) in [
+        ("mf_random_gated", ModelKind::Mf),
+        ("ncf_random_gated", ModelKind::Ncf),
+    ] {
+        let spec = CellSpec {
+            model,
+            ..cell(AttackMethod::Random, 0.01)
+        };
+        g.bench_function(name, |b| b.iter(|| black_box(run_cell(&cfg, &spec).len())));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smoke50k_cell,
+    bench_million_cell,
+    bench_ncf_round
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedrec_baselines::registry::AttackMethod;
-use fedrec_experiments::matrix::{run_cell, run_matrix_collect, CellSpec, DefenseKind};
+use fedrec_experiments::matrix::{run_cell, run_matrix_collect, CellSpec, DefenseKind, ModelKind};
 use fedrec_experiments::{MatrixConfig, Scale};
 use std::hint::black_box;
 use std::time::Duration;
@@ -70,6 +70,7 @@ fn bench_single_cells(c: &mut Criterion) {
         ("detector_gated", DefenseKind::DetectorGated),
     ] {
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::FedRecAttack,
             defense,
             rho: 0.05,

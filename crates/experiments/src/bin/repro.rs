@@ -14,9 +14,10 @@
 //!       [--eval-mode full|pruned|incremental] [--eval-threads N]
 //!       [--out-dir DIR] [--workers N] [--epochs N] [--scale ...] [--seed N]
 //!       [--dataset ...] [--eval-every N] [--smoke]
-//! repro cell --attack A --defense D --rho R [--epochs N] [--scale ...]
-//!       [--seed N] [--dataset ...] [--population ...] [--eval-every N]
-//!       [--eval-mode full|pruned|incremental] [--eval-threads N] [--out FILE]
+//! repro cell --attack A --defense D --rho R [--model mf|ncf] [--epochs N]
+//!       [--scale ...] [--seed N] [--dataset ...] [--population ...]
+//!       [--eval-every N] [--eval-mode full|pruned|incremental]
+//!       [--eval-threads N] [--out FILE]
 //! repro report --dir DIR [--csv] [--out FILE]
 //! repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]
 //!       [--workers N] [--eval-users N] [--backend dense|sharded]
@@ -32,7 +33,9 @@
 //! population through the sharded client store (malicious users
 //! materialize as rows of the adversary's shard store on first
 //! participation; ~500 participants per round). `matrix --smoke` runs
-//! the attack × defense grid on the 50k-user scale-free preset, checks
+//! the {MF, NCF} × attack × defense grid on the 50k-user scale-free
+//! preset (the NCF half over a representative attack/defense subset),
+//! checks
 //! every record's schema, asserts the lazy-store invariant
 //! (`rows_materialized ≤ participants_touched`), reruns the grid on the
 //! dense backend to assert dense-vs-sharded byte-identity, reruns one
@@ -71,7 +74,7 @@
 use fedrec_baselines::registry::AttackMethod;
 use fedrec_experiments::matrix::{
     self, matrix_report, matrix_report_from, run_cell_into, run_matrix, CellSpec, DefenseKind,
-    MatrixConfig, Population,
+    MatrixConfig, ModelKind, Population,
 };
 use fedrec_experiments::{
     fig3_side_effects, run_scale, run_serve, scale_smoke, serve_smoke, table2_datasets,
@@ -100,6 +103,7 @@ struct Args {
     attack: Option<AttackMethod>,
     defense: Option<DefenseKind>,
     rho: Option<f64>,
+    model: Option<ModelKind>,
     epochs: Option<usize>,
     workers: Option<usize>,
     out_dir: Option<PathBuf>,
@@ -132,8 +136,9 @@ fn usage() -> ! {
          \x20      [--backend dense|sharded] [--shard-rows N] [--eval-users N]\n\
          \x20      [--eval-mode full|pruned|incremental] [--eval-threads N]\n\
          \x20      [--out-dir DIR] [--workers N] [--epochs N] [--smoke] [--serve]\n\
-         \x20      [shared flags]\n\
-         \x20 repro cell --attack A --defense D --rho R [--out FILE] [shared flags]\n\
+         \x20      [--model mf|ncf] [shared flags]\n\
+         \x20 repro cell --attack A --defense D --rho R [--model mf|ncf]\n\
+         \x20      [--out FILE] [shared flags]\n\
          \x20 repro report --dir DIR [--csv] [--out FILE]\n\
          \x20 repro scale [--smoke] [--users N] [--items N] [--epochs N] [--fraction F]\n\
          \x20      [--workers N] [--eval-users N] [--backend dense|sharded]\n\
@@ -161,6 +166,7 @@ fn parse_args() -> Args {
         attack: None,
         defense: None,
         rho: None,
+        model: None,
         epochs: None,
         workers: None,
         out_dir: None,
@@ -208,6 +214,7 @@ fn parse_args() -> Args {
                 args.defense = Some(DefenseKind::parse(&next()).unwrap_or_else(|| usage()))
             }
             "--rho" => args.rho = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--model" => args.model = Some(ModelKind::parse(&next()).unwrap_or_else(|| usage())),
             "--epochs" => args.epochs = Some(next().parse().unwrap_or_else(|_| usage())),
             "--workers" => args.workers = Some(next().parse().unwrap_or_else(|_| usage())),
             "--out-dir" => args.out_dir = Some(PathBuf::from(next())),
@@ -349,6 +356,20 @@ fn matrix_config(args: &Args) -> MatrixConfig {
     if args.serve {
         cfg.serve = true;
     }
+    // `--model` restricts the grid to one family: `ncf` moves the (possibly
+    // flag-overridden) attack/defense arms onto the NCF half, `mf` drops
+    // any preset NCF arms (e.g. the smoke grid's).
+    match args.model {
+        Some(ModelKind::Ncf) => {
+            cfg.ncf_attacks = std::mem::take(&mut cfg.attacks);
+            cfg.ncf_defenses = std::mem::take(&mut cfg.defenses);
+        }
+        Some(ModelKind::Mf) => {
+            cfg.ncf_attacks.clear();
+            cfg.ncf_defenses.clear();
+        }
+        None => {}
+    }
     cfg
 }
 
@@ -414,20 +435,27 @@ fn cmd_matrix(args: &Args) {
 ///    volatile `eval_ms` may differ);
 /// 4. one cell rerun standalone reproduces its file bytes (modulo
 ///    `eval_ms`, the wall-clock field);
-/// 5. the fedrecattack cell killed at a mid-run checkpoint and resumed
-///    in a fresh simulation reproduces the straight run's records and
-///    final item matrix byte-identically at 1, 2 and 8 threads;
-/// 6. rerunning the probe cell under `--eval-mode pruned` and
+/// 5. the fedrecattack cell of **each model family** killed at a mid-run
+///    checkpoint and resumed in a fresh simulation reproduces the
+///    straight run's records and final item matrix byte-identically at
+///    1, 2 and 8 threads (the NCF arm additionally round-trips the
+///    shared `Θ` block through the checkpoint);
+/// 6. rerunning the MF probe cell under `--eval-mode pruned` and
 ///    `incremental` (at 1 and 2 eval threads) reproduces the full
 ///    sweep's records byte-identically after [`matrix::mode_invariant`]
 ///    normalization — and the pruned rerun actually skips items;
-/// 7. every cell served live mid-training top-K traffic
+/// 7. every MF cell served live mid-training top-K traffic
 ///    ([`MatrixConfig::serve`] is on for the smoke grid): publish counts
 ///    strictly increase across each cell's records, the final record
 ///    observed real staleness (probes queued one emitting epoch drain at
 ///    the next), and — enforced inside the harness, which panics
 ///    otherwise — every served response was byte-identical to offline
 ///    evaluation of the snapshot its epoch tag names (no torn `V`).
+///    NCF cells skip the probe (its offline verifier is MF dot-product
+///    math) and must report the zero serve fields;
+/// 8. the NCF probe cell reruns byte-identically standalone, and a rerun
+///    under `--eval-mode pruned` is byte-identical *including* the mode
+///    fields — NCF cells pin `full`-mode evaluation.
 ///
 /// [`FaultPlan::smoke`]: fedrec_federated::FaultPlan::smoke
 fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
@@ -466,10 +494,12 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
             checked += 1;
         }
         // Serve gate: the smoke grid runs with the live serving probe on,
-        // so every cell must have published each emitting epoch's snapshot
-        // (strictly increasing counts) and its final record must have
-        // observed genuine staleness — probes queued at one emitting epoch
-        // are served at the next, one eval cadence behind training.
+        // so every MF cell must have published each emitting epoch's
+        // snapshot (strictly increasing counts) and its final record must
+        // have observed genuine staleness — probes queued at one emitting
+        // epoch are served at the next, one eval cadence behind training.
+        // NCF cells are exempt by design (the probe's offline verifier is
+        // MF dot-product math) and must report the zero serve fields.
         let serve_counts: Vec<u64> = lines
             .iter()
             .map(|l| {
@@ -479,6 +509,15 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
                     .unwrap_or_else(|| fail(&format!("record missing serve_publishes: {l}")))
             })
             .collect();
+        if o.cell.model == ModelKind::Ncf {
+            if serve_counts.iter().any(|&c| c != 0) {
+                fail(&format!(
+                    "serve gate: NCF cell {} reported serve publishes: {serve_counts:?}",
+                    o.cell.id()
+                ));
+            }
+            continue;
+        }
         if serve_counts.windows(2).any(|w| w[0] >= w[1]) || serve_counts.last() == Some(&0) {
             fail(&format!(
                 "serve gate: publish counts not strictly increasing in cell {}: {serve_counts:?}",
@@ -537,11 +576,17 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
             .map(|l| matrix::volatile_invariant(l))
             .collect()
     };
-    let probe = outcomes
-        .last()
-        .unwrap_or_else(|| fail("smoke grid produced no cells"));
+    // The eval-mode probe must be an MF cell: NCF cells pin `full` mode
+    // (the pruned/incremental bounds are dot-product math), so rerunning
+    // one under another mode would trivially pass without exercising the
+    // fast paths.
+    let probe_idx = outcomes
+        .iter()
+        .rposition(|o| o.cell.model == ModelKind::Mf)
+        .unwrap_or_else(|| fail("smoke grid produced no MF cells"));
+    let probe = &outcomes[probe_idx];
     let rerun = matrix::run_cell(cfg, &probe.cell);
-    let original = sharded_cells.last().expect("non-empty grid");
+    let original = &sharded_cells[probe_idx];
     if vol(&rerun) != vol(original) {
         fail(&format!(
             "determinism: standalone rerun of cell {} diverged from its file",
@@ -589,45 +634,90 @@ fn smoke_checks(cfg: &MatrixConfig, outcomes: &[matrix::CellOutcome]) {
         fail("eval-mode identity: pruned evaluation never skipped an item");
     }
 
+    // NCF probe gate: the last NCF cell rerun standalone must reproduce
+    // its file bytes, and a rerun under `--eval-mode pruned` must be
+    // byte-identical *including* the mode bookkeeping fields — NCF cells
+    // always evaluate in `full` mode, whatever the grid asks for.
+    let ncf_idx = outcomes
+        .iter()
+        .rposition(|o| o.cell.model == ModelKind::Ncf)
+        .unwrap_or_else(|| fail("smoke grid produced no NCF cells"));
+    let ncf_probe = &outcomes[ncf_idx];
+    if vol(&matrix::run_cell(cfg, &ncf_probe.cell)) != vol(&sharded_cells[ncf_idx]) {
+        fail(&format!(
+            "determinism: standalone rerun of NCF cell {} diverged from its file",
+            ncf_probe.cell.id()
+        ));
+    }
+    let ncf_pruned_cfg = MatrixConfig {
+        eval_mode: EvalMode::Pruned,
+        ..cfg.clone()
+    };
+    if vol(&matrix::run_cell(&ncf_pruned_cfg, &ncf_probe.cell)) != vol(&sharded_cells[ncf_idx]) {
+        fail(&format!(
+            "NCF cell {} did not pin full-mode evaluation under --eval-mode pruned",
+            ncf_probe.cell.id()
+        ));
+    }
+
     // Crash-resume gate: kill the fedrecattack cell mid-run (checkpoint
     // after epoch 3 of 8, drop the simulation), restore in a fresh one
     // and finish. Records *and* the final server item matrix must be
     // byte-identical to an uninterrupted run, whatever the thread count.
     // An attacked (ρ > 0) cell so the adversary's own checkpointed state
     // (the user approximator and its RNG) is part of what must resume.
-    let crash_cell = outcomes
-        .iter()
-        .find(|o| o.cell.attack == AttackMethod::FedRecAttack && o.cell.rho > 0.0)
-        .map(|o| o.cell)
-        .unwrap_or_else(|| fail("smoke grid has no attacked fedrecattack cell"));
-    let (straight_lines, straight_digest) = matrix::run_cell_traced(cfg, &crash_cell, 1);
-    for threads in [1usize, 2, 8] {
-        let (lines, digest) = matrix::run_cell_resumed(cfg, &crash_cell, 3, threads);
-        if vol(&lines) != vol(&straight_lines) {
-            fail(&format!(
-                "crash-resume: records of cell {} at {threads} thread(s) diverged from the \
-                 uninterrupted run",
-                crash_cell.id()
-            ));
+    // Run once per model family: the NCF arm additionally round-trips the
+    // shared `Θ` block and the paired pending-upload state through
+    // `Simulation::checkpoint/restore`.
+    let mut crash_ids = Vec::new();
+    for model in ModelKind::ALL {
+        let crash_cell = outcomes
+            .iter()
+            .find(|o| {
+                o.cell.model == model
+                    && o.cell.attack == AttackMethod::FedRecAttack
+                    && o.cell.rho > 0.0
+            })
+            .map(|o| o.cell)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "smoke grid has no attacked {} fedrecattack cell",
+                    model.label()
+                ))
+            });
+        let (straight_lines, straight_digest) = matrix::run_cell_traced(cfg, &crash_cell, 1);
+        for threads in [1usize, 2, 8] {
+            let (lines, digest) = matrix::run_cell_resumed(cfg, &crash_cell, 3, threads);
+            if vol(&lines) != vol(&straight_lines) {
+                fail(&format!(
+                    "crash-resume: records of cell {} at {threads} thread(s) diverged from the \
+                     uninterrupted run",
+                    crash_cell.id()
+                ));
+            }
+            if digest != straight_digest {
+                fail(&format!(
+                    "crash-resume: final item matrix of cell {} at {threads} thread(s) diverged \
+                     from the uninterrupted run",
+                    crash_cell.id()
+                ));
+            }
         }
-        if digest != straight_digest {
-            fail(&format!(
-                "crash-resume: final item matrix of cell {} at {threads} thread(s) diverged \
-                 from the uninterrupted run",
-                crash_cell.id()
-            ));
-        }
+        crash_ids.push(crash_cell.id());
     }
 
     println!(
         "smoke OK: {checked} records schema-valid, rows_materialized <= participants_touched \
-         in every record, dense/sharded byte-identical across {} cells, cell {} byte-identical \
-         on standalone rerun and under pruned/incremental eval modes at 1/2 eval threads \
-         ({pruned_skipped} items pruned), cell {} kill-and-resume byte-identical at 1/2/8 \
-         threads, every cell served offline-identical mid-training top-K traffic",
+         in every record, dense/sharded byte-identical across {} cells (MF and NCF), cell {} \
+         byte-identical on standalone rerun and under pruned/incremental eval modes at 1/2 \
+         eval threads ({pruned_skipped} items pruned), NCF cell {} byte-identical on \
+         standalone rerun and pinned to full-mode eval, cells {} kill-and-resume \
+         byte-identical at 1/2/8 threads, every MF cell served offline-identical \
+         mid-training top-K traffic",
         outcomes.len(),
         probe.cell.id(),
-        crash_cell.id()
+        ncf_probe.cell.id(),
+        crash_ids.join(" and ")
     );
 }
 
@@ -637,6 +727,7 @@ fn cmd_cell(args: &Args) {
     };
     let cfg = matrix_config(args);
     let cell = CellSpec {
+        model: args.model.unwrap_or(ModelKind::Mf),
         attack,
         defense,
         rho,

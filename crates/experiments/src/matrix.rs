@@ -26,6 +26,19 @@
 //! user shards ([`Evaluator::evaluate_user_range`]) over an `eval_users`
 //! prefix instead of assembling the dense `n × k` model.
 //!
+//! # Model axis
+//!
+//! Each cell also names a [`ModelKind`]: matrix factorization (the
+//! paper's experimental model, the historical path) or NCF with its
+//! shared interaction MLP `Θ` riding the round loop's flat shared block.
+//! MF cells keep their pre-model-axis ids, seeds and filenames, and —
+//! [`model_invariant`] — their records are byte-identical to before the
+//! model axis existed modulo the new `model` key. NCF cells (`ncf_`-
+//! prefixed ids) run the same attacks (poisoning `V` only — the paper's
+//! §IV generic choice) and defenses, evaluate through the MLP in `full`
+//! mode only (the pruned/incremental norm bounds are dot-product math),
+//! and skip the MF-specific live-serving probe.
+//!
 //! # Determinism contract
 //!
 //! Every cell derives its RNG seed from the master seed and the cell's
@@ -65,8 +78,10 @@ use fedrec_federated::history::{RoundDefense, TrainingHistory};
 use fedrec_federated::server::SumAggregator;
 use fedrec_federated::simulation::Snapshot;
 use fedrec_federated::{FaultPlan, Simulation, StoreBackend};
+use fedrec_ncf::{NcfClientModel, NcfModel, Theta};
 use fedrec_recsys::eval::{EvalReport, Evaluator};
-use fedrec_recsys::scorer::{PrunedItems, PrunedScores};
+use fedrec_recsys::metrics::MetricsAccumulator;
+use fedrec_recsys::scorer::{DenseScores, PrunedItems, PrunedScores};
 use fedrec_recsys::{EvalCounters, EvalMode, IncrementalEvalState};
 use fedrec_serve::{ServeConfig, ServedTopK, Service};
 use std::io::{self, BufWriter, Write};
@@ -260,9 +275,47 @@ impl DefenseKind {
     }
 }
 
+/// The model family a cell trains — the [`ClientModel`] seam
+/// instantiation plugged into its round loop.
+///
+/// [`ClientModel`]: fedrec_federated::ClientModel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Matrix factorization (§III-B with fixed dot-product Υ) — the
+    /// historical path and the paper's experimental model.
+    Mf,
+    /// Neural collaborative filtering: the learnable interaction MLP `Θ`
+    /// shared next to `V` ([`fedrec_ncf::NcfClientModel`]).
+    Ncf,
+}
+
+impl ModelKind {
+    /// Every model family, in grid order.
+    pub const ALL: [ModelKind; 2] = [ModelKind::Mf, ModelKind::Ncf];
+
+    /// JSONL `model` field, CLI name, and (for NCF) cell-id prefix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Mf => "mf",
+            ModelKind::Ncf => "ncf",
+        }
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "mf" => ModelKind::Mf,
+            "ncf" => ModelKind::Ncf,
+            _ => return None,
+        })
+    }
+}
+
 /// One cell of the grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellSpec {
+    /// Model family.
+    pub model: ModelKind,
     /// Attack arm.
     pub attack: AttackMethod,
     /// Defense arm.
@@ -275,10 +328,17 @@ impl CellSpec {
     /// Stable, filename-safe identity, e.g. `fedrecattack_krum_rho0.05`.
     /// ρ is rendered with `f64`'s shortest-roundtrip formatting so
     /// distinct ratios can never collide in the id (and therefore in the
-    /// derived seed or the output filename).
+    /// derived seed or the output filename). MF cells keep the historical
+    /// unprefixed spelling — their ids, derived seeds and filenames are
+    /// byte-identical to pre-model-axis grids — while NCF cells carry an
+    /// `ncf_` prefix.
     pub fn id(&self) -> String {
+        let prefix = match self.model {
+            ModelKind::Mf => "",
+            ModelKind::Ncf => "ncf_",
+        };
         format!(
-            "{}_{}_rho{}",
+            "{prefix}{}_{}_rho{}",
             self.attack.label().to_ascii_lowercase(),
             self.defense.label(),
             self.rho
@@ -312,6 +372,11 @@ fn mix64(mut z: u64) -> u64 {
 /// stream), and dense grids keep the uncapped formulation.
 const SCALE_ATTACK_USER_CAP: usize = 1_024;
 
+/// Hidden width of the interaction MLP in NCF grid cells. Fixed (like
+/// the scale presets' `k`) so an NCF cell's identity is fully determined
+/// by its [`CellSpec`].
+const NCF_HIDDEN: usize = 16;
+
 /// Grid configuration.
 #[derive(Debug, Clone)]
 pub struct MatrixConfig {
@@ -325,12 +390,18 @@ pub struct MatrixConfig {
     pub backend: StoreBackend,
     /// Master seed; every cell seed derives from it.
     pub seed: u64,
-    /// Attack arms.
+    /// Attack arms of the MF half of the grid (empty = no MF cells).
     pub attacks: Vec<AttackMethod>,
-    /// Defense arms.
+    /// Defense arms of the MF half of the grid.
     pub defenses: Vec<DefenseKind>,
-    /// Malicious ratios ρ.
+    /// Malicious ratios ρ (shared by both model families).
     pub rhos: Vec<f64>,
+    /// Attack arms of the NCF half of the grid (empty = no NCF cells,
+    /// the default). NCF cells poison `V` only, through the same MF
+    /// adversary registry — the paper's §IV generic choice.
+    pub ncf_attacks: Vec<AttackMethod>,
+    /// Defense arms of the NCF half of the grid.
+    pub ncf_defenses: Vec<DefenseKind>,
     /// Emit one JSONL record every this many epochs (0 = final only).
     pub eval_every: usize,
     /// Override the scale's epoch count (None = scale default).
@@ -384,6 +455,8 @@ impl MatrixConfig {
             ],
             defenses: DefenseKind::ALL.to_vec(),
             rhos: vec![0.0, 0.05],
+            ncf_attacks: Vec::new(),
+            ncf_defenses: Vec::new(),
             eval_every: 10,
             epochs: None,
             workers: default_workers(),
@@ -420,11 +493,25 @@ impl MatrixConfig {
     /// the [`FaultPlan::smoke`] fault preset, so the gate exercises
     /// dropouts, stragglers and quarantined corruption on every cell —
     /// with the live serving probe on, so every cell also serves verified
-    /// mid-training top-K traffic.
+    /// mid-training top-K traffic. The NCF half of the grid runs a
+    /// representative attack × defense subset (rather than the full
+    /// roster) so the gate stays inside its CI wall-clock budget; NCF
+    /// cells skip the serving probe (its offline verifier is MF
+    /// dot-product math) and always evaluate in `full` mode.
     pub fn smoke(seed: u64) -> Self {
         Self {
             faults: Some(FaultPlan::smoke()),
             serve: true,
+            ncf_attacks: vec![
+                AttackMethod::Random,
+                AttackMethod::Popular,
+                AttackMethod::FedRecAttack,
+            ],
+            ncf_defenses: vec![
+                DefenseKind::None,
+                DefenseKind::TrimmedMean,
+                DefenseKind::DetectorGated,
+            ],
             attacks: vec![
                 AttackMethod::None,
                 AttackMethod::Random,
@@ -442,18 +529,30 @@ impl MatrixConfig {
         }
     }
 
-    /// The grid's cells, in deterministic (attack, defense, ρ) order.
+    /// The grid's cells, in deterministic (model, attack, defense, ρ)
+    /// order: every MF cell first (in the historical order), then the
+    /// NCF half.
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut out =
-            Vec::with_capacity(self.attacks.len() * self.defenses.len() * self.rhos.len());
-        for &attack in &self.attacks {
-            for &defense in &self.defenses {
-                for &rho in &self.rhos {
-                    out.push(CellSpec {
-                        attack,
-                        defense,
-                        rho,
-                    });
+        let mut out = Vec::with_capacity(
+            (self.attacks.len() * self.defenses.len()
+                + self.ncf_attacks.len() * self.ncf_defenses.len())
+                * self.rhos.len(),
+        );
+        let arms = [
+            (ModelKind::Mf, &self.attacks, &self.defenses),
+            (ModelKind::Ncf, &self.ncf_attacks, &self.ncf_defenses),
+        ];
+        for (model, attacks, defenses) in arms {
+            for &attack in attacks.iter() {
+                for &defense in defenses.iter() {
+                    for &rho in &self.rhos {
+                        out.push(CellSpec {
+                            model,
+                            attack,
+                            defense,
+                            rho,
+                        });
+                    }
                 }
             }
         }
@@ -481,8 +580,9 @@ fn default_workers() -> usize {
 /// epochs-behind observed on any served response — both volatile, because
 /// serving state is deliberately not checkpointed (a crash-resumed cell
 /// restarts its service cold).
-pub const RECORD_KEYS: [&str; 35] = [
+pub const RECORD_KEYS: [&str; 36] = [
     "cell",
+    "model",
     "attack",
     "defense",
     "rho",
@@ -539,6 +639,12 @@ pub const VOLATILE_KEYS: [&str; 3] = ["eval_ms", "serve_publishes", "served_epoc
 /// losses, ER/NDCG/HR, detection — must be bit-identical across modes.
 pub const MODE_DEPENDENT_KEYS: [&str; 3] = ["eval_mode", "items_scored", "items_skipped"];
 
+/// The one record key the model axis added: the cell's model family.
+/// Projecting it away ([`model_invariant`]) reduces a post-model-axis MF
+/// record to its pre-model-axis spelling — the before/after-refactor
+/// byte-identity gate over the checked-in MF reference records.
+pub const MODEL_DEPENDENT_KEYS: [&str; 1] = ["model"];
+
 /// Remove `keys` fields from one flat JSONL record. None of the stripped
 /// keys is ever first in a record (`"cell"` is), so the leading comma
 /// always exists and the remainder stays valid JSON.
@@ -585,6 +691,18 @@ pub fn mode_invariant(line: &str) -> String {
     strip_keys(
         line,
         &[&MODE_DEPENDENT_KEYS[..], &VOLATILE_KEYS[..]].concat(),
+    )
+}
+
+/// Normalize one JSONL record for cross-refactor comparison by removing
+/// the [`MODEL_DEPENDENT_KEYS`] and volatile fields: an MF record so
+/// projected must be byte-identical to the [`volatile_invariant`]
+/// projection of the same cell's record from before the model axis
+/// existed — the invariant guarding the `ClientModel` refactor.
+pub fn model_invariant(line: &str) -> String {
+    strip_keys(
+        line,
+        &[&MODEL_DEPENDENT_KEYS[..], &VOLATILE_KEYS[..]].concat(),
     )
 }
 
@@ -677,7 +795,7 @@ fn render_line(
     };
     let (f_dropped, f_late, f_rejected, f_retried, f_skipped) = faults;
     format!(
-        "{{\"cell\":\"{id}\",\"attack\":\"{}\",\"defense\":\"{}\",\"rho\":{},\"seed\":{seed},\
+        "{{\"cell\":\"{id}\",\"model\":\"{}\",\"attack\":\"{}\",\"defense\":\"{}\",\"rho\":{},\"seed\":{seed},\
          \"population\":\"{population}\",\"backend\":\"{backend}\",\"users\":{users},\
          \"epoch\":{epoch},\"final\":{is_final},\"loss\":{},\"er5\":{},\"er10\":{},\
          \"ndcg10\":{},\"hr10\":{},\"det_inspected\":{inspected},\"det_flagged\":{flagged},\
@@ -688,6 +806,7 @@ fn render_line(
          \"f_retried\":{f_retried},\"f_skipped\":{f_skipped},\
          \"eval_ms\":{},\"eval_mode\":\"{}\",\"items_scored\":{},\"items_skipped\":{},\
          \"serve_publishes\":{serve_publishes},\"served_epoch_lag\":{served_epoch_lag}}}",
+        cell.model.label(),
         cell.attack.label(),
         cell.defense.label(),
         num(cell.rho),
@@ -796,6 +915,11 @@ struct CellEval<'w> {
     eval_users: usize,
     mode: EvalMode,
     threads: usize,
+    /// `Some((hidden, k))` for NCF cells: scores go through the MLP
+    /// instead of dot products, which rules out the pruned/incremental
+    /// fast paths (their norm bounds are dot-product math) — NCF cells
+    /// always run the full sweep and record `eval_mode:"full"`.
+    ncf: Option<(usize, usize)>,
     /// Cross-epoch candidate caches for [`EvalMode::Incremental`]; lives
     /// for the cell's lifetime (one eval per epoch snapshot warms the
     /// next). A mutex only for interior mutability behind the harness's
@@ -807,46 +931,102 @@ struct CellEval<'w> {
 }
 
 impl CellEval<'_> {
+    /// The NCF sweep: score every item for each user in the eval span
+    /// through the MLP and feed the same accumulator as the MF paths.
+    /// Users are processed in fixed [`EVAL_SHARD_ROWS`] shards with
+    /// per-shard accumulators merged in order — the identical summation
+    /// order as the streamed MF sweep, so the report is independent of
+    /// backend and thread count by construction.
+    fn run_ncf(
+        &self,
+        hidden: usize,
+        k: usize,
+        items: &fedrec_linalg::Matrix,
+        shared: &[f32],
+        users: &dyn fedrec_recsys::UserRowSource,
+    ) -> (EvalReport, EvalCounters) {
+        let theta = Theta::from_flat(hidden, k, shared);
+        let m = items.rows();
+        let mut total = MetricsAccumulator::new();
+        let mut row = vec![0.0f32; items.cols()];
+        let mut scores = vec![0.0f32; m];
+        let mut lo = 0usize;
+        while lo < self.eval_users {
+            let hi = (lo + EVAL_SHARD_ROWS).min(self.eval_users);
+            let mut acc = MetricsAccumulator::new();
+            for u in lo..hi {
+                users.write_user_row(u, &mut row);
+                NcfModel::scores_for_vector(&theta, items, &row, &mut scores);
+                let mut src = DenseScores::new(&scores);
+                acc.push_user_attack(
+                    &mut src,
+                    self.source.user_items(u),
+                    self.evaluator.targets(),
+                );
+                if let Some(test_item) = self.test.get(u).copied().flatten() {
+                    acc.push_user_hr(&mut src, test_item, self.evaluator.hr_negatives(u));
+                }
+            }
+            total.merge(&acc);
+            lo = hi;
+        }
+        let rep = EvalReport {
+            attack: total.attack_metrics(),
+            hr_at_10: total.hr_at_10(),
+        };
+        let counters = EvalCounters {
+            items_scored: (self.eval_users as u64) * (m as u64),
+            items_skipped: 0,
+        };
+        (rep, counters)
+    }
+
     fn run(
         &self,
         items: &fedrec_linalg::Matrix,
+        shared: &[f32],
         users: &dyn fedrec_recsys::UserRowSource,
     ) -> (EvalReport, EvalStats) {
         // fedrec-lint: allow(wall-clock) — times the eval pass for the volatile `eval_ms` record field; every identity gate strips it (volatile_invariant)
         let started = std::time::Instant::now();
-        let (rep, counters, mode) = match self.dense {
-            Some(train) => {
-                let model = crate::runner::assemble_model(items, users);
-                let rep = self.evaluator.evaluate(&model, train, self.test);
-                // The dense sweep scores every (user, item) pair.
-                let scored = (model.num_users() as u64) * (model.num_items() as u64);
-                (
-                    rep,
-                    EvalCounters {
-                        items_scored: scored,
-                        items_skipped: 0,
-                    },
-                    EvalMode::Full,
-                )
-            }
-            None => {
-                let mut inc = self.inc.lock().expect("eval state poisoned");
-                let state = match self.mode {
-                    EvalMode::Incremental => Some(&mut *inc),
-                    _ => None,
-                };
-                let (rep, counters) = self.evaluator.evaluate_user_range_mode(
-                    items,
-                    users,
-                    self.source,
-                    self.test,
-                    0..self.eval_users,
-                    self.threads,
-                    EVAL_SHARD_ROWS,
-                    self.mode,
-                    state,
-                );
-                (rep, counters, self.mode)
+        let (rep, counters, mode) = if let Some((hidden, k)) = self.ncf {
+            let (rep, counters) = self.run_ncf(hidden, k, items, shared, users);
+            (rep, counters, EvalMode::Full)
+        } else {
+            match self.dense {
+                Some(train) => {
+                    let model = crate::runner::assemble_model(items, users);
+                    let rep = self.evaluator.evaluate(&model, train, self.test);
+                    // The dense sweep scores every (user, item) pair.
+                    let scored = (model.num_users() as u64) * (model.num_items() as u64);
+                    (
+                        rep,
+                        EvalCounters {
+                            items_scored: scored,
+                            items_skipped: 0,
+                        },
+                        EvalMode::Full,
+                    )
+                }
+                None => {
+                    let mut inc = self.inc.lock().expect("eval state poisoned");
+                    let state = match self.mode {
+                        EvalMode::Incremental => Some(&mut *inc),
+                        _ => None,
+                    };
+                    let (rep, counters) = self.evaluator.evaluate_user_range_mode(
+                        items,
+                        users,
+                        self.source,
+                        self.test,
+                        0..self.eval_users,
+                        self.threads,
+                        EVAL_SHARD_ROWS,
+                        self.mode,
+                        state,
+                    );
+                    (rep, counters, self.mode)
+                }
             }
         };
         let stats = EvalStats {
@@ -936,7 +1116,7 @@ impl CellHarness<'_> {
             return None;
         }
         let (serve_publishes, served_epoch_lag) = self.serve_tick(done, snap.items, snap.users);
-        let (rep, stats) = self.eval.run(snap.items, snap.users);
+        let (rep, stats) = self.eval.run(snap.items, snap.shared, snap.users);
         Some(self.line(
             &RecordPoint {
                 epoch: done,
@@ -957,7 +1137,7 @@ impl CellHarness<'_> {
     fn final_line(&self, sim: &Simulation, history: &TrainingHistory) -> String {
         let (serve_publishes, served_epoch_lag) =
             self.serve_tick(self.epochs, sim.items(), sim.user_rows());
-        let (rep, stats) = self.eval.run(sim.items(), sim.user_rows());
+        let (rep, stats) = self.eval.run(sim.items(), sim.shared(), sim.user_rows());
         self.line(
             &RecordPoint {
                 epoch: self.epochs,
@@ -1089,14 +1269,28 @@ fn prepare_cell<'w>(
     .max_attack_users(scale_free.then_some(SCALE_ATTACK_USER_CAP));
     let adversary = build_adversary(cell.attack, &env);
     let pipeline = cell.defense.build(num_malicious);
-    let mut sim = Simulation::with_store(
-        source.clone(),
-        fed,
-        adversary,
-        num_malicious,
-        pipeline,
-        cfg.backend,
-    );
+    let mut sim = match cell.model {
+        ModelKind::Mf => Simulation::with_store(
+            source.clone(),
+            fed,
+            adversary,
+            num_malicious,
+            pipeline,
+            cfg.backend,
+        ),
+        // NCF cells share the MF adversary registry: poisoning `V` only
+        // is the paper's §IV generic choice, and it keeps every attack's
+        // checkpoint support intact.
+        ModelKind::Ncf => Simulation::with_model(
+            source.clone(),
+            fed,
+            Box::new(NcfClientModel::new(NCF_HIDDEN, fed.k)),
+            adversary,
+            num_malicious,
+            pipeline,
+            cfg.backend,
+        ),
+    };
     if let Some(plan) = cfg.faults {
         sim.enable_faults(plan, cseed ^ 0xFA17);
     }
@@ -1119,6 +1313,7 @@ fn prepare_cell<'w>(
             eval_users,
             mode: cfg.eval_mode,
             threads: cfg.eval_threads.max(1),
+            ncf: (cell.model == ModelKind::Ncf).then_some((NCF_HIDDEN, fed.k)),
             inc: Mutex::new(IncrementalEvalState::new()),
         },
         cell: *cell,
@@ -1129,7 +1324,11 @@ fn prepare_cell<'w>(
         users: source.num_users(),
         epochs: fed.epochs,
         eval_every: cfg.eval_every,
-        serve: cfg.serve.then(|| {
+        // The serve probe verifies responses against offline MF
+        // dot-product evaluation (`PrunedScores`), which does not apply
+        // to MLP scores — NCF cells train and evaluate without it and
+        // report the zero serve fields.
+        serve: (cfg.serve && cell.model == ModelKind::Mf).then(|| {
             let (tx, rx) = mpsc::channel();
             Mutex::new(CellServe {
                 svc: Service::new(ServeConfig::default()),
@@ -1414,6 +1613,10 @@ pub fn validate_record(line: &str) -> Result<(), String> {
     if EvalMode::parse(mode).is_none() {
         return Err(format!("eval_mode is not a known mode ({mode:?}): {line}"));
     }
+    let model = get("model").expect("checked above");
+    if ModelKind::parse(model).is_none() {
+        return Err(format!("model is not a known family ({model:?}): {line}"));
+    }
     match get("final") {
         Some("true") | Some("false") => Ok(()),
         other => Err(format!("final is not a bool ({other:?}): {line}")),
@@ -1572,6 +1775,7 @@ mod tests {
     fn records_parse_and_validate() {
         let cfg = tiny_cfg(3);
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::Random,
             defense: DefenseKind::DetectorGated,
             rho: 0.05,
@@ -1665,6 +1869,7 @@ mod tests {
         // baseline row must report perfect (vacuous) recall, not 0.0.
         let cfg = tiny_cfg(19);
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::None,
             defense: DefenseKind::None,
             rho: 0.0,
@@ -1834,6 +2039,7 @@ mod tests {
             ..off_cfg.clone()
         };
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::Random,
             defense: DefenseKind::NormClip,
             rho: 0.01,
@@ -1872,6 +2078,7 @@ mod tests {
         // no-holdout path reported.
         let cfg = tiny_scale_cfg(31);
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::None,
             defense: DefenseKind::None,
             rho: 0.0,
@@ -1889,6 +2096,7 @@ mod tests {
             ..clean_cfg.clone()
         };
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::Random,
             defense: DefenseKind::None,
             rho: 0.01,
@@ -1940,6 +2148,7 @@ mod tests {
             ..tiny_scale_cfg(41)
         };
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::Random,
             defense: DefenseKind::TrimmedMean,
             rho: 0.01,
@@ -2017,6 +2226,7 @@ mod tests {
             ..tiny_cfg(47)
         };
         let cell = CellSpec {
+            model: ModelKind::Mf,
             attack: AttackMethod::None,
             defense: DefenseKind::None,
             rho: 0.0,
@@ -2024,6 +2234,192 @@ mod tests {
         for line in &run_cell(&cfg, &cell) {
             assert_eq!(record_field(line, "eval_mode"), "full");
             validate_record(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn model_kind_parse_roundtrips() {
+        for m in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(m.label()), Some(m), "{}", m.label());
+        }
+        assert_eq!(ModelKind::parse("garbage"), None);
+    }
+
+    /// MF ids keep their historical, unprefixed spelling (so every MF
+    /// cell seed and output filename survives the model axis); NCF ids
+    /// are prefixed and land on their own seeds.
+    #[test]
+    fn model_axis_ids_and_seeds() {
+        let mf = CellSpec {
+            model: ModelKind::Mf,
+            attack: AttackMethod::FedRecAttack,
+            defense: DefenseKind::Krum,
+            rho: 0.05,
+        };
+        let ncf = CellSpec {
+            model: ModelKind::Ncf,
+            ..mf
+        };
+        assert_eq!(mf.id(), "fedrecattack_krum_rho0.05");
+        assert_eq!(ncf.id(), "ncf_fedrecattack_krum_rho0.05");
+        assert_ne!(mf.cell_seed(7), ncf.cell_seed(7));
+    }
+
+    /// A grid with both model families enumerates every MF cell first,
+    /// in the historical order, then the NCF half.
+    #[test]
+    fn cells_enumerate_mf_before_ncf() {
+        let cfg = MatrixConfig {
+            ncf_attacks: vec![AttackMethod::None, AttackMethod::Random],
+            ncf_defenses: vec![DefenseKind::None],
+            ..tiny_cfg(3)
+        };
+        let cells = cfg.cells();
+        assert_eq!(cells.len(), 8 + 4);
+        assert!(cells[..8].iter().all(|c| c.model == ModelKind::Mf));
+        assert!(cells[8..].iter().all(|c| c.model == ModelKind::Ncf));
+        // The MF prefix is exactly the pure-MF enumeration.
+        let mf_only = tiny_cfg(3).cells();
+        assert_eq!(&cells[..8], &mf_only[..]);
+    }
+
+    #[test]
+    fn smoke_grid_carries_an_ncf_arm() {
+        let cfg = MatrixConfig::smoke(1);
+        assert_eq!(cfg.ncf_attacks.len(), 3);
+        assert_eq!(cfg.ncf_defenses.len(), 3);
+        let cells = cfg.cells();
+        let ncf = cells.iter().filter(|c| c.model == ModelKind::Ncf).count();
+        assert_eq!(ncf, 3 * 3 * cfg.rhos.len());
+    }
+
+    #[test]
+    fn model_projection_strips_the_model_field() {
+        let line = "{\"cell\":\"x\",\"model\":\"mf\",\"eval_ms\":42,\"hr10\":0.5}";
+        assert_eq!(model_invariant(line), "{\"cell\":\"x\",\"hr10\":0.5}");
+        // Idempotent, and the NCF spelling strips identically.
+        assert_eq!(
+            model_invariant(&model_invariant(line)),
+            model_invariant(line)
+        );
+    }
+
+    /// The refactor gate: MF cells produce records byte-identical to the
+    /// checked-in reference generated *before* the `ClientModel` seam and
+    /// the model axis existed, modulo the volatile fields and the new
+    /// `model` key. A byte of drift here means the seam changed MF
+    /// training, evaluation, or serialization.
+    #[test]
+    fn mf_records_match_the_pre_model_axis_reference() {
+        let reference = include_str!("../testdata/mf_tiny_reference.jsonl");
+        let cfg = MatrixConfig {
+            eval_every: 2,
+            epochs: Some(4),
+            ..MatrixConfig::at_scale(ScalePreset::Tiny, 42)
+        };
+        let cells = [
+            (AttackMethod::FedRecAttack, DefenseKind::TrimmedMean, 0.01),
+            (AttackMethod::Random, DefenseKind::None, 0.01),
+            (AttackMethod::Popular, DefenseKind::DetectorGated, 0.01),
+            (AttackMethod::None, DefenseKind::Krum, 0.0),
+        ];
+        let mut produced = Vec::new();
+        for (attack, defense, rho) in cells {
+            let cell = CellSpec {
+                model: ModelKind::Mf,
+                attack,
+                defense,
+                rho,
+            };
+            produced.extend(run_cell(&cfg, &cell));
+        }
+        let old: Vec<String> = reference.lines().map(volatile_invariant).collect();
+        let new: Vec<String> = produced.iter().map(|l| model_invariant(l)).collect();
+        assert_eq!(old.len(), new.len());
+        for (o, n) in old.iter().zip(&new) {
+            assert_eq!(o, n, "MF record drifted across the model-axis refactor");
+        }
+    }
+
+    /// NCF grid cells at miniature scale: records validate, carry the
+    /// `ncf` model field and `ncf_`-prefixed ids, always evaluate in
+    /// `full` mode (even when the grid asks for pruned), never serve,
+    /// and are byte-identical between the dense and sharded backends.
+    #[test]
+    fn ncf_cells_validate_and_are_backend_invariant() {
+        let sharded_cfg = MatrixConfig {
+            attacks: Vec::new(),
+            defenses: Vec::new(),
+            ncf_attacks: vec![AttackMethod::Random],
+            ncf_defenses: vec![DefenseKind::None, DefenseKind::TrimmedMean],
+            rhos: vec![0.0, 0.01],
+            eval_mode: EvalMode::Pruned,
+            serve: true,
+            ..tiny_scale_cfg(53)
+        };
+        let dense_cfg = MatrixConfig {
+            backend: StoreBackend::Dense,
+            ..sharded_cfg.clone()
+        };
+        let sharded = run_matrix_collect(&sharded_cfg);
+        let dense = run_matrix_collect(&dense_cfg);
+        assert_eq!(sharded.len(), 4);
+        for ((cell, s_lines), (_, d_lines)) in sharded.iter().zip(&dense) {
+            assert_eq!(cell.model, ModelKind::Ncf);
+            assert!(cell.id().starts_with("ncf_"), "{}", cell.id());
+            assert_eq!(s_lines.len(), d_lines.len(), "cell {}", cell.id());
+            for (s, d) in s_lines.iter().zip(d_lines) {
+                validate_record(s).unwrap();
+                assert_eq!(
+                    backend_invariant(s),
+                    backend_invariant(d),
+                    "NCF cell {} diverged across backends",
+                    cell.id()
+                );
+                assert_eq!(record_field(s, "model"), "ncf");
+                assert_eq!(record_field(s, "eval_mode"), "full");
+                assert_eq!(record_field(s, "serve_publishes"), "0");
+            }
+            // Standalone rerun byte-identity holds for NCF cells too.
+            assert_eq!(vol(&run_cell(&sharded_cfg, cell)), vol(s_lines));
+        }
+        // NCF training learns something at this scale: the clean cell's
+        // final HR@10 is a real measurement.
+        let hr: f64 = record_field(sharded[0].1.last().unwrap(), "hr10")
+            .parse()
+            .unwrap();
+        assert!(hr > 0.0, "NCF eval produced no hit-rate signal");
+    }
+
+    /// The crash-resume gate extended to NCF: a faulted NCF cell killed
+    /// mid-run and restored through `Simulation::checkpoint/restore`
+    /// (which round-trips the shared `Θ` block) matches the straight run
+    /// byte-for-byte at every client-round thread count.
+    #[test]
+    fn ncf_crash_resume_matches_straight_run_across_thread_counts() {
+        let cfg = MatrixConfig {
+            faults: Some(FaultPlan::smoke()),
+            ..tiny_scale_cfg(59)
+        };
+        let cell = CellSpec {
+            model: ModelKind::Ncf,
+            attack: AttackMethod::Random,
+            defense: DefenseKind::TrimmedMean,
+            rho: 0.01,
+        };
+        let (straight_lines, straight_digest) = run_cell_traced(&cfg, &cell, 1);
+        assert_eq!(vol(&straight_lines), vol(&run_cell(&cfg, &cell)));
+        for threads in [1usize, 2, 8] {
+            let (lines, digest) = run_cell_resumed(&cfg, &cell, 2, threads);
+            assert_eq!(
+                vol(&lines),
+                vol(&straight_lines),
+                "resumed NCF records diverged at {threads} threads"
+            );
+            assert_eq!(
+                digest, straight_digest,
+                "resumed NCF item matrix diverged at {threads} threads"
+            );
         }
     }
 

@@ -38,6 +38,30 @@ pub trait Adversary {
         rng: &mut SeededRng,
     ) -> Vec<SparseGrad>;
 
+    /// Like [`Adversary::poison`], but for model families with an extra
+    /// flat shared-parameter block `Θ` (NCF): the attacker sees the
+    /// current `shared` alongside `V` and returns, per selected malicious
+    /// client, the item gradient plus a shared-parameter gradient (empty
+    /// = "no Θ upload", the paper's §IV generic choice of poisoning `V`
+    /// only).
+    ///
+    /// The provided default wraps [`Adversary::poison`] with empty shared
+    /// uploads, so every MF adversary participates in shared-parameter
+    /// rounds unchanged — and byte-identically, since the default
+    /// forwards the same RNG stream to the same `poison` call.
+    fn poison_with_shared(
+        &mut self,
+        items: &Matrix,
+        _shared: &[f32],
+        ctx: &RoundCtx<'_>,
+        rng: &mut SeededRng,
+    ) -> Vec<(SparseGrad, Vec<f32>)> {
+        self.poison(items, ctx, rng)
+            .into_iter()
+            .map(|g| (g, Vec::new()))
+            .collect()
+    }
+
     /// Short name for reports ("fedrecattack", "random", ...).
     fn name(&self) -> &'static str;
 

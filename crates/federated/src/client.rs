@@ -39,6 +39,14 @@ impl RoundScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The pooled pair buffer, for model implementations that drive the
+    /// local step themselves (e.g. the NCF `ClientModel`): sample into it
+    /// with [`BenignClient::sample_pairs_into`], then feed it to the
+    /// model's gradient routine.
+    pub fn pairs_mut(&mut self) -> &mut Vec<(u32, u32)> {
+        &mut self.pairs
+    }
 }
 
 /// A benign federated client.
@@ -91,6 +99,37 @@ impl BenignClient {
     /// Number of positive interactions `|V_i⁺|`.
     pub fn degree(&self) -> usize {
         self.positives.len()
+    }
+
+    /// The sorted positive set `V_i⁺`.
+    pub fn positives(&self) -> &[u32] {
+        &self.positives
+    }
+
+    /// Whether this client has anything to train on: at least one
+    /// positive and at least one available negative.
+    pub fn can_train(&self) -> bool {
+        !self.positives.is_empty() && self.positives.len() < self.num_items
+    }
+
+    /// Sample one `(positive, negative)` pair per positive (Eq. 4) into
+    /// `pairs`, drawing from the client's own RNG stream — the public
+    /// entry model implementations use to share MF's negative-sampling
+    /// draws (and therefore its byte-level RNG discipline).
+    pub fn sample_pairs_into(&mut self, pairs: &mut Vec<(u32, u32)>) {
+        self.sample_pairs(pairs);
+    }
+
+    /// Apply the private update `u_i ← u_i − lr · grad` (Eq. 6).
+    pub fn apply_user_step(&mut self, lr: f32, grad: &[f32]) {
+        vector::axpy(-lr, grad, &mut self.user_vec);
+    }
+
+    /// The client-owned RNG stream. Model implementations draw DP noise
+    /// from here — never from shared state — so rounds stay bit-identical
+    /// for any thread count.
+    pub fn rng_mut(&mut self) -> &mut SeededRng {
+        &mut self.rng
     }
 
     /// The client's full mutable state for checkpointing: its private

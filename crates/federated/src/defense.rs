@@ -185,9 +185,74 @@ impl DefensePipeline {
         num_items: usize,
         k: usize,
     ) -> (SparseGrad, Option<RoundDefense>) {
+        let (agg, _, rec) = self.process_impl(uploads, None, malicious_from, epoch, num_items, k);
+        (agg, rec)
+    }
+
+    /// Like [`DefensePipeline::process`], for model families with a flat
+    /// shared-parameter block: `shared[i]` is upload `i`'s `∇Θ` (empty =
+    /// none). Exclusion swaps are mirrored onto `shared` so survivor
+    /// pairing is preserved, and the survivors' shared gradients are
+    /// summed **in upload order** (the plain Eq. 7 rule).
+    ///
+    /// Design note: the robust aggregation rules (Krum, trimmed mean, …)
+    /// apply to `∇V` only. They reduce the upload set internally without
+    /// exposing which uploads survived, so their selection cannot be
+    /// mirrored onto `Θ`; the shared block instead gets the plain sum
+    /// over the *detector-admitted* set — the same set every aggregator
+    /// sees. MF cells pass all-empty shared vectors and get back an empty
+    /// aggregate, making this path byte-invisible to them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_paired(
+        &self,
+        uploads: &mut [SparseGrad],
+        shared: &mut [Vec<f32>],
+        malicious_from: usize,
+        epoch: usize,
+        num_items: usize,
+        k: usize,
+    ) -> (SparseGrad, Vec<f32>, Option<RoundDefense>) {
+        assert_eq!(uploads.len(), shared.len(), "upload/shared slot mismatch");
+        self.process_impl(uploads, Some(shared), malicious_from, epoch, num_items, k)
+    }
+
+    /// Sum shared-gradient vectors in slot order, skipping empty ones.
+    /// Returns an empty vec when nothing contributed.
+    fn sum_shared(shared: &[Vec<f32>]) -> Vec<f32> {
+        let mut agg: Vec<f32> = Vec::new();
+        for s in shared {
+            if s.is_empty() {
+                continue;
+            }
+            if agg.is_empty() {
+                agg = s.clone();
+            } else {
+                assert_eq!(agg.len(), s.len(), "shared gradient length mismatch");
+                for (a, &x) in agg.iter_mut().zip(s) {
+                    *a += x;
+                }
+            }
+        }
+        agg
+    }
+
+    fn process_impl(
+        &self,
+        uploads: &mut [SparseGrad],
+        mut shared: Option<&mut [Vec<f32>]>,
+        malicious_from: usize,
+        epoch: usize,
+        num_items: usize,
+        k: usize,
+    ) -> (SparseGrad, Vec<f32>, Option<RoundDefense>) {
         let total = uploads.len();
         let Some(detector) = self.detector.as_deref() else {
-            return (self.aggregator.aggregate(uploads, num_items, k), None);
+            let shared_agg = shared.as_deref().map(Self::sum_shared).unwrap_or_default();
+            return (
+                self.aggregator.aggregate(uploads, num_items, k),
+                shared_agg,
+                None,
+            );
         };
         let report = detector.inspect(uploads);
         // Sanitize the detector's output before it touches the upload
@@ -225,22 +290,35 @@ impl DefensePipeline {
             precision,
             recall,
         };
-        let aggregate = if self.exclude_flagged && flagged > 0 {
+        let (aggregate, shared_agg) = if self.exclude_flagged && flagged > 0 {
             // Stable-compact the kept uploads to the front, then
             // aggregate only those. Relative order of survivors is
-            // preserved, keeping float summation order deterministic.
+            // preserved, keeping float summation order deterministic;
+            // the shared slots are swapped in lockstep so pairing holds.
             let mut kept = 0usize;
             for (i, flag) in is_flagged.iter().enumerate() {
                 if !flag {
                     uploads.swap(kept, i);
+                    if let Some(s) = shared.as_deref_mut() {
+                        s.swap(kept, i);
+                    }
                     kept += 1;
                 }
             }
-            self.aggregator.aggregate(&uploads[..kept], num_items, k)
+            (
+                self.aggregator.aggregate(&uploads[..kept], num_items, k),
+                shared
+                    .as_deref()
+                    .map(|s| Self::sum_shared(&s[..kept]))
+                    .unwrap_or_default(),
+            )
         } else {
-            self.aggregator.aggregate(uploads, num_items, k)
+            (
+                self.aggregator.aggregate(uploads, num_items, k),
+                shared.as_deref().map(Self::sum_shared).unwrap_or_default(),
+            )
         };
-        (aggregate, Some(record))
+        (aggregate, shared_agg, Some(record))
     }
 }
 
@@ -360,6 +438,43 @@ mod tests {
         assert_eq!(rec.precision, 0.5);
         assert_eq!(rec.recall, 1.0);
         assert_eq!(agg.get(0).unwrap()[0], 5.0, "kept uploads 0 and 2");
+    }
+
+    #[test]
+    fn paired_pipeline_mirrors_exclusion_onto_shared() {
+        let p = DefensePipeline::gated(Box::new(StubDetector(vec![1, 3])), Box::new(SumAggregator));
+        let mut uploads = round();
+        let mut shared = vec![
+            vec![1.0f32, 0.0],
+            vec![2.0, 0.0],
+            vec![4.0, 1.0],
+            vec![8.0, 0.0],
+        ];
+        let (agg, sagg, rec) = p.process_paired(&mut uploads, &mut shared, 3, 0, 4, 2);
+        // Slots 1 and 3 are excluded from *both* aggregates.
+        assert_eq!(agg.get(0).unwrap()[0], 5.0);
+        assert_eq!(sagg, vec![5.0, 1.0]);
+        assert_eq!(rec.unwrap().excluded, 2);
+    }
+
+    #[test]
+    fn paired_pipeline_with_all_empty_shared_returns_empty_aggregate() {
+        let p = DefensePipeline::plain(Box::new(SumAggregator));
+        let mut uploads = round();
+        let mut shared = vec![Vec::new(); 4];
+        let (agg, sagg, rec) = p.process_paired(&mut uploads, &mut shared, 3, 0, 4, 2);
+        assert!(rec.is_none());
+        assert!(sagg.is_empty(), "MF rounds must see no shared aggregate");
+        assert_eq!(agg.get(0).unwrap()[0], 15.0);
+    }
+
+    #[test]
+    fn paired_pipeline_skips_empty_shared_slots_in_the_sum() {
+        let p = DefensePipeline::plain(Box::new(SumAggregator));
+        let mut uploads = round();
+        let mut shared = vec![vec![1.0f32], Vec::new(), vec![2.0], Vec::new()];
+        let (_, sagg, _) = p.process_paired(&mut uploads, &mut shared, 4, 0, 4, 2);
+        assert_eq!(sagg, vec![3.0]);
     }
 
     #[test]

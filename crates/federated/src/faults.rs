@@ -356,6 +356,20 @@ pub fn validate_grad(grad: &SparseGrad, num_items: usize) -> Result<(), RejectRe
     Ok(())
 }
 
+/// Validate an upload's flat shared-parameter gradient (`∇Θ` for model
+/// families that have one). A legal block is either empty ("no shared
+/// upload" — every MF upload, and V-only NCF adversaries) or exactly
+/// `expected_len` finite values.
+pub fn validate_shared(shared: &[f32], expected_len: usize) -> Result<(), RejectReason> {
+    if !shared.is_empty() && shared.len() != expected_len {
+        return Err(RejectReason::LengthMismatch);
+    }
+    if shared.iter().any(|v| !v.is_finite()) {
+        return Err(RejectReason::NonFinite);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +544,19 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::smoke(), 42);
         assert_eq!(inj.seed(), 42);
         assert_eq!(inj.plan().max_retries, 2);
+    }
+
+    #[test]
+    fn gate_validates_shared_parameter_blocks() {
+        assert_eq!(validate_shared(&[], 5), Ok(()), "empty = no shared upload");
+        assert_eq!(validate_shared(&[0.5; 5], 5), Ok(()));
+        assert_eq!(
+            validate_shared(&[0.5; 3], 5),
+            Err(RejectReason::LengthMismatch)
+        );
+        assert_eq!(
+            validate_shared(&[0.5, f32::NAN, 0.5, 0.5, 0.5], 5),
+            Err(RejectReason::NonFinite)
+        );
     }
 }

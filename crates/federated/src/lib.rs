@@ -13,7 +13,10 @@
 //! adversary instead of by local training. Defenses plug in through the
 //! [`defense::DefensePipeline`] round stage (detector → flagged-client
 //! exclusion → robust aggregation); a bare [`server::Aggregator`] is the
-//! detector-less special case.
+//! detector-less special case. Model families plug in through the
+//! [`model::ClientModel`] seam: the local step and an optional flat
+//! shared-parameter block `Θ` maintained next to `V` — MF is the
+//! zero-`Θ` instantiation, NCF (in `fedrec-ncf`) the learnable-Υ one.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ pub mod config;
 pub mod defense;
 pub mod faults;
 pub mod history;
+pub mod model;
 pub mod server;
 pub mod simulation;
 pub mod store;
@@ -46,5 +50,6 @@ pub use config::FedConfig;
 pub use defense::{DefensePipeline, DetectionReport, Detector};
 pub use faults::{FaultDecision, FaultInjector, FaultPlan, RejectReason};
 pub use history::{RoundDefense, RoundFaults};
+pub use model::{ClientModel, MfClientModel};
 pub use simulation::Simulation;
 pub use store::{ClientStore, DenseStore, ShardedStore, StoreBackend};

@@ -57,8 +57,11 @@ use crate::checkpoint::{
 use crate::client::{BenignClient, RoundScratch};
 use crate::config::FedConfig;
 use crate::defense::DefensePipeline;
-use crate::faults::{validate_grad, validate_upload, FaultDecision, FaultInjector, FaultPlan};
+use crate::faults::{
+    validate_grad, validate_shared, validate_upload, FaultDecision, FaultInjector, FaultPlan,
+};
 use crate::history::{RoundDefense, RoundFaults, TrainingHistory};
+use crate::model::{ClientModel, MfClientModel};
 use crate::server::{Aggregator, Server, SumAggregator};
 use crate::store::{ClientStore, DenseStore, ShardedStore, StoreBackend};
 use fedrec_data::InteractionSource;
@@ -69,7 +72,10 @@ use std::sync::Arc;
 /// Checkpoint header magic ("FEDCKPT\0" little-endian-ish constant).
 const CHECKPOINT_MAGIC: u64 = 0x4645_4443_4B50_5400;
 /// Checkpoint layout version; bumped on any format change.
-const CHECKPOINT_VERSION: u64 = 1;
+/// v2: model-seam fingerprint (model name + shared length), the flat
+/// shared-parameter block after `V`, and per-pending-upload shared
+/// gradients.
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// A benign upload in flight: produced in `produced_round` against that
 /// round's item matrix, due to arrive (staleness-downweighted) in
@@ -83,6 +89,9 @@ struct PendingUpload {
     /// is at arrival.
     staleness: usize,
     grad: SparseGrad,
+    /// The upload's shared-parameter gradient (empty for MF), delayed and
+    /// staleness-downweighted alongside the item gradient.
+    shared: Vec<f32>,
 }
 
 /// Pooled state of the parallel round engine, reused across epochs.
@@ -92,6 +101,10 @@ struct RoundEngine {
     scratches: Vec<RoundScratch>,
     /// Upload slot per selected client (benign prefix, then malicious).
     outs: Vec<SparseGrad>,
+    /// Shared-parameter gradient slot paired 1:1 with `outs` (empty vecs
+    /// for MF); every swap/compaction of `outs` is mirrored here so the
+    /// pairing survives the fault and defense stages.
+    shared_outs: Vec<Vec<f32>>,
     /// Loss slot per selected benign client; `None` = nothing to train on.
     losses: Vec<Option<f32>>,
 }
@@ -106,6 +119,9 @@ pub struct Snapshot<'a> {
     /// server never looks at them). Reading derives untouched lazy rows
     /// without materializing them.
     pub users: &'a dyn UserRowSource,
+    /// The flat shared-parameter block `Θ` after this epoch's update
+    /// (empty for MF — `V` is then the only shared state).
+    pub shared: &'a [f32],
     /// Total benign loss of this epoch.
     pub loss: f32,
     /// Benign client rows currently materialized in the store (`n` for the
@@ -126,6 +142,11 @@ pub type EvalHook<'h> = dyn FnMut(&Snapshot<'_>, &mut TrainingHistory) + 'h;
 pub struct Simulation {
     server: Server,
     store: Box<dyn ClientStore>,
+    /// The model seam: what a local round computes and whether a flat
+    /// shared block `Θ` rides alongside `V`.
+    model: Box<dyn ClientModel>,
+    /// The server-side shared-parameter block (empty for MF).
+    shared: Vec<f32>,
     adversary: Box<dyn Adversary>,
     num_malicious: usize,
     defense: DefensePipeline,
@@ -194,13 +215,25 @@ impl Simulation {
         defense: DefensePipeline,
     ) -> Self {
         cfg.validate();
+        let model: Box<dyn ClientModel> = Box::new(MfClientModel);
         let mut rng = SeededRng::new(cfg.seed);
         let server = Server::new(
             Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng),
             cfg.lr,
         );
+        let shared = model.init_shared(&mut rng);
         let store = Box::new(DenseStore::build(data, cfg.k, &mut rng));
-        Self::assemble(server, store, adversary, num_malicious, defense, cfg, rng)
+        Self::assemble(
+            server,
+            store,
+            model,
+            shared,
+            adversary,
+            num_malicious,
+            defense,
+            cfg,
+            rng,
+        )
     }
 
     /// Build a simulation over a shared interaction source with an
@@ -219,35 +252,85 @@ impl Simulation {
         defense: DefensePipeline,
         backend: StoreBackend,
     ) -> Self {
+        Self::with_model(
+            data,
+            cfg,
+            Box::new(MfClientModel),
+            adversary,
+            num_malicious,
+            defense,
+            backend,
+        )
+    }
+
+    /// Like [`Simulation::with_store`] but generalized over the model
+    /// seam: `model` defines the local step and the (possibly empty) flat
+    /// shared-parameter block `Θ` the server maintains alongside `V`.
+    ///
+    /// Construction draw order is `V` → `Θ` → client store, mirroring the
+    /// shared-then-private order of the paper's setup. [`MfClientModel`]
+    /// draws nothing for `Θ`, which is exactly why every pre-seam MF run
+    /// is byte-identical under this constructor.
+    pub fn with_model(
+        data: Arc<dyn InteractionSource + Send + Sync>,
+        cfg: FedConfig,
+        model: Box<dyn ClientModel>,
+        adversary: Box<dyn Adversary>,
+        num_malicious: usize,
+        defense: DefensePipeline,
+        backend: StoreBackend,
+    ) -> Self {
         cfg.validate();
         let mut rng = SeededRng::new(cfg.seed);
         let server = Server::new(
             Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng),
             cfg.lr,
         );
+        let shared = model.init_shared(&mut rng);
         let store: Box<dyn ClientStore> = match backend {
             StoreBackend::Dense => Box::new(DenseStore::build(&*data, cfg.k, &mut rng)),
             StoreBackend::Sharded { shard_rows } => {
                 Box::new(ShardedStore::build(data, cfg.k, &mut rng, shard_rows))
             }
         };
-        Self::assemble(server, store, adversary, num_malicious, defense, cfg, rng)
+        Self::assemble(
+            server,
+            store,
+            model,
+            shared,
+            adversary,
+            num_malicious,
+            defense,
+            cfg,
+            rng,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         server: Server,
         store: Box<dyn ClientStore>,
+        model: Box<dyn ClientModel>,
+        shared: Vec<f32>,
         adversary: Box<dyn Adversary>,
         num_malicious: usize,
         defense: DefensePipeline,
         cfg: FedConfig,
         mut rng: SeededRng,
     ) -> Self {
+        assert_eq!(
+            shared.len(),
+            model.shared_len(),
+            "model '{}' initialized a shared block of the wrong length",
+            model.name()
+        );
         let adv_rng = rng.fork(0xADBE);
         let touched = vec![false; store.num_users()];
         Self {
             server,
             store,
+            model,
+            shared,
             adversary,
             num_malicious,
             defense,
@@ -304,6 +387,16 @@ impl Simulation {
     /// Current shared item matrix.
     pub fn items(&self) -> &Matrix {
         self.server.items()
+    }
+
+    /// The flat server-side shared-parameter block `Θ` (empty for MF).
+    pub fn shared(&self) -> &[f32] {
+        &self.shared
+    }
+
+    /// The model family driving local rounds ("mf", "ncf", ...).
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
     }
 
     /// Benign clients whose state is currently materialized in memory
@@ -387,6 +480,7 @@ impl Simulation {
                     epoch,
                     items: self.server.items(),
                     users: self.store.as_user_rows(),
+                    shared: &self.shared,
                     loss,
                     rows_materialized: self.store.materialized(),
                     participants_touched: self.touched_count,
@@ -462,29 +556,37 @@ impl Simulation {
                 clip_norm: self.cfg.clip_norm,
                 selected_malicious: &malicious_sel,
             };
-            let poisoned = self
-                .adversary
-                .poison(self.server.items(), &ctx, &mut self.adv_rng);
+            let poisoned = self.adversary.poison_with_shared(
+                self.server.items(),
+                &self.shared,
+                &ctx,
+                &mut self.adv_rng,
+            );
             assert_eq!(
                 poisoned.len(),
                 malicious_sel.len(),
                 "adversary must answer for every selected malicious client"
             );
             let num_items = self.server.items().rows();
-            for g in poisoned {
+            for (g, s) in poisoned {
                 // The quarantine gate covers *every* upload when a fault
-                // plan is active — a malformed adversarial payload is
-                // rejected before the detector ever scores it.
+                // plan is active — a malformed adversarial payload (item
+                // or shared part) is rejected before the detector ever
+                // scores it.
                 if let Some(rec) = fault_rec.as_mut() {
-                    if validate_grad(&g, num_items).is_err() {
+                    if validate_grad(&g, num_items).is_err()
+                        || validate_shared(&s, self.shared.len()).is_err()
+                    {
                         rec.rejected += 1;
                         continue;
                     }
                 }
                 if total < self.engine.outs.len() {
                     self.engine.outs[total] = g;
+                    self.engine.shared_outs[total] = s;
                 } else {
                     self.engine.outs.push(g);
+                    self.engine.shared_outs.push(s);
                 }
                 total += 1;
             }
@@ -492,9 +594,10 @@ impl Simulation {
 
         // Defense stage: detection (over uploads in client-id order, so
         // the report is thread-count-invariant), optional exclusion, then
-        // aggregation of the survivors.
-        let (aggregate, record) = self.defense.process(
+        // aggregation of the survivors — item and shared parts paired.
+        let (aggregate, shared_agg, record) = self.defense.process_paired(
             &mut self.engine.outs[..total],
+            &mut self.engine.shared_outs[..total],
             malicious_from,
             epoch,
             self.server.items().rows(),
@@ -503,6 +606,11 @@ impl Simulation {
         let quorum_skipped = fault_rec.as_ref().is_some_and(|r| r.quorum_skipped);
         if !quorum_skipped {
             self.server.apply(&aggregate);
+            if !shared_agg.is_empty() {
+                // Θ ← Θ − η Σ ∇Θ_i (Eq. 7 for the shared block).
+                assert_eq!(shared_agg.len(), self.shared.len());
+                fedrec_linalg::vector::axpy(-self.cfg.lr, &shared_agg, &mut self.shared);
+            }
         }
         (loss, record, fault_rec)
     }
@@ -542,8 +650,11 @@ impl Simulation {
         for (j, &client) in producers.iter().enumerate() {
             match inj.decide(epoch, client) {
                 FaultDecision::None => {
-                    if validate_grad(&self.engine.outs[j], num_items).is_ok() {
+                    if validate_grad(&self.engine.outs[j], num_items).is_ok()
+                        && validate_shared(&self.engine.shared_outs[j], self.shared.len()).is_ok()
+                    {
                         self.engine.outs.swap(kept, j);
+                        self.engine.shared_outs.swap(kept, j);
                         kept += 1;
                     } else {
                         rec.rejected += 1;
@@ -558,12 +669,14 @@ impl Simulation {
                     rec.deferred += 1;
                     rec.retried += retried;
                     let grad = std::mem::replace(&mut self.engine.outs[j], SparseGrad::new(k));
+                    let shared = std::mem::take(&mut self.engine.shared_outs[j]);
                     self.pending.push(PendingUpload {
                         due_round: epoch + delay,
                         produced_round: epoch,
                         client_id: client,
                         staleness: delay,
                         grad,
+                        shared,
                     });
                 }
                 FaultDecision::Corrupted(kind) => {
@@ -589,12 +702,23 @@ impl Simulation {
         self.pending = still;
         for mut p in due {
             debug_assert_eq!(p.due_round, p.produced_round + p.staleness);
-            p.grad.scale(1.0 / (1.0 + p.staleness as f32));
-            if validate_grad(&p.grad, num_items).is_ok() {
+            let weight = 1.0 / (1.0 + p.staleness as f32);
+            p.grad.scale(weight);
+            // The shared part is downweighted by the same staleness
+            // factor — both halves of the upload were computed against
+            // the same stale parameters.
+            for x in p.shared.iter_mut() {
+                *x *= weight;
+            }
+            if validate_grad(&p.grad, num_items).is_ok()
+                && validate_shared(&p.shared, self.shared.len()).is_ok()
+            {
                 if kept < self.engine.outs.len() {
                     self.engine.outs[kept] = p.grad;
+                    self.engine.shared_outs[kept] = p.shared;
                 } else {
                     self.engine.outs.push(p.grad);
+                    self.engine.shared_outs.push(p.shared);
                 }
                 kept += 1;
                 rec.late += 1;
@@ -625,6 +749,9 @@ impl Simulation {
         while engine.outs.len() < n {
             engine.outs.push(SparseGrad::new(cfg.k));
         }
+        while engine.shared_outs.len() < n {
+            engine.shared_outs.push(Vec::new());
+        }
         engine.losses.clear();
         engine.losses.resize(n, None);
 
@@ -640,35 +767,36 @@ impl Simulation {
         let mut refs: Vec<&mut BenignClient> = self.store.selected_mut(benign_sel);
 
         let items = self.server.items();
-        let run_one = |c: &mut BenignClient, scratch: &mut RoundScratch, out: &mut SparseGrad| {
-            c.local_round_into(
-                items,
-                cfg.lr,
-                cfg.l2_reg,
-                cfg.clip_norm,
-                cfg.noise_scale,
-                scratch,
-                out,
-            )
+        let model = &*self.model;
+        let shared = self.shared.as_slice();
+        let run_one = |c: &mut BenignClient,
+                       scratch: &mut RoundScratch,
+                       out: &mut SparseGrad,
+                       shared_out: &mut Vec<f32>| {
+            model.local_round(c, items, shared, &cfg, scratch, out, shared_out)
         };
 
         if threads <= 1 {
             let scratch = &mut engine.scratches[0];
             for (i, c) in refs.iter_mut().enumerate() {
-                engine.losses[i] = run_one(c, scratch, &mut engine.outs[i]);
+                engine.losses[i] =
+                    run_one(c, scratch, &mut engine.outs[i], &mut engine.shared_outs[i]);
             }
         } else {
             let chunk = n.div_ceil(threads);
             std::thread::scope(|scope| {
-                for (((shard, outs), losses), scratch) in refs
+                for ((((shard, outs), shared_outs), losses), scratch) in refs
                     .chunks_mut(chunk)
                     .zip(engine.outs[..n].chunks_mut(chunk))
+                    .zip(engine.shared_outs[..n].chunks_mut(chunk))
                     .zip(engine.losses.chunks_mut(chunk))
                     .zip(engine.scratches.iter_mut())
                 {
                     scope.spawn(|| {
-                        for ((c, out), loss) in shard.iter_mut().zip(outs).zip(losses) {
-                            *loss = run_one(c, scratch, out);
+                        for (((c, out), shared_out), loss) in
+                            shard.iter_mut().zip(outs).zip(shared_outs).zip(losses)
+                        {
+                            *loss = run_one(c, scratch, out, shared_out);
                         }
                     });
                 }
@@ -677,13 +805,15 @@ impl Simulation {
 
         // Compact produced uploads to the front of the pool; slots stay in
         // client-id order because the shards were contiguous id-ordered
-        // chunks written back by index.
+        // chunks written back by index. Shared slots travel with their
+        // item slots.
         let mut produced = 0usize;
         let mut loss = 0.0f32;
         for i in 0..n {
             if let Some(l) = engine.losses[i] {
                 loss += l;
                 engine.outs.swap(produced, i);
+                engine.shared_outs.swap(produced, i);
                 produced += 1;
             }
         }
@@ -712,6 +842,10 @@ impl Simulation {
         w.usize(self.cfg.k);
         w.usize(self.store.num_users());
         w.usize(self.num_malicious);
+        // Model-seam fingerprint: a checkpoint written by one model
+        // family must not restore into another.
+        w.bytes(self.model.name().as_bytes());
+        w.usize(self.shared.len());
         match &self.faults {
             Some(inj) => {
                 w.bool(true);
@@ -730,6 +864,7 @@ impl Simulation {
                 w.f32(x);
             }
         }
+        w.f32_slice(&self.shared);
         // Touched clients as a sparse id list; untouched clients are
         // still in their constructor-derived state and need no bytes.
         let touched_ids: Vec<usize> = self
@@ -754,6 +889,7 @@ impl Simulation {
             w.usize(p.client_id);
             w.usize(p.staleness);
             write_grad(&mut w, &p.grad);
+            w.f32_slice(&p.shared);
         }
         let mut blob = Vec::new();
         self.adversary.checkpoint_state(&mut blob);
@@ -785,6 +921,16 @@ impl Simulation {
             self.num_malicious,
             "checkpoint malicious-slot mismatch"
         );
+        assert_eq!(
+            r.bytes(),
+            self.model.name().as_bytes(),
+            "checkpoint model mismatch"
+        );
+        assert_eq!(
+            r.usize(),
+            self.shared.len(),
+            "checkpoint shared-length mismatch"
+        );
         let had_faults = r.bool();
         let fault_seed = r.u64();
         match (&self.faults, had_faults) {
@@ -814,6 +960,13 @@ impl Simulation {
             }
         }
         self.server = Server::new(v, self.cfg.lr);
+        let shared = r.f32_vec();
+        assert_eq!(
+            shared.len(),
+            self.shared.len(),
+            "checkpoint shared-block length mismatch"
+        );
+        self.shared = shared;
         let nt = r.usize();
         let touched_ids: Vec<usize> = (0..nt).map(|_| r.usize()).collect();
         self.touched.fill(false);
@@ -839,6 +992,7 @@ impl Simulation {
                 client_id: r.usize(),
                 staleness: r.usize(),
                 grad: read_grad(&mut r),
+                shared: r.f32_vec(),
             })
             .collect();
         let blob = r.bytes().to_vec();

@@ -13,9 +13,11 @@
 //!   repository);
 //! * [`theta::Theta`] — the shared MLP parameters with the flat-vector
 //!   algebra the federated update needs (clip, noise, aggregate);
+//! * [`client_model::NcfClientModel`] — NCF plugged into the
+//!   `fedrec_federated::ClientModel` seam (`Θ` as the flat shared block);
 //! * [`sim::NcfSimulation`] — federated training that shares `V` and `Θ`
-//!   while keeping each `u_i` private, mirroring
-//!   `fedrec_federated::Simulation`;
+//!   while keeping each `u_i` private, routed through the generic
+//!   `fedrec_federated::Simulation` round loop;
 //! * [`attack`] — both attack variants §IV discusses: poisoning `V` only
 //!   (the paper's generic choice, here driven through the NCF gradients)
 //!   and poisoning `Θ` (the "possibly simpler and more effective" option
@@ -38,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod client_model;
 pub mod model;
 pub mod persist;
 pub mod sim;
 pub mod theta;
 
+pub use client_model::{NcfAdversaryBridge, NcfClientModel};
 pub use model::NcfModel;
 pub use sim::{NcfConfig, NcfSimulation};
 pub use theta::Theta;

@@ -1,18 +1,25 @@
 //! Federated training with shared `V` **and** `Θ`.
 //!
-//! Mirrors `fedrec_federated::Simulation`, extended with the learnable
-//! interaction function: per round, each selected client computes BPR
-//! gradients through the MLP, clips and noises *both* `∇V_i` and `∇Θ_i`
-//! (Eq. 5), uploads them, and steps its private `u_i` (Eq. 6); the
-//! server applies both aggregates (Eq. 7).
+//! A thin configuration wrapper over `fedrec_federated::Simulation` with
+//! the [`NcfClientModel`] plugged into the model seam: per round, each
+//! selected client computes BPR gradients through the MLP, clips and
+//! noises *both* `∇V_i` and `∇Θ_i` (Eq. 5), uploads them, and steps its
+//! private `u_i` (Eq. 6); the server applies both aggregates (Eq. 7).
+//! Routing through the generic round loop (rather than a parallel NCF
+//! one) is what extends every byte-identity gate — dense-vs-sharded,
+//! thread-count, kill-and-resume, faulted-round — to NCF.
 
-use crate::attack::{NcfAdversary, NcfRoundCtx};
+use crate::attack::NcfAdversary;
+use crate::client_model::{NcfAdversaryBridge, NcfClientModel};
 use crate::model::NcfModel;
 use crate::theta::Theta;
 use fedrec_data::Dataset;
-use fedrec_linalg::{vector, Matrix, SeededRng, SparseGrad};
+use fedrec_federated::server::SumAggregator;
+use fedrec_federated::{DefensePipeline, FedConfig, Simulation, StoreBackend};
+use fedrec_linalg::{Matrix, SeededRng};
 use fedrec_recsys::metrics::MetricsAccumulator;
 use fedrec_recsys::scorer::DenseScores;
+use std::sync::Arc;
 
 /// Configuration for NCF federated training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,84 +56,20 @@ impl NcfConfig {
             seed: 42,
         }
     }
-}
 
-/// A benign NCF client: private `u_i` plus its interaction set.
-#[derive(Debug, Clone)]
-pub struct NcfClient {
-    user_id: usize,
-    positives: Vec<u32>,
-    user_vec: Vec<f32>,
-    rng: SeededRng,
-    num_items: usize,
-}
-
-/// What an NCF client uploads per round.
-#[derive(Debug, Clone)]
-pub struct NcfUpdate {
-    /// Sparse item-embedding gradient.
-    pub item_grads: SparseGrad,
-    /// MLP-parameter gradient.
-    pub theta_grad: Theta,
-    /// Local BPR loss (diagnostics).
-    pub loss: f32,
-}
-
-impl NcfClient {
-    fn new(
-        user_id: usize,
-        positives: Vec<u32>,
-        num_items: usize,
-        k: usize,
-        rng: &mut SeededRng,
-    ) -> Self {
-        let mut own = rng.fork(user_id as u64);
-        let user_vec = (0..k).map(|_| own.normal(0.0, 0.1)).collect();
-        Self {
-            user_id,
-            positives,
-            user_vec,
-            rng: own,
-            num_items,
+    /// The generic federated config this NCF setup runs under.
+    pub fn fed_config(&self) -> FedConfig {
+        FedConfig {
+            k: self.k,
+            lr: self.lr,
+            epochs: self.epochs,
+            client_fraction: self.client_fraction,
+            noise_scale: self.noise_scale,
+            clip_norm: self.clip_norm,
+            l2_reg: 0.0,
+            threads: 1,
+            seed: self.seed,
         }
-    }
-
-    /// The private feature vector (measurement only).
-    pub fn user_vec(&self) -> &[f32] {
-        &self.user_vec
-    }
-
-    /// The user id this client belongs to.
-    pub fn user_id(&self) -> usize {
-        self.user_id
-    }
-
-    fn local_round(&mut self, items: &Matrix, theta: &Theta, cfg: &NcfConfig) -> Option<NcfUpdate> {
-        if self.positives.is_empty() || self.positives.len() >= self.num_items {
-            return None;
-        }
-        let pairs: Vec<(u32, u32)> = self
-            .positives
-            .iter()
-            .map(|&p| loop {
-                let v = self.rng.below(self.num_items) as u32;
-                if self.positives.binary_search(&v).is_err() {
-                    return (p, v);
-                }
-            })
-            .collect();
-        let (loss, grad_u, mut grad_items, mut grad_theta) =
-            NcfModel::bpr_round(theta, items, &self.user_vec, &pairs);
-        vector::axpy(-cfg.lr, &grad_u, &mut self.user_vec);
-        grad_items.clip_rows(cfg.clip_norm);
-        grad_items.add_gaussian_noise(cfg.noise_scale * cfg.clip_norm, &mut self.rng);
-        grad_theta.clip(cfg.clip_norm);
-        grad_theta.add_gaussian_noise(cfg.noise_scale * cfg.clip_norm, &mut self.rng);
-        Some(NcfUpdate {
-            item_grads: grad_items,
-            theta_grad: grad_theta,
-            loss,
-        })
     }
 }
 
@@ -143,14 +86,9 @@ pub struct NcfEvalReport {
 
 /// The federated NCF deployment.
 pub struct NcfSimulation {
-    items: Matrix,
-    theta: Theta,
-    clients: Vec<NcfClient>,
-    adversary: Box<dyn NcfAdversary>,
-    num_malicious: usize,
-    cfg: NcfConfig,
-    rng: SeededRng,
-    adv_rng: SeededRng,
+    sim: Simulation,
+    hidden: usize,
+    k: usize,
 }
 
 impl NcfSimulation {
@@ -161,101 +99,57 @@ impl NcfSimulation {
         adversary: Box<dyn NcfAdversary>,
         num_malicious: usize,
     ) -> Self {
-        let mut rng = SeededRng::new(cfg.seed);
-        let items = Matrix::random_normal(data.num_items(), cfg.k, 0.0, 0.1, &mut rng);
-        let theta = Theta::init(cfg.hidden, cfg.k, &mut rng);
-        let clients = (0..data.num_users())
-            .map(|u| {
-                NcfClient::new(
-                    u,
-                    data.user_items(u).to_vec(),
-                    data.num_items(),
-                    cfg.k,
-                    &mut rng,
-                )
-            })
-            .collect();
-        let adv_rng = rng.fork(0x0FCF);
-        Self {
-            items,
-            theta,
-            clients,
-            adversary,
+        let fed = cfg.fed_config();
+        let sim = Simulation::with_model(
+            Arc::new(data.clone()),
+            fed,
+            Box::new(NcfClientModel::new(cfg.hidden, cfg.k)),
+            Box::new(NcfAdversaryBridge::new(adversary, cfg.hidden, cfg.k)),
             num_malicious,
-            cfg,
-            rng,
-            adv_rng,
+            DefensePipeline::plain(Box::new(SumAggregator)),
+            StoreBackend::Dense,
+        );
+        Self {
+            sim,
+            hidden: cfg.hidden,
+            k: cfg.k,
         }
     }
 
     /// Current shared item matrix.
     pub fn items(&self) -> &Matrix {
-        &self.items
+        self.sim.items()
     }
 
-    /// Current shared MLP parameters.
-    pub fn theta(&self) -> &Theta {
-        &self.theta
+    /// Current shared MLP parameters (rebuilt from the round loop's flat
+    /// shared block).
+    pub fn theta(&self) -> Theta {
+        Theta::from_flat(self.hidden, self.k, self.sim.shared())
+    }
+
+    /// The generic simulation underneath (checkpointing, fault plans,
+    /// store introspection).
+    pub fn inner(&self) -> &Simulation {
+        &self.sim
     }
 
     /// Assemble the measurement-only global model.
     pub fn model(&self) -> NcfModel {
-        let mut users = Matrix::zeros(self.clients.len(), self.cfg.k);
-        for (i, c) in self.clients.iter().enumerate() {
-            users.row_mut(i).copy_from_slice(c.user_vec());
-        }
         NcfModel {
-            user_factors: users,
-            item_factors: self.items.clone(),
-            theta: self.theta.clone(),
+            user_factors: self.sim.user_factors(),
+            item_factors: self.sim.items().clone(),
+            theta: self.theta(),
         }
     }
 
     /// Run all epochs; returns the per-epoch benign loss.
     pub fn run(&mut self) -> Vec<f32> {
-        (0..self.cfg.epochs).map(|e| self.step(e)).collect()
+        self.sim.run(None).losses
     }
 
     /// One round; returns the benign loss.
     pub fn step(&mut self, epoch: usize) -> f32 {
-        let total = self.clients.len() + self.num_malicious;
-        let batch = ((total as f64) * self.cfg.client_fraction).ceil() as usize;
-        let mut selected = self.rng.sample_indices(total, batch.clamp(1, total));
-        selected.sort_unstable();
-
-        let mut item_agg = SparseGrad::new(self.cfg.k);
-        let mut theta_agg = Theta::zeros(self.cfg.hidden, self.cfg.k);
-        let mut loss = 0.0f32;
-        let mut malicious_sel = Vec::new();
-        for s in selected {
-            if s < self.clients.len() {
-                if let Some(up) = self.clients[s].local_round(&self.items, &self.theta, &self.cfg) {
-                    loss += up.loss;
-                    item_agg.add_assign(&up.item_grads);
-                    theta_agg.axpy(1.0, &up.theta_grad);
-                }
-            } else {
-                malicious_sel.push(s - self.clients.len());
-            }
-        }
-        if !malicious_sel.is_empty() {
-            let ctx = NcfRoundCtx {
-                round: epoch,
-                lr: self.cfg.lr,
-                clip_norm: self.cfg.clip_norm,
-                selected_malicious: &malicious_sel,
-            };
-            for (ig, tg) in self
-                .adversary
-                .poison(&self.items, &self.theta, &ctx, &mut self.adv_rng)
-            {
-                item_agg.add_assign(&ig);
-                theta_agg.axpy(1.0, &tg);
-            }
-        }
-        item_agg.apply_to(&mut self.items, self.cfg.lr);
-        self.theta.axpy(-self.cfg.lr, &theta_agg);
-        loss
+        self.sim.step(epoch)
     }
 
     /// Evaluate the current global model: target exposure plus HR@10.
@@ -328,7 +222,7 @@ mod tests {
         let go = || {
             let mut sim = NcfSimulation::new(&data, NcfConfig::smoke(), Box::new(NcfNoAttack), 3);
             let l = sim.run();
-            (l, sim.theta().clone())
+            (l, sim.theta())
         };
         let (l1, t1) = go();
         let (l2, t2) = go();
@@ -340,9 +234,9 @@ mod tests {
     fn theta_moves_during_training() {
         let data = SyntheticConfig::smoke().generate(3);
         let mut sim = NcfSimulation::new(&data, NcfConfig::smoke(), Box::new(NcfNoAttack), 0);
-        let before = sim.theta().clone();
+        let before = sim.theta();
         sim.step(0);
-        assert_ne!(&before, sim.theta(), "Θ must be updated by Eq. 7");
+        assert_ne!(before, sim.theta(), "Θ must be updated by Eq. 7");
     }
 
     #[test]
@@ -357,5 +251,17 @@ mod tests {
         clean.step(0);
         noisy.step(0);
         assert_ne!(clean.theta(), noisy.theta());
+    }
+
+    #[test]
+    fn wrapper_reports_the_ncf_model_seam() {
+        let data = SyntheticConfig::smoke().generate(5);
+        let sim = NcfSimulation::new(&data, NcfConfig::smoke(), Box::new(NcfNoAttack), 0);
+        assert_eq!(sim.inner().model_name(), "ncf");
+        assert_eq!(
+            sim.inner().shared().len(),
+            Theta::len_for(16, 8),
+            "shared block is the flattened MLP"
+        );
     }
 }

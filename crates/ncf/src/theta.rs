@@ -33,6 +33,23 @@ impl Theta {
         }
     }
 
+    /// Rebuild a `Θ` from its flat parameter vector (the inverse of
+    /// [`Theta::as_slice`]) — the bridge between the federated round
+    /// loop's model-agnostic flat shared block and the structured MLP
+    /// view the NCF gradients need.
+    pub fn from_flat(hidden: usize, k: usize, data: &[f32]) -> Self {
+        assert_eq!(
+            data.len(),
+            Self::len_for(hidden, k),
+            "flat theta length mismatch for hidden={hidden}, k={k}"
+        );
+        Self {
+            data: data.to_vec(),
+            hidden,
+            k,
+        }
+    }
+
     /// He-style random init for the weights, zero biases, except `w₂`
     /// which starts small-positive so initial scores are near zero but
     /// gradients flow.
@@ -195,6 +212,19 @@ mod tests {
         assert_ne!(a, c);
         assert!(a.norm() > 0.0);
         assert_eq!(a.b1(), &[0.0; 4], "biases start at zero");
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let t = Theta::init(4, 3, &mut SeededRng::new(5));
+        let back = Theta::from_flat(4, 3, t.as_slice());
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat theta length mismatch")]
+    fn from_flat_rejects_wrong_length() {
+        let _ = Theta::from_flat(4, 3, &[0.0; 7]);
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl Evaluator {
         &self.targets
     }
 
+    /// The fixed HR@10 negatives prepared for user `u`.
+    ///
+    /// Empty when no item is held out for `u` or `u` lies beyond the
+    /// prepared test prefix. Exposed so model families whose scores the
+    /// streamed MF evaluator cannot produce (e.g. NCF) can still rank the
+    /// *same* negative sample per user.
+    pub fn hr_negatives(&self, u: usize) -> &[u32] {
+        self.hr_negatives.get(u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Evaluate a model snapshot.
     ///
     /// Attack metrics cover every user of the population; HR@10 covers the
